@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Every file in this directory regenerates one of the paper's tables or
+figures (see DESIGN.md's experiment index).  Budgets are chosen so the
+whole suite finishes in tens of minutes; ``examples/paper_figures.py``
+runs the same experiments at higher fidelity.
+
+Each bench prints the figure's rows and appends them to
+``benchmarks/results.txt`` (pytest captures stdout, the file survives).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentSettings, SUITE_QUICK
+
+#: Budget used by the throughput/latency benches.
+BENCH = ExperimentSettings(scale=0.03, duration_ns=250_000.0,
+                           suite=SUITE_QUICK, llc_sets=1024)
+
+RESULTS_PATH = pathlib.Path(__file__).with_name("results.txt")
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure's rows and persist them to results.txt."""
+    block = f"\n=== {title} ===\n{text}\n"
+    print(block)
+    with RESULTS_PATH.open("a") as handle:
+        handle.write(block)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()
+    yield
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

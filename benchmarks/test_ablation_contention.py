@@ -1,0 +1,57 @@
+"""Ablation — sensitivity to workload skew (zipfian theta).
+
+DESIGN.md's scale-down policy moderates the YCSB skew (theta=0.6) so
+the scaled simulator stays in the paper's overhead-dominated regime.
+This bench shows the full picture: as skew rises toward YCSB's
+theta=0.99 at small populations, every protocol collapses into
+contention (abort rates climb, absolute throughput falls) and the
+HADES-vs-Baseline gap narrows — conflicts, not software overheads,
+become the bottleneck.
+"""
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.runner import run_experiment
+from repro.workloads import MicroWorkload
+
+THETAS = (0.5, 0.7, 0.9, 0.99)
+
+
+def test_contention_sweep(benchmark):
+    def run():
+        rows = []
+        population = max(2000, int(100000 * BENCH.scale * 4))
+        for theta in THETAS:
+            row = {"theta": theta}
+            for protocol in ("baseline", "hades"):
+                result = run_experiment(
+                    protocol,
+                    MicroWorkload(0.5, record_count=population, theta=theta),
+                    duration_ns=BENCH.duration_ns * 2, seed=BENCH.seed,
+                    llc_sets=BENCH.llc_sets)
+                row[protocol] = result.metrics.throughput()
+                row[f"{protocol}_aborts"] = result.metrics.meter.abort_rate()
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    emit("Ablation — contention sweep (zipfian theta, 50/50 micro)",
+         format_table(
+             ["theta", "baseline tps", "hades tps", "hades speedup",
+              "baseline aborts", "hades aborts"],
+             [[r["theta"], r["baseline"], r["hades"],
+               r["hades"] / r["baseline"],
+               f"{r['baseline_aborts'] * 100:.0f}%",
+               f"{r['hades_aborts'] * 100:.0f}%"] for r in rows]))
+
+    by_theta = {row["theta"]: row for row in rows}
+    # Contention rises monotonically-ish with skew...
+    assert (by_theta[0.99]["hades_aborts"]
+            > by_theta[0.5]["hades_aborts"])
+    # ...and absolute throughput falls for both protocols.
+    assert by_theta[0.99]["hades"] < by_theta[0.5]["hades"]
+    assert by_theta[0.99]["baseline"] < by_theta[0.5]["baseline"]
+    # HADES stays ahead at moderate skew.
+    assert by_theta[0.5]["hades"] > by_theta[0.5]["baseline"]
+    assert by_theta[0.7]["hades"] > by_theta[0.7]["baseline"]

@@ -1,0 +1,80 @@
+"""Ablation — cost of the fault-tolerance extension (Section V).
+
+Replication rides the two-phase commit: every written line is persisted
+to temporary durable storage on its replica node(s) before the commit
+may finish.  This bench measures what that durability costs HADES in
+throughput for 1 and 2 replicas against the non-replicated protocol.
+"""
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import PROTOCOLS
+from repro.core.replication import HadesReplicatedProtocol
+from repro.sim import Engine
+from repro.sim.random import DeterministicRandom
+from repro.workloads import MicroWorkload
+
+
+TXNS_PER_CLIENT = 15
+
+
+def run_with(replicas: int) -> dict:
+    """Fixed-work run (drains to quiescence so replica audits are exact)."""
+    config = ClusterConfig()
+    engine = Engine()
+    cluster = Cluster(engine, config, llc_sets=BENCH.llc_sets)
+    if replicas == 0:
+        protocol = PROTOCOLS["hades"](cluster, seed=BENCH.seed)
+    else:
+        protocol = HadesReplicatedProtocol(cluster, seed=BENCH.seed,
+                                           replicas=replicas,
+                                           persist_ns=1000.0)
+    workload = MicroWorkload(0.5, record_count=max(
+        2000, int(100000 * BENCH.scale)))
+    workload.populate(cluster)
+
+    def client(node_id, slot):
+        rng = DeterministicRandom(f"{BENCH.seed}:{node_id}:{slot}")
+        for _ in range(TXNS_PER_CLIENT):
+            spec = workload.next_transaction(rng, node_id, cluster,
+                                             client_id=(node_id, slot))
+            yield from protocol.execute(node_id, slot, spec)
+
+    for node in cluster.nodes:
+        for slot in range(config.transactions_per_node):
+            engine.process(client(node.node_id, slot))
+    engine.run()
+    protocol.metrics.elapsed_ns = engine.now
+    summary = {"replicas": replicas,
+               "throughput": protocol.metrics.throughput(),
+               "abort_rate": protocol.metrics.meter.abort_rate()}
+    if replicas:
+        checked, mismatched = protocol.verify_replicas()
+        summary["replica_lines"] = checked
+        summary["mismatches"] = mismatched
+    return summary
+
+
+def test_replication_overhead(benchmark):
+    rows = run_once(benchmark,
+                    lambda: [run_with(r) for r in (0, 1, 2)])
+
+    emit("Ablation — replication cost (HADES, 50/50 micro; durability "
+         "persists each replica before the Ack)",
+         format_table(["replicas", "throughput", "abort rate",
+                       "replica lines", "mismatches"],
+                      [[r["replicas"], r["throughput"],
+                        f"{r['abort_rate'] * 100:.0f}%",
+                        r.get("replica_lines", "-"),
+                        r.get("mismatches", "-")] for r in rows]))
+
+    none, one, two = rows
+    # Durability costs throughput, monotonically in replica count...
+    assert one["throughput"] < none["throughput"]
+    assert two["throughput"] <= one["throughput"] * 1.05
+    # ...but replicas stay perfectly consistent with the primaries.
+    assert one["mismatches"] == 0
+    assert two["mismatches"] == 0
+    assert one["replica_lines"] > 0

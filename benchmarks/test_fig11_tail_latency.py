@@ -1,0 +1,30 @@
+"""Fig. 11 — 95th-percentile tail latency.
+
+Paper: "the tail latency follows the same relative trends as the mean
+latency" — both HADES designs cut the tail, HADES the most.
+"""
+
+import math
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.experiments import fig11_tail_latency
+
+
+def test_fig11_tail_latency(benchmark):
+    rows = run_once(benchmark, lambda: fig11_tail_latency(BENCH))
+
+    emit("Fig. 11 — 95th-percentile latency normalized to Baseline",
+         format_table(["workload", "protocol", "p95_ns", "normalized"],
+                      [[r["workload"], r["protocol"], r["p95_latency_ns"],
+                        r["p95_normalized"]] for r in rows]))
+
+    geomean = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))  # noqa: E731
+    hades = geomean([r["p95_normalized"] for r in rows
+                     if r["protocol"] == "hades"])
+    hybrid = geomean([r["p95_normalized"] for r in rows
+                      if r["protocol"] == "hades-h"])
+    # Same relative trends as the mean (Fig. 10): both reduce the tail.
+    assert hades < 0.8
+    assert hybrid < 0.9
+    assert hades <= hybrid + 0.1

@@ -1,0 +1,34 @@
+"""Fig. 12a — sensitivity to network round-trip latency (1/2/3 us).
+
+Paper: "HADES increases its relative speedup as the network latency
+decreases" — with faster networks the Baseline's software overheads
+become a larger share of the critical path.
+"""
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.experiments import fig12a_network_latency
+
+
+def test_fig12a_network_latency(benchmark):
+    settings = BENCH.with_(suite=("HT-wA", "TATP", "BTree-wB"))
+    rows = run_once(benchmark,
+                    lambda: fig12a_network_latency(settings))
+
+    emit("Fig. 12a — avg throughput vs network RT, normalized to the "
+         "2us Baseline",
+         format_table(["rt_us", "baseline", "hades-h", "hades"],
+                      [[r["rt_us"], r["baseline"], r["hades-h"], r["hades"]]
+                       for r in rows]))
+
+    by_rt = {row["rt_us"]: row for row in rows}
+    # The 2us Baseline is the normalization anchor.
+    assert abs(by_rt[2.0]["baseline"] - 1.0) < 1e-9
+    # Everybody speeds up on a faster network...
+    assert by_rt[1.0]["hades"] > by_rt[3.0]["hades"]
+    assert by_rt[1.0]["baseline"] > by_rt[3.0]["baseline"]
+    # ...but HADES's *relative* speedup over Baseline grows as the
+    # network gets faster (the paper's headline claim for this figure).
+    relative = {rt: by_rt[rt]["hades"] / by_rt[rt]["baseline"]
+                for rt in (1.0, 2.0, 3.0)}
+    assert relative[1.0] > relative[3.0]

@@ -1,0 +1,35 @@
+"""Fig. 12b — sensitivity to the fraction of local requests (20/50/80 %).
+
+Paper: "as the fraction of local requests increases, HADES achieves
+relatively higher speedups.  However, the relative speedups of HADES-H
+decrease rapidly ... because HADES-H uses a software-based approach for
+local operations."
+"""
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.experiments import fig12b_locality
+
+
+def test_fig12b_local_fraction(benchmark):
+    settings = BENCH.with_(suite=("HT-wA", "Smallbank", "BTree-wB"))
+    rows = run_once(benchmark, lambda: fig12b_locality(settings))
+
+    emit("Fig. 12b — avg throughput vs fraction of local requests, "
+         "normalized to the 20%-local Baseline",
+         format_table(["local%", "baseline", "hades-h", "hades"],
+                      [[int(r["local_fraction"] * 100), r["baseline"],
+                        r["hades-h"], r["hades"]] for r in rows]))
+
+    by_local = {row["local_fraction"]: row for row in rows}
+    assert abs(by_local[0.2]["baseline"] - 1.0) < 1e-9
+    # HADES's speedup over Baseline grows with locality...
+    hades_rel = {f: by_local[f]["hades"] / by_local[f]["baseline"]
+                 for f in (0.2, 0.8)}
+    assert hades_rel[0.8] > hades_rel[0.2]
+    # ...while HADES-H's does not grow with it (software local ops).
+    hybrid_rel = {f: by_local[f]["hades-h"] / by_local[f]["baseline"]
+                  for f in (0.2, 0.8)}
+    assert hybrid_rel[0.8] < hades_rel[0.8]
+    # At high locality HADES clearly dominates HADES-H.
+    assert by_local[0.8]["hades"] > by_local[0.8]["hades-h"]

@@ -1,0 +1,32 @@
+"""Fig. 13 — throughput on N=10 nodes x C=5 cores per node.
+
+Paper: "Comparing Figure 13 to Figure 9, we see that HADES' speed-ups
+over Baseline are similar" — doubling the node count does not erode the
+gains.
+"""
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.experiments import fig09_throughput, fig13_scale_n10
+
+
+def test_fig13_ten_node_cluster(benchmark):
+    settings = BENCH.with_(suite=("TPC-C", "HT-wA", "BTree-wB"))
+
+    def run():
+        return (fig13_scale_n10(settings), fig09_throughput(settings))
+
+    ten_node_rows, default_rows = run_once(benchmark, run)
+
+    emit("Fig. 13 — throughput normalized to Baseline (N=10, C=5)",
+         format_table(["workload", "baseline", "hades-h", "hades"],
+                      [[r["workload"], r["baseline"], r["hades-h"],
+                        r["hades"]] for r in ten_node_rows]))
+
+    ten = {r["workload"]: r for r in ten_node_rows}
+    five = {r["workload"]: r for r in default_rows}
+    # Speed-ups on the larger cluster are similar to the default one.
+    assert ten["geomean"]["hades"] > 1.4
+    ratio = ten["geomean"]["hades"] / five["geomean"]["hades"]
+    assert 0.5 <= ratio <= 2.0
+    assert ten["geomean"]["hades"] > ten["geomean"]["hades-h"]

@@ -1,0 +1,24 @@
+"""Fig. 14 — mixes of two workloads on N=5 nodes x C=10 cores.
+
+Paper: each node runs two workloads on 5 cores each; "the resulting mix
+obtains a throughput that is approximately the average of the two
+separate workloads" (interference is small).
+"""
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.experiments import fig14_mix2
+
+
+def test_fig14_two_workload_mixes(benchmark):
+    pairs = [["TPC-C", "TATP"], ["HT-wA", "BTree-wB"]]
+    rows = run_once(benchmark, lambda: fig14_mix2(BENCH, pairs=pairs))
+
+    emit("Fig. 14 — 2-workload mixes normalized to Baseline (N=5, C=10)",
+         format_table(["mix", "baseline", "hades-h", "hades"],
+                      [[r["mix"], r["baseline"], r["hades-h"], r["hades"]]
+                       for r in rows]))
+
+    for row in rows:
+        assert row["hades"] > 1.2, row
+        assert row["hades"] >= row["hades-h"] * 0.85, row

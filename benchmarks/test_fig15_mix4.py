@@ -1,0 +1,28 @@
+"""Fig. 15 + Table V — mixes of four workloads on 200 cores (N=8, C=25).
+
+Paper: "On average across mixes, HADES and HADES-H deliver 2.9x and
+2.1x higher throughput, respectively, than Baseline.  Overall, we
+conclude that HADES scales to large machines."
+"""
+
+from benchmarks.conftest import BENCH, emit, run_once
+from repro.analysis.report import format_table
+from repro.experiments import fig15_mix4
+
+
+def test_fig15_four_workload_mixes_200_cores(benchmark):
+    # Two representative Table V mixes at bench budget; the example
+    # script runs all eight.
+    settings = BENCH.with_(scale=0.02, duration_ns=150_000.0)
+    rows = run_once(benchmark,
+                    lambda: fig15_mix4(settings, mixes=("mix1", "mix4")))
+
+    emit("Fig. 15 — Table V mixes normalized to Baseline, 200 cores "
+         "(paper avg: HADES 2.9x, HADES-H 2.1x)",
+         format_table(["mix", "baseline", "hades-h", "hades"],
+                      [[r["mix"], r["baseline"], r["hades-h"], r["hades"]]
+                       for r in rows]))
+
+    geomean = next(r for r in rows if r["mix"] == "geomean")
+    assert geomean["hades"] > 1.4
+    assert geomean["hades"] > geomean["hades-h"]

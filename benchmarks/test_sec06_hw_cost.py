@@ -1,0 +1,33 @@
+"""Section VI — hardware storage arithmetic.
+
+Paper: the default cluster (N=5, C=5, m=2) needs 7.0 KB of core BFs,
+4 WrTX_ID bits per LLC line, and ~11.0 KB in the NIC; the FaRM-scale
+machine (C=16, m=2, D=5) needs 22.4 KB, 5 bits, and ~43.1 KB.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.report import format_table
+from repro.experiments import sec06_hardware_cost
+
+
+def test_sec06_storage_numbers(benchmark):
+    rows = run_once(benchmark, sec06_hardware_cost)
+
+    emit("Section VI — per-node HADES storage",
+         format_table(
+             ["cluster", "core KB (paper)", "tag bits (paper)",
+              "NIC KB (paper)"],
+             [[r["cluster"],
+               f"{r['core_bf_kb']} ({r['paper_core_kb']})",
+               f"{r['wrtx_id_bits']} ({r['paper_bits']})",
+               f"{r['nic_total_kb']} ({r['paper_nic_kb']})"] for r in rows]))
+
+    default, farm = rows
+    assert default["core_bf_kb"] == pytest.approx(7.0, abs=0.2)
+    assert default["wrtx_id_bits"] == 4
+    assert default["nic_total_kb"] == pytest.approx(11.0, abs=0.2)
+    assert farm["core_bf_kb"] == pytest.approx(22.4, abs=0.5)
+    assert farm["wrtx_id_bits"] == 5
+    assert farm["nic_total_kb"] == pytest.approx(43.1, abs=0.3)

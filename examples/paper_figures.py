@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full experiment index (DESIGN.md) and writes a consolidated
+report to stdout and ``paper_figures_report.txt``.  Three fidelity
+levels:
+
+  python examples/paper_figures.py            # quick  (~5 min)
+  python examples/paper_figures.py --medium   # medium (~30 min)
+  python examples/paper_figures.py --full     # near-paper scale (hours)
+
+EXPERIMENTS.md records a medium-fidelity run next to the paper values.
+"""
+
+import sys
+import time
+
+from repro.analysis.overheads import OVERHEAD_CATEGORIES
+from repro.analysis.report import format_table
+from repro.experiments import (
+    ExperimentSettings,
+    SUITE_FULL,
+    char_false_positives,
+    char_llc_evictions,
+    fig03_overheads,
+    fig09_throughput,
+    fig10_latency,
+    fig11_tail_latency,
+    fig12a_network_latency,
+    fig12b_locality,
+    fig13_scale_n10,
+    fig14_mix2,
+    fig15_mix4,
+    sec06_hardware_cost,
+    table04_bloom_fp,
+)
+
+QUICK = ExperimentSettings(scale=0.03, duration_ns=250_000.0,
+                           suite=("TPC-C", "TATP", "Smallbank", "HT-wA",
+                                  "BTree-wB"), llc_sets=1024)
+MEDIUM = ExperimentSettings(scale=0.1, duration_ns=800_000.0,
+                            suite=SUITE_FULL, llc_sets=2048)
+FULL = ExperimentSettings(scale=1.0, duration_ns=3_000_000.0,
+                          suite=SUITE_FULL, llc_sets=4096)
+#: Sweep experiments (Figs. 12-15) multiply runs by their parameter
+#: grids; the report trims their suite/duration so the whole report
+#: stays ~an hour at --medium.
+SWEEP_SUITE = ("TPC-C", "TATP", "HT-wA", "BTree-wB", "Map-wB")
+
+REPORT_PATH = "paper_figures_report.txt"
+_sections = []
+
+
+def section(title: str, text: str) -> None:
+    block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}"
+    print(block, flush=True)
+    _sections.append(block)
+    # Stream incrementally: a long run that dies keeps its sections.
+    with open(REPORT_PATH, "w") as handle:
+        handle.write("\n".join(_sections))
+
+
+def main() -> None:
+    if "--full" in sys.argv:
+        settings = FULL
+    elif "--medium" in sys.argv:
+        settings = MEDIUM
+    else:
+        settings = QUICK
+    sweep_settings = settings.with_(
+        suite=SWEEP_SUITE if settings is not QUICK else settings.suite,
+        duration_ns=min(settings.duration_ns, 400_000.0))
+    mix_settings = settings.with_(
+        scale=min(settings.scale, 0.05),
+        duration_ns=min(settings.duration_ns, 300_000.0))
+    started = time.time()
+
+    rows = fig03_overheads(settings)
+    section("Fig. 3 — SW-Impl overhead breakdown (paper: 59/65/71 %)",
+            format_table(
+                ["workload", *OVERHEAD_CATEGORIES, "other", "overhead",
+                 "paper"],
+                [[r["workload"]]
+                 + [f"{r[c] * 100:.1f}" for c in OVERHEAD_CATEGORIES]
+                 + [f"{r['other'] * 100:.1f}",
+                    f"{r['overhead_fraction'] * 100:.1f}%",
+                    f"{r['paper_overhead_fraction'] * 100:.0f}%"]
+                 for r in rows]))
+
+    rows = fig09_throughput(settings)
+    section("Fig. 9 — throughput normalized to Baseline "
+            "(paper avg: HADES 2.7x, HADES-H 2.3x)",
+            format_table(["workload", "baseline", "hades-h", "hades"],
+                         [[r["workload"], r["baseline"], r["hades-h"],
+                           r["hades"]] for r in rows]))
+
+    rows = fig10_latency(settings)
+    section("Fig. 10 — mean latency normalized to Baseline "
+            "(paper avg: -54 % / -60 %)",
+            format_table(["workload", "protocol", "normalized", "exec%",
+                          "valid%", "commit%"],
+                         [[r["workload"], r["protocol"], r["normalized"],
+                           f"{r['execution_share'] * 100:.0f}",
+                           f"{r['validation_share'] * 100:.0f}",
+                           f"{r['commit_share'] * 100:.0f}"] for r in rows]))
+
+    rows = fig11_tail_latency(settings)
+    section("Fig. 11 — 95th-percentile latency normalized to Baseline",
+            format_table(["workload", "protocol", "p95 normalized"],
+                         [[r["workload"], r["protocol"], r["p95_normalized"]]
+                          for r in rows]))
+
+    rows = fig12a_network_latency(sweep_settings)
+    section("Fig. 12a — sensitivity to network RT (normalized to 2us "
+            "Baseline)",
+            format_table(["rt_us", "baseline", "hades-h", "hades"],
+                         [[r["rt_us"], r["baseline"], r["hades-h"],
+                           r["hades"]] for r in rows]))
+
+    rows = fig12b_locality(sweep_settings)
+    section("Fig. 12b — sensitivity to local-request fraction "
+            "(normalized to 20%-local Baseline)",
+            format_table(["local%", "baseline", "hades-h", "hades"],
+                         [[int(r["local_fraction"] * 100), r["baseline"],
+                           r["hades-h"], r["hades"]] for r in rows]))
+
+    rows = fig13_scale_n10(sweep_settings)
+    section("Fig. 13 — N=10 x C=5 (paper: speed-ups similar to Fig. 9)",
+            format_table(["workload", "baseline", "hades-h", "hades"],
+                         [[r["workload"], r["baseline"], r["hades-h"],
+                           r["hades"]] for r in rows]))
+
+    rows = fig14_mix2(mix_settings)
+    section("Fig. 14 — 2-workload mixes, N=5 x C=10",
+            format_table(["mix", "baseline", "hades-h", "hades"],
+                         [[r["mix"], r["baseline"], r["hades-h"], r["hades"]]
+                          for r in rows]))
+
+    rows = fig15_mix4(mix_settings)
+    section("Fig. 15 — Table V mixes, 200 cores (paper avg: 2.9x / 2.1x)",
+            format_table(["mix", "baseline", "hades-h", "hades"],
+                         [[r["mix"], r["baseline"], r["hades-h"], r["hades"]]
+                          for r in rows]))
+
+    rows = table04_bloom_fp()
+    section("Table IV — BF false-positive rate (%)",
+            format_table(["design", "lines", "analytic%", "empirical%",
+                          "paper%"],
+                         [[r["design"], r["lines"], r["analytic"] * 100,
+                           r["empirical"] * 100, (r["paper"] or 0) * 100]
+                          for r in rows]))
+
+    rows = sec06_hardware_cost()
+    section("Section VI — per-node storage",
+            format_table(["cluster", "core KB", "tag bits", "NIC KB",
+                          "paper core/NIC"],
+                         [[r["cluster"], r["core_bf_kb"], r["wrtx_id_bits"],
+                           r["nic_total_kb"],
+                           f"{r['paper_core_kb']}/{r['paper_nic_kb']}"]
+                          for r in rows]))
+
+    evictions = char_llc_evictions(settings)
+    fps = char_false_positives(settings)
+    section("Section VIII-C — characterization",
+            format_table(["metric", "value", "paper"],
+                         [["LLC-eviction squash fraction",
+                           f"{evictions['eviction_squash_fraction'] * 100:.2f}%",
+                           "0.1% avg"],
+                          *[[f"{r['protocol']} BF false-positive fraction",
+                             f"{r['fp_fraction'] * 100:.4f}%",
+                             f"{r['paper'] * 100:.2f}%"] for r in fps]]))
+
+    elapsed = time.time() - started
+    footer = f"\nGenerated in {elapsed / 60:.1f} minutes."
+    print(footer)
+    _sections.append(footer)
+    with open(REPORT_PATH, "w") as handle:
+        handle.write("\n".join(_sections))
+    print(f"Report written to {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: run distributed transactions under all three protocols.
+
+Builds the paper's default cluster (5 nodes x 5 cores, 2 µs RDMA
+round trips), allocates a few records, and runs the same little
+transaction mix under Baseline (FaRM-style software OCC), HADES-H, and
+HADES — printing what each committed and how long it took in simulated
+time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import PROTOCOLS, read, write
+from repro.sim import Engine
+
+
+def first_value(values):
+    """A record read returns {line address: value}; take the first line."""
+    return values[min(values)]
+
+
+def run_protocol(name: str) -> None:
+    engine = Engine()
+    config = ClusterConfig()  # Table III defaults: N=5, C=5, m=2
+    cluster = Cluster(engine, config, llc_sets=1024)
+    protocol = PROTOCOLS[name](cluster)
+
+    # Three records with different home nodes: some local to the client
+    # on node 0, some remote.
+    for record_id, home in ((1, 0), (2, 3), (3, 4)):
+        cluster.allocate_record(record_id, data_bytes=128, home=home)
+
+    outcomes = []
+
+    def client():
+        # 1. A static transaction: a list of requests.
+        ctx = yield from protocol.execute(node_id=0, slot=0, requests=[
+            write(1, value="alpha"),
+            write(2, value="beta"),
+            read(3),
+        ])
+        outcomes.append(("static", ctx.latency_ns, ctx.read_results))
+
+        # 2. An interactive transaction: the write depends on the read.
+        def body():
+            values = yield read(2)
+            yield write(3, value=f"saw-{first_value(values)}")
+
+        ctx = yield from protocol.execute(node_id=0, slot=0, requests=body)
+        outcomes.append(("interactive", ctx.latency_ns, None))
+
+        # 3. Verify the final state transactionally.
+        ctx = yield from protocol.execute(node_id=0, slot=1,
+                                          requests=[read(1), read(2), read(3)])
+        outcomes.append(("verify", ctx.latency_ns,
+                         [first_value(v) for v in ctx.read_results]))
+
+    engine.process(client())
+    engine.run()
+
+    print(f"\n--- {name} ---")
+    for label, latency, results in outcomes:
+        line = f"  {label:12s} committed in {latency / 1000:6.2f} us"
+        if results is not None:
+            line += f"   read: {results}"
+        print(line)
+    committed = protocol.metrics.meter.committed
+    print(f"  {committed} transactions committed, "
+          f"{protocol.metrics.meter.aborted} squashed+retried")
+
+
+def main() -> None:
+    print("HADES quickstart — same transactions, three protocols")
+    for name in ("baseline", "hades-h", "hades"):
+        run_protocol(name)
+    print("\nExpected: all protocols read back ['alpha', 'beta', "
+          "'saw-beta']; HADES commits fastest (no software bookkeeping, "
+          "one Intend-to-commit round trip).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Analysis helpers: overhead breakdowns, Bloom-filter analytics, reports."""
+
+from repro.analysis.bloom_analysis import (
+    empirical_false_positive_rate,
+    table_iv_rows,
+)
+from repro.analysis.overheads import OVERHEAD_CATEGORIES, overhead_breakdown
+from repro.analysis.report import format_table
+
+__all__ = [
+    "OVERHEAD_CATEGORIES",
+    "empirical_false_positive_rate",
+    "format_table",
+    "overhead_breakdown",
+    "table_iv_rows",
+]

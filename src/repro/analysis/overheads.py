@@ -1,0 +1,59 @@
+"""Fig. 3 analysis: the Baseline's software-overhead breakdown.
+
+The protocols attribute CPU time to the Table I categories while they
+run; this module turns a finished run's metrics into the Fig. 3 rows:
+each category's share, the combined overhead share (the paper reports
+59 % / 65 % / 71 % for 100%WR / 50-50 / 100%RD), and bar heights
+normalized to a reference workload (Fig. 3 normalizes to 100%WR).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.stats import RunMetrics
+
+#: Fig. 3 legend order (Table I rows top to bottom, then Other Time).
+OVERHEAD_CATEGORIES = (
+    "manage_sets",
+    "update_version",
+    "read_atomicity",
+    "rd_before_wr",
+    "conflict_detection",
+)
+
+
+def overhead_breakdown(metrics: RunMetrics) -> Dict[str, float]:
+    """Per-category share of attributed time; includes ``other`` and the
+    combined ``overhead_fraction``."""
+    totals = metrics.overheads.as_dict()
+    attributed = sum(totals.values())
+    if attributed <= 0:
+        raise ValueError("run attributed no time; did any transaction commit?")
+    shares = {category: totals.get(category, 0.0) / attributed
+              for category in OVERHEAD_CATEGORIES}
+    shares["other"] = totals.get("other", 0.0) / attributed
+    shares["overhead_fraction"] = sum(
+        shares[category] for category in OVERHEAD_CATEGORIES)
+    return shares
+
+
+def normalized_bar(metrics: RunMetrics,
+                   reference: Optional[RunMetrics] = None) -> Dict[str, float]:
+    """Fig. 3 bar: per-category time per transaction, normalized so the
+    reference workload's total equals 1.0."""
+    if metrics.overheads.transactions == 0:
+        raise ValueError("no committed transactions")
+    per_txn = metrics.overheads.mean_per_transaction()
+    reference_metrics = reference if reference is not None else metrics
+    if reference_metrics.overheads.transactions == 0:
+        raise ValueError("reference run committed no transactions")
+    reference_total = sum(
+        reference_metrics.overheads.mean_per_transaction().values())
+    if reference_total <= 0:
+        raise ValueError("reference run attributed no time")
+    bar = {category: per_txn.get(category, 0.0) / reference_total
+           for category in OVERHEAD_CATEGORIES}
+    bar["other"] = per_txn.get("other", 0.0) / reference_total
+    bar["total"] = sum(bar.values())
+    return bar

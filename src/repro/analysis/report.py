@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """A simple aligned ASCII table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[str(header) for header in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width "
+                             f"{len(headers)}: {row!r}")
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(line[column]) for line in cells)
+              for column in range(len(headers))]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells[1:]:
+        out.append("  ".join(value.ljust(width)
+                             for value, width in zip(line, widths)))
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01:
+            return f"{value:.5f}"
+        if abs(value) < 10:
+            return f"{value:.2f}"
+        return f"{value:,.0f}"
+    return str(value)
+
+
+def format_bars(rows: Dict[str, float], width: int = 40,
+                title: str = "") -> str:
+    """Render a labeled horizontal bar chart (figure-style output).
+
+    ``rows`` maps label -> value; bars scale so the maximum fills
+    ``width`` characters.
+    """
+    if not rows:
+        raise ValueError("nothing to plot")
+    if width < 4:
+        raise ValueError(f"width too small: {width}")
+    peak = max(rows.values())
+    if peak <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_width = max(len(label) for label in rows)
+    out = [title] if title else []
+    for label, value in rows.items():
+        bar = "#" * max(0, round(width * value / peak))
+        out.append(f"{label.ljust(label_width)}  {bar} {value:.2f}")
+    return "\n".join(out)
+
+
+def format_speedup_rows(results_by_workload: Dict[str, Dict[str, float]],
+                        title: str) -> str:
+    """Render normalized-throughput rows (Fig. 9-style)."""
+    headers = ["workload", "baseline", "hades-h", "hades"]
+    rows: List[List] = []
+    for workload, speedups in results_by_workload.items():
+        rows.append([workload,
+                     speedups.get("baseline", 1.0),
+                     speedups.get("hades-h", float("nan")),
+                     speedups.get("hades", float("nan"))])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands:
+
+* ``run`` — one (protocol, workload) experiment; prints throughput,
+  latency, abort rate, and the top counters.
+* ``compare`` — one workload under all three protocols; prints the
+  normalized Fig. 9-style row.
+* ``figures`` — regenerate a figure/table by name (fig03, fig09, ...,
+  table04, sec06) at a chosen fidelity.
+* ``cost`` — the Section VI hardware storage calculator for arbitrary
+  (C, m, D).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.config import CLUSTER_SHAPES, make_cluster_config
+from repro.core import PROTOCOLS
+from repro.hardware.cost import compute_cost
+from repro.runner import run_experiment
+from repro.workloads import make_workload
+
+FIGURES = ("fig03", "fig09", "fig10", "fig11", "fig12a", "fig12b",
+           "fig13", "fig14", "fig15", "table04", "sec06", "char_llc",
+           "char_fp")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HADES (ISCA 2024) reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                       default="hades")
+    run_p.add_argument("--workload", default="HT-wA",
+                       help="figure label, e.g. TPC-C, TATP, HT-wA, Map-wB")
+    run_p.add_argument("--scale", type=float, default=0.1,
+                       help="population scale factor (1.0 = paper-ish)")
+    run_p.add_argument("--duration-us", type=float, default=500.0)
+    run_p.add_argument("--shape", choices=sorted(CLUSTER_SHAPES),
+                       default="default")
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument("--locality", type=float, default=None)
+
+    cmp_p = sub.add_parser("compare", help="all protocols on one workload")
+    cmp_p.add_argument("--workload", default="HT-wA")
+    cmp_p.add_argument("--scale", type=float, default=0.1)
+    cmp_p.add_argument("--duration-us", type=float, default=500.0)
+    cmp_p.add_argument("--shape", choices=sorted(CLUSTER_SHAPES),
+                       default="default")
+    cmp_p.add_argument("--seed", type=int, default=42)
+
+    fig_p = sub.add_parser("figures", help="regenerate a paper figure")
+    fig_p.add_argument("name", choices=FIGURES)
+    fig_p.add_argument("--fidelity", choices=("quick", "medium"),
+                       default="quick")
+
+    cost_p = sub.add_parser("cost", help="Section VI storage calculator")
+    cost_p.add_argument("--cores", type=int, default=5)
+    cost_p.add_argument("--multiplexing", type=int, default=2)
+    cost_p.add_argument("--remote-nodes", type=float, default=4.0)
+    return parser
+
+
+def cmd_run(args) -> int:
+    from repro.hardware.energy import energy_report, reset_energy_counters
+
+    config = make_cluster_config(args.shape)
+    workload = make_workload(args.workload, scale=args.scale,
+                             locality=args.locality)
+    reset_energy_counters()
+    result = run_experiment(args.protocol, workload, config=config,
+                            duration_ns=args.duration_us * 1000.0,
+                            seed=args.seed, llc_sets=2048)
+    energy = energy_report(config, args.duration_us * 1000.0,
+                           result.metrics.meter.committed)
+    summary = result.metrics.summary()
+    print(format_table(["metric", "value"], [
+        ["protocol", args.protocol],
+        ["workload", result.workload],
+        ["cluster", f"{config.nodes} nodes x {config.cores_per_node} cores"],
+        ["throughput (txn/s)", summary.get("throughput_tps", 0.0)],
+        ["mean latency (us)", summary["mean_latency_ns"] / 1000.0],
+        ["p95 latency (us)", summary["p95_latency_ns"] / 1000.0],
+        ["committed", int(summary["committed"])],
+        ["abort rate", summary["abort_rate"]],
+        ["BF energy / txn (nJ)", energy.nj_per_transaction],
+    ]))
+    top = sorted(result.metrics.counters.as_dict().items(),
+                 key=lambda item: -item[1])[:8]
+    if top:
+        print()
+        print(format_table(["counter", "count"], [list(item) for item in top],
+                           title="top counters"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = make_cluster_config(args.shape)
+    rows = []
+    base = None
+    for protocol in ("baseline", "hades-h", "hades"):
+        workload = make_workload(args.workload, scale=args.scale)
+        result = run_experiment(protocol, workload, config=config,
+                                duration_ns=args.duration_us * 1000.0,
+                                seed=args.seed, llc_sets=2048)
+        if protocol == "baseline":
+            base = result.throughput
+        rows.append([protocol, result.throughput, result.throughput / base,
+                     result.metrics.meter.abort_rate()])
+    print(format_table(["protocol", "txn/s", "normalized", "abort rate"],
+                       rows, title=f"{args.workload} (paper avg: HADES 2.7x, "
+                                   "HADES-H 2.3x)"))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro import experiments as exp
+    settings = exp.QUICK if args.fidelity == "quick" else exp.QUICK.with_(
+        scale=0.1, duration_ns=800_000.0, suite=exp.SUITE_FULL)
+    dispatch = {
+        "fig03": lambda: exp.fig03_overheads(settings),
+        "fig09": lambda: exp.fig09_throughput(settings),
+        "fig10": lambda: exp.fig10_latency(settings),
+        "fig11": lambda: exp.fig11_tail_latency(settings),
+        "fig12a": lambda: exp.fig12a_network_latency(settings),
+        "fig12b": lambda: exp.fig12b_locality(settings),
+        "fig13": lambda: exp.fig13_scale_n10(settings),
+        "fig14": lambda: exp.fig14_mix2(settings),
+        "fig15": lambda: exp.fig15_mix4(settings),
+        "table04": lambda: exp.table04_bloom_fp(),
+        "sec06": exp.sec06_hardware_cost,
+        "char_llc": lambda: [exp.char_llc_evictions(settings)],
+        "char_fp": lambda: exp.char_false_positives(settings),
+    }
+    rows = dispatch[args.name]()
+    if not rows:
+        print("no rows")
+        return 1
+    headers = list(rows[0].keys())
+    print(format_table(headers,
+                       [[row.get(h, "") for h in headers] for row in rows],
+                       title=args.name))
+    return 0
+
+
+def cmd_cost(args) -> int:
+    report = compute_cost(args.cores, args.multiplexing, args.remote_nodes)
+    print(format_table(["structure", "value"], [
+        ["core BF pairs", report.core_bf_pairs],
+        ["core BF storage (KB)", report.core_bf_kb],
+        ["WrTX_ID bits / LLC line", report.wrtx_id_bits_per_llc_line],
+        ["NIC BF pairs", report.nic_bf_pairs],
+        ["NIC total (KB)", report.nic_total_kb],
+    ], title=f"HADES per-node storage (C={args.cores}, "
+             f"m={args.multiplexing}, D={args.remote_nodes})"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "compare": cmd_compare,
+                "figures": cmd_figures, "cost": cmd_cost}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

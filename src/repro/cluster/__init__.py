@@ -1,0 +1,35 @@
+"""Cluster model: addresses, records, per-node memory, nodes.
+
+Records are statically distributed across nodes in a uniform manner
+(Section VII, "Modeling Approach"); each record has a *home node* and is
+addressed through a global address that encodes the home node.
+"""
+
+from repro.cluster.address import (
+    LINE_BYTES,
+    line_of,
+    lines_covering,
+    make_address,
+    node_of_address,
+    node_of_line,
+    offset_of,
+)
+from repro.cluster.cluster import Cluster
+from repro.cluster.memory import NodeMemory
+from repro.cluster.node import Node
+from repro.cluster.record import RecordDescriptor, RecordMetadata
+
+__all__ = [
+    "Cluster",
+    "LINE_BYTES",
+    "Node",
+    "NodeMemory",
+    "RecordDescriptor",
+    "RecordMetadata",
+    "line_of",
+    "lines_covering",
+    "make_address",
+    "node_of_address",
+    "node_of_line",
+    "offset_of",
+]

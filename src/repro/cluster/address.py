@@ -1,0 +1,77 @@
+"""Global addressing.
+
+A global byte address encodes its home node in the high bits:
+``address = node_id << NODE_SHIFT | offset``.  Cache-line addresses are
+byte addresses divided by the 64 B line size; because the node bits sit
+far above any realistic offset, a line address still identifies its home
+node (``node_of_line``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Cache-line size in bytes (Table III).
+LINE_BYTES = 64
+
+#: Bits reserved for the per-node offset (1 TiB of addressable space per
+#: node — comfortably above the 64 GB of Table III).
+NODE_SHIFT = 40
+_OFFSET_MASK = (1 << NODE_SHIFT) - 1
+
+
+def make_address(node_id: int, offset: int) -> int:
+    """Global byte address of ``offset`` within ``node_id``'s memory."""
+    if node_id < 0:
+        raise ValueError(f"negative node id: {node_id}")
+    if not 0 <= offset <= _OFFSET_MASK:
+        raise ValueError(f"offset out of range: {offset:#x}")
+    return (node_id << NODE_SHIFT) | offset
+
+
+def node_of_address(address: int) -> int:
+    """Home node of a global byte address."""
+    return address >> NODE_SHIFT
+
+
+def offset_of(address: int) -> int:
+    """Offset of a global byte address within its home node."""
+    return address & _OFFSET_MASK
+
+
+def line_of(address: int) -> int:
+    """Cache-line address containing byte ``address``."""
+    return address // LINE_BYTES
+
+
+def node_of_line(line: int) -> int:
+    """Home node of a cache-line address."""
+    return (line * LINE_BYTES) >> NODE_SHIFT
+
+
+def lines_covering(address: int, size: int) -> List[int]:
+    """All cache-line addresses touched by ``size`` bytes at ``address``."""
+    if size <= 0:
+        raise ValueError(f"size must be positive: {size}")
+    first = line_of(address)
+    last = line_of(address + size - 1)
+    return list(range(first, last + 1))
+
+
+def partially_covered_lines(address: int, size: int) -> List[int]:
+    """Lines only *partially* covered by a write of ``size`` bytes.
+
+    HADES only fetches (and BF-registers) these edge lines on a remote
+    write; fully-overwritten interior lines are neither fetched nor
+    inserted into the RemoteWriteBF (Table II, Remote Write).
+    """
+    lines = lines_covering(address, size)
+    partial = []
+    first, last = lines[0], lines[-1]
+    if address % LINE_BYTES != 0:
+        partial.append(first)
+    end = address + size
+    if end % LINE_BYTES != 0 and (last not in partial or first != last):
+        if last not in partial:
+            partial.append(last)
+    return partial

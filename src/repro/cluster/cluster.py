@@ -1,0 +1,71 @@
+"""Cluster assembly: nodes + fabric + record placement.
+
+Records are placed uniformly across nodes (Section VII: "Records are
+statically distributed across all the nodes in a uniform manner"); the
+placement hash is deterministic so every protocol sees the same layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import ClusterConfig
+from repro.cluster.node import Node
+from repro.cluster.record import RecordDescriptor
+from repro.hardware.crc import splitmix64
+from repro.net.fabric import Fabric
+from repro.sim.engine import Engine
+
+
+class Cluster:
+    """The modeled machine: N nodes connected by the RDMA fabric."""
+
+    def __init__(self, engine: Engine, config: ClusterConfig,
+                 llc_sets: Optional[int] = None):
+        self.engine = engine
+        self.config = config
+        self.nodes: List[Node] = [
+            Node(node_id, config, llc_sets=llc_sets, engine=engine)
+            for node_id in range(config.nodes)
+        ]
+        self.fabric = Fabric(engine, config.network)
+        self._records: Dict[int, RecordDescriptor] = {}
+        self._next_txid = 0
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def next_txid(self) -> int:
+        """Cluster-unique transaction id."""
+        self._next_txid += 1
+        return self._next_txid
+
+    # -- record placement ----------------------------------------------
+
+    def home_of(self, record_id: int) -> int:
+        """Deterministic uniform home node for a record id."""
+        return splitmix64(record_id) % self.config.nodes
+
+    def allocate_record(self, record_id: int, data_bytes: int,
+                        home: Optional[int] = None) -> RecordDescriptor:
+        """Place a record on its home node (hash placement by default)."""
+        if record_id in self._records:
+            raise ValueError(f"record {record_id} already allocated")
+        node_id = self.home_of(record_id) if home is None else home
+        descriptor = self.nodes[node_id].memory.allocate_record(
+            record_id, data_bytes)
+        self._records[record_id] = descriptor
+        return descriptor
+
+    def record(self, record_id: int) -> RecordDescriptor:
+        descriptor = self._records.get(record_id)
+        if descriptor is None:
+            raise KeyError(f"record {record_id} was never allocated")
+        return descriptor
+
+    def has_record(self, record_id: int) -> bool:
+        return record_id in self._records
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)

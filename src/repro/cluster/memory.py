@@ -1,0 +1,106 @@
+"""Per-node memory: line-granular values plus record allocation.
+
+The value store is line-granular because HADES operates on cache lines;
+the Baseline reads/writes whole records, which simply touch all of a
+record's lines.  A bump allocator hands out record addresses aligned to
+cache lines (matching the paper's record layout, where version metadata
+and data start line-aligned).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.cluster.address import LINE_BYTES, make_address
+from repro.cluster.record import RecordDescriptor, RecordMetadata
+
+
+class NodeMemory:
+    """One node's memory: line values, record metadata, allocator."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._lines: Dict[int, object] = {}
+        self._metadata: Dict[int, RecordMetadata] = {}
+        self._next_offset = LINE_BYTES  # keep address 0 unused
+        self.reads = 0
+        self.writes = 0
+
+    # -- line-granular values ------------------------------------------
+
+    def read_line(self, line: int) -> object:
+        self.reads += 1
+        return self._lines.get(line)
+
+    def write_line(self, line: int, value: object) -> None:
+        self.writes += 1
+        self._lines[line] = value
+
+    def read_lines(self, lines: Iterable[int]) -> Dict[int, object]:
+        return {line: self.read_line(line) for line in lines}
+
+    def write_lines(self, values: Dict[int, object]) -> None:
+        for line, value in values.items():
+            self.write_line(line, value)
+
+    # -- record allocation ----------------------------------------------
+
+    def allocate_record(self, record_id: int, data_bytes: int,
+                        with_metadata: bool = True) -> RecordDescriptor:
+        """Allocate a line-aligned record in this node's memory.
+
+        ``with_metadata`` attaches the Fig. 1 augmented-record metadata
+        (needed by Baseline and HADES-H local operations; pure HADES has
+        no versions but keeping the metadata allocated is harmless and
+        lets one run compare protocols on identical data).
+        """
+        address = make_address(self.node_id, self._next_offset)
+        descriptor = RecordDescriptor(record_id, address, data_bytes)
+        aligned = (data_bytes + LINE_BYTES - 1) // LINE_BYTES * LINE_BYTES
+        self._next_offset += aligned
+        if with_metadata:
+            self._metadata[address] = RecordMetadata(descriptor.line_count)
+        return descriptor
+
+    def metadata(self, record_address: int) -> RecordMetadata:
+        meta = self._metadata.get(record_address)
+        if meta is None:
+            raise KeyError(
+                f"no record metadata at {record_address:#x} on node {self.node_id}")
+        return meta
+
+    def has_record(self, record_address: int) -> bool:
+        return record_address in self._metadata
+
+    def record_address_of_line(self, line: int) -> int:
+        """Base address of the record containing cache line ``line``.
+
+        Records are line-aligned and allocated contiguously, so walking
+        back to the nearest address with metadata finds the owner.
+        """
+        address = line * LINE_BYTES
+        floor = make_address(self.node_id, 0)
+        while address >= floor:
+            if address in self._metadata:
+                return address
+            address -= LINE_BYTES
+        raise KeyError(f"line {line} is not inside any record on node "
+                       f"{self.node_id}")
+
+    def bump_versions_for_lines(self, lines: Iterable[int]) -> int:
+        """Complete a write over ``lines``: bump each covered record's
+        version (and per-line versions).  Returns records touched."""
+        seen = set()
+        for line in lines:
+            seen.add(self.record_address_of_line(line))
+        for address in seen:
+            self._metadata[address].complete_write()
+        return len(seen)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._next_offset - LINE_BYTES
+
+    @property
+    def line_count(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,217 @@
+"""A cluster node: cores, cache hierarchy, directory, NIC, memory.
+
+Besides the hardware modules of Fig. 5, the node hosts the **Module 3
+table**: the (Local read BF, Local write BF) pairs of all transactions
+currently executing on this node.  Executing transactions dynamically
+pick their BFs from this finite pool (Section IV-C); when the pool is
+exhausted no new transaction can start (Section VI, "Supporting Context
+Switches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import ClusterConfig
+from repro.hardware.bloom import (
+    BloomFilter,
+    SplitWriteBloomFilter,
+    make_core_read_filter,
+    make_core_write_filter,
+)
+from repro.hardware.cache import LlcModel, PrivateCacheFilter
+from repro.hardware.directory import Directory
+from repro.hardware.dram import DramModel
+from repro.hardware.nic import Nic
+from repro.cluster.memory import NodeMemory
+
+Owner = Tuple[int, int]
+
+
+class CoreClock:
+    """CPU-occupancy bookkeeping for one physical core.
+
+    Each core multiplexes ``m`` transactions (Section VII).  CPU work
+    from the slots sharing a core serializes through this clock, while
+    network waits overlap — the mechanism by which multiplexing hides
+    remote latency but cannot hide software bookkeeping cycles.
+
+    :meth:`reserve` books ``ns`` of CPU time and returns how long the
+    caller must wait (queueing + the work itself); the caller yields
+    that delay to the engine.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.free_at = 0.0
+        self.busy_ns = 0.0
+
+    def reserve(self, ns: float) -> float:
+        if ns < 0:
+            raise ValueError(f"negative cpu time: {ns}")
+        start = max(self.engine.now, self.free_at)
+        self.free_at = start + ns
+        self.busy_ns += ns
+        return self.free_at - self.engine.now
+
+    def utilization(self, elapsed_ns: float) -> float:
+        if elapsed_ns <= 0:
+            raise ValueError("elapsed time must be positive")
+        return min(1.0, self.busy_ns / elapsed_ns)
+
+
+@dataclass
+class LocalTxState:
+    """Module 3 entry: one local transaction's BF pair (+ shadow sets)."""
+
+    txid: int
+    read_bf: BloomFilter
+    write_bf: SplitWriteBloomFilter
+    shadow_reads: Set[int] = field(default_factory=set)
+    shadow_writes: Set[int] = field(default_factory=set)
+
+    def record_read(self, line: int) -> None:
+        self.read_bf.insert(line)
+        self.shadow_reads.add(line)
+
+    def record_write(self, line: int) -> None:
+        self.write_bf.insert(line)
+        self.shadow_writes.add(line)
+
+
+class LocalConflictResult:
+    """Outcome of probing the Module 3 BFs of local transactions."""
+
+    def __init__(self) -> None:
+        self.conflicting_txids: Set[int] = set()
+        self.checks = 0
+        self.hits = 0
+        self.false_positive_hits = 0
+
+
+class Node:
+    """One node of the modeled cluster."""
+
+    def __init__(self, node_id: int, config: ClusterConfig,
+                 llc_sets: Optional[int] = None, engine=None):
+        self.node_id = node_id
+        self.config = config
+        #: One CPU-occupancy clock per physical core (None without an engine,
+        #: e.g. in structural unit tests).
+        self.cores: List[CoreClock] = (
+            [CoreClock(engine) for _ in range(config.cores_per_node)]
+            if engine is not None else []
+        )
+        self.memory = NodeMemory(node_id)
+        self.directory = Directory(
+            locking_buffers=config.hw.locking_buffers_per_node,
+            partial=config.partial_locking,
+        )
+        sets = llc_sets if llc_sets is not None else config.cache.llc_sets(
+            config.cores_per_node)
+        self.llc = LlcModel(sets=sets, ways=config.cache.llc_ways,
+                            line_bytes=config.cache.line_bytes)
+        self.dram = DramModel(config.dram, line_bytes=config.cache.line_bytes)
+        nic_pairs = int(config.transactions_per_node
+                        * max(1.0, config.remote_nodes_per_txn))
+        self.nic = Nic(node_id, config.bloom,
+                       bf_pair_capacity=nic_pairs,
+                       module4b_capacity=config.transactions_per_node)
+        #: One Module 1 filter per multiplexed transaction slot.
+        self.private_filters: Dict[int, PrivateCacheFilter] = {
+            slot: PrivateCacheFilter()
+            for slot in range(config.transactions_per_node)
+        }
+        self._local_tx_table: Dict[int, LocalTxState] = {}
+
+    def core_for_slot(self, slot: int) -> CoreClock:
+        """The physical core that runs transaction slot ``slot``.
+
+        Slots ``[k*m, (k+1)*m)`` are the ``m`` multiplexed transactions
+        of core ``k``.
+        """
+        if not self.cores:
+            raise RuntimeError("node was built without an engine; no cores")
+        core_index = slot // self.config.multiplexing
+        if not 0 <= core_index < len(self.cores):
+            raise ValueError(f"slot {slot} out of range for "
+                             f"{len(self.cores)} cores x m={self.config.multiplexing}")
+        return self.cores[core_index]
+
+    # -- Module 3: local transaction BF pool ---------------------------
+
+    @property
+    def bf_pool_size(self) -> int:
+        return self.config.transactions_per_node
+
+    @property
+    def active_local_transactions(self) -> int:
+        return len(self._local_tx_table)
+
+    def register_local_tx(self, txid: int) -> LocalTxState:
+        """Hand a fresh BF pair to a starting transaction."""
+        if txid in self._local_tx_table:
+            raise RuntimeError(f"tx {txid} already registered on node {self.node_id}")
+        if len(self._local_tx_table) >= self.bf_pool_size:
+            raise RuntimeError(
+                f"node {self.node_id}: out of local BF pairs "
+                f"({self.bf_pool_size}); no new transaction can start")
+        state = LocalTxState(
+            txid=txid,
+            read_bf=make_core_read_filter(self.config.bloom),
+            write_bf=make_core_write_filter(self.config.bloom,
+                                            llc_sets=self.llc.sets),
+        )
+        self._local_tx_table[txid] = state
+        return state
+
+    def local_tx_state(self, txid: int) -> Optional[LocalTxState]:
+        return self._local_tx_table.get(txid)
+
+    def release_local_tx(self, txid: int) -> None:
+        """Commit or squash: return the BF pair to the pool."""
+        self._local_tx_table.pop(txid, None)
+
+    def local_tx_ids(self) -> List[int]:
+        return list(self._local_tx_table)
+
+    def local_readers_of(self, line: int, exclude: int) -> LocalConflictResult:
+        """Eager L–L write check: which other local transactions read ``line``?"""
+        result = LocalConflictResult()
+        for txid, state in self._local_tx_table.items():
+            if txid == exclude:
+                continue
+            result.checks += 1
+            if state.read_bf.might_contain(line):
+                result.hits += 1
+                if line not in state.shadow_reads:
+                    result.false_positive_hits += 1
+                result.conflicting_txids.add(txid)
+        return result
+
+    def check_local_conflicts(self, lines: List[int],
+                              exclude: Optional[int] = None) -> LocalConflictResult:
+        """Commit-time probe of all Module 3 BFs (Table II, remote Step 2).
+
+        ``lines`` are the committing (remote) transaction's written
+        addresses homed here; any local transaction whose read *or*
+        write BF matches must be squashed.
+        """
+        result = LocalConflictResult()
+        for txid, state in self._local_tx_table.items():
+            if txid == exclude:
+                continue
+            for line in lines:
+                result.checks += 1
+                hit_read = state.read_bf.might_contain(line)
+                hit_write = state.write_bf.might_contain(line)
+                if hit_read or hit_write:
+                    result.hits += 1
+                    truly = (line in state.shadow_reads
+                             or line in state.shadow_writes)
+                    if not truly:
+                        result.false_positive_hits += 1
+                    result.conflicting_txids.add(txid)
+                    break
+        return result

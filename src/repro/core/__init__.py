@@ -1,0 +1,40 @@
+"""The HADES contribution: three distributed transactional protocols.
+
+* :class:`~repro.core.baseline.BaselineProtocol` — *SW-Impl* (Section
+  III): an optimized FaRM-style software OCC protocol with record
+  granularity, augmented records, and batched validation messages.
+* :class:`~repro.core.hades.HadesProtocol` — hardware-only HADES
+  (Section V-A / Table II): Bloom-filter conflict detection, WrTX_ID
+  directory tags, partial directory locking, and the Intend-to-commit /
+  Ack / Validation NIC operations.
+* :class:`~repro.core.hades_hybrid.HadesHybridProtocol` — HADES-H
+  (Section V-D): software local operations + hardware remote operations.
+
+All three run the same workloads through the same
+:class:`~repro.core.api.Request` interface, on the same cluster model,
+so throughput/latency comparisons isolate the protocol difference.
+"""
+
+from repro.core.api import Request, SquashCause, SquashedError, TxStatus, read, write
+from repro.core.baseline import BaselineProtocol
+from repro.core.hades import HadesProtocol
+from repro.core.hades_hybrid import HadesHybridProtocol
+
+__all__ = [
+    "BaselineProtocol",
+    "HadesHybridProtocol",
+    "HadesProtocol",
+    "Request",
+    "SquashCause",
+    "SquashedError",
+    "TxStatus",
+    "read",
+    "write",
+]
+
+#: Registry used by the experiment runner and the CLI examples.
+PROTOCOLS = {
+    "baseline": BaselineProtocol,
+    "hades": HadesProtocol,
+    "hades-h": HadesHybridProtocol,
+}

@@ -1,0 +1,92 @@
+"""Public transaction API shared by all protocols.
+
+A transaction is a list of :class:`Request` objects — the model of the
+paper's evaluation, where "transactions are created using five requests
+at a time from a client" (Section III).  Reads and writes may address a
+byte range within a record: the Baseline always operates on the whole
+record anyway (that is one of its overheads, Table I row 4), while
+HADES touches only the cache lines the range covers.
+
+Example::
+
+    from repro.core import read, write
+
+    spec = [read(account_a), read(account_b),
+            write(account_a, value=new_balance, offset=0, size=8)]
+    committed = yield from protocol.execute(node_id=0, slot=0, requests=spec)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+Owner = Tuple[int, int]
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of one transaction attempt."""
+
+    RUNNING = "running"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+@dataclass(frozen=True)
+class SquashCause:
+    """Why a transaction was squashed (carried by the Interrupt)."""
+
+    victim: Owner
+    reason: str
+
+
+class SquashedError(Exception):
+    """Raised inside a transaction attempt that must abort and retry."""
+
+    def __init__(self, reason: str = "conflict"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request within a transaction."""
+
+    kind: str  # "read" or "write"
+    record_id: int
+    value: object = None
+    #: Byte range within the record; size=None means the whole record.
+    offset: int = 0
+    size: Optional[int] = None
+    #: Application CPU cycles spent producing this request (index
+    #: traversal, predicate evaluation).  None uses the config default.
+    work_cycles: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"unknown request kind: {self.kind!r}")
+        if self.offset < 0:
+            raise ValueError(f"negative offset: {self.offset}")
+        if self.size is not None and self.size <= 0:
+            raise ValueError(f"size must be positive: {self.size}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "write"
+
+
+def read(record_id: int, offset: int = 0, size: Optional[int] = None,
+         work_cycles: Optional[float] = None) -> Request:
+    """Convenience constructor for a read request."""
+    return Request("read", record_id, offset=offset, size=size,
+                   work_cycles=work_cycles)
+
+
+def write(record_id: int, value: object = None, offset: int = 0,
+          size: Optional[int] = None,
+          work_cycles: Optional[float] = None) -> Request:
+    """Convenience constructor for a write request."""
+    return Request("write", record_id, value=value, offset=offset, size=size,
+                   work_cycles=work_cycles)

@@ -1,0 +1,339 @@
+"""Shared protocol machinery: retry loop, squash delivery, messaging.
+
+Every protocol executes transactions through the same driver
+(:meth:`ProtocolBase.execute`): run an attempt; on a squash, clean up
+distributed state, back off, and retry; after
+``config.livelock.squash_threshold`` consecutive squashes fall back to
+the protocol's pessimistic mode (Section VI, "Protocol Deadlock and
+Livelock Issues" — the FaRM strategy of taking all permissions up
+front).
+
+Squash delivery semantics (Section V-A):
+
+* A squash targets one *attempt*, identified by its cluster-unique
+  (node, txid) owner.  Retries get fresh txids, so a late squash for a
+  dead attempt misses the registry and is counted, not delivered.
+* The registry entry is removed at delivery time — each attempt is
+  squashed at most once.
+* Once the last Intend-to-commit Ack arrives (bookkept at the *NIC
+  handler*, i.e. at message-arrival time, not when the coordinator
+  process resumes), the attempt is unsquashable and squash attempts are
+  ignored — Table II: "After this, i cannot be squashed anymore".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.record import RecordDescriptor
+from repro.core.api import Owner, Request, SquashCause, SquashedError, TxStatus
+from repro.core.txn import (
+    ActiveTx,
+    PHASE_EXECUTION,
+    TxContext,
+)
+from repro.net.messages import Message
+from repro.sim.events import AllOf, Event, Interrupt
+from repro.sim.random import DeterministicRandom, exponential_backoff
+from repro.sim.stats import RunMetrics
+from repro.net.fabric import RequestReplyHelper
+
+
+class ProtocolBase:
+    """Common driver for the three protocols."""
+
+    #: Human-readable name, overridden by subclasses.
+    name = "abstract"
+    #: Whether transactions of this protocol can be squashed remotely
+    #: (Baseline aborts are always detected by the coordinator itself).
+    squashable = False
+
+    def __init__(self, cluster: Cluster, metrics: Optional[RunMetrics] = None,
+                 seed: int = 1):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.config = cluster.config
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.rng = DeterministicRandom(seed)
+        self.replies = RequestReplyHelper(self.engine)
+        self._active: Dict[Owner, ActiveTx] = {}
+        self._token_counter = itertools.count(1)
+        for node in cluster.nodes:
+            cluster.fabric.register(node.node_id, self._make_handler(node.node_id))
+
+    # ------------------------------------------------------------------
+    # public driver
+    # ------------------------------------------------------------------
+
+    def execute(self, node_id: int, slot: int, requests):
+        """Run one transaction to commit; generator returning the final ctx.
+
+        ``requests`` is either a list of :class:`Request` objects, or a
+        zero-argument callable returning a *transaction body* generator
+        that yields requests and receives each read's line values — the
+        interactive form used when a write depends on a read::
+
+            def transfer():
+                values = yield read(account)
+                balance = values[first_line]
+                yield write(account, value=balance - amount)
+
+        Retries on squashes; falls back to the protocol's pessimistic
+        mode after the livelock threshold (list specs only — an
+        interactive body's footprint is unknown up front, so it keeps
+        retrying optimistically).  Records metrics (commit, per-attempt
+        aborts, end-to-end latency, committed attempt's phase breakdown
+        and overhead categories).
+        """
+        if not callable(requests):
+            requests = list(requests)
+            footprint = sorted({r.record_id for r in requests})
+        else:
+            # Interactive body: the footprint is learned from failed
+            # attempts, mirroring FaRM's "locks all data that it will
+            # need" fallback for transactions it has seen abort.
+            footprint = []
+        footprint_set = set(footprint)
+        first_started = self.engine.now
+        attempts = 0
+        while True:
+            ctx = TxContext(self, node_id, self.cluster.next_txid(), slot)
+            pessimistic = (attempts >= self.config.livelock.squash_threshold
+                           and bool(footprint))
+            if self.squashable and not pessimistic:
+                self._register(ctx)
+            try:
+                ctx.begin_phase(PHASE_EXECUTION)
+                if pessimistic:
+                    yield from self._pessimistic_attempt(ctx, requests,
+                                                         footprint)
+                else:
+                    yield from self._attempt(ctx, requests)
+            except SquashedError as error:
+                self._unregister(ctx)
+                footprint_set |= ctx.touched_records
+                footprint = sorted(footprint_set)
+                yield from self._drain_pending_interrupt(ctx, interrupted=False)
+                yield from self._abort_attempt(ctx, error.reason, attempts)
+                attempts += 1
+                continue
+            except Interrupt as interrupt:
+                self._unregister(ctx)
+                footprint_set |= ctx.touched_records
+                footprint = sorted(footprint_set)
+                cause = interrupt.cause
+                reason = cause.reason if isinstance(cause, SquashCause) else "interrupt"
+                yield from self._abort_attempt(ctx, reason, attempts)
+                attempts += 1
+                continue
+            self._unregister(ctx)
+            ctx.finish(TxStatus.COMMITTED)
+            self._record_commit(ctx, first_started, attempts, pessimistic)
+            return ctx
+
+    def squash(self, owner: Owner, reason: str) -> bool:
+        """Deliver a squash to ``owner``'s attempt, if still squashable."""
+        active = self._active.get(owner)
+        if active is None:
+            self.metrics.counters.add("squash_stale")
+            return False
+        if active.ctx.unsquashable:
+            self.metrics.counters.add("squash_after_acks_ignored")
+            return False
+        del self._active[owner]
+        active.ctx.note_squash(reason)
+        active.process.interrupt(SquashCause(owner, reason))
+        self.metrics.counters.add("squash_delivered")
+        self.metrics.counters.add(f"squash_reason_{reason}")
+        return True
+
+    @staticmethod
+    def request_stream(spec) -> "RequestStream":
+        """Normalize a list or interactive body into a request stream."""
+        if callable(spec):
+            return _InteractiveStream(spec())
+        return _ListStream(spec)
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+
+    def _attempt(self, ctx: TxContext, requests: List[Request]):
+        """One optimistic attempt; must raise SquashedError on conflict."""
+        raise NotImplementedError
+
+    def _pessimistic_attempt(self, ctx: TxContext, requests,
+                             footprint: List[int]):
+        """Livelock fallback: lock ``footprint`` first, then execute.
+
+        ``footprint`` is the sorted list of record ids to lock up front
+        (exact for list specs, learned from prior attempts for
+        interactive bodies).  A request outside the footprint raises
+        SquashedError("footprint_miss"): the driver widens the footprint
+        and retries.
+        """
+        raise NotImplementedError
+
+    def _cleanup_after_squash(self, ctx: TxContext):
+        """Undo any distributed state left by a half-finished attempt."""
+        raise NotImplementedError
+
+    def _handle_message(self, node_id: int, src: int, message: Message):
+        """Dispatch a delivered message; may return a generator."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # attempt lifecycle internals
+    # ------------------------------------------------------------------
+
+    def _register(self, ctx: TxContext) -> None:
+        process = self.engine.current_process
+        if process is None:
+            raise RuntimeError("transactions must run inside a sim process")
+        self._active[ctx.owner] = ActiveTx(ctx, process)
+
+    def _unregister(self, ctx: TxContext) -> None:
+        self._active.pop(ctx.owner, None)
+
+    def active_tx(self, owner: Owner) -> Optional[ActiveTx]:
+        return self._active.get(owner)
+
+    def _drain_pending_interrupt(self, ctx: TxContext, interrupted: bool):
+        """Absorb an in-flight squash interrupt racing a self-squash.
+
+        If the attempt unwound via :class:`SquashedError` while a remote
+        squash had already been scheduled (``ctx.squashed`` set by
+        :meth:`squash`), the Interrupt is still in the event queue; one
+        zero-delay wait absorbs it before cleanup proceeds.
+        """
+        if interrupted or not ctx.squashed:
+            return
+        try:
+            yield self.engine.timeout(0.0)
+        except Interrupt:
+            pass
+
+    def _abort_attempt(self, ctx: TxContext, reason: str, attempts: int):
+        ctx.finish(TxStatus.SQUASHED)
+        yield from self._cleanup_after_squash(ctx)
+        self.metrics.meter.abort()
+        self.metrics.counters.add("aborts")
+        self.metrics.counters.add(f"abort_reason_{reason}")
+        delay = exponential_backoff(
+            self.rng,
+            attempt=attempts,
+            base_ns=self.config.livelock.backoff_base_ns,
+            cap_ns=self.config.livelock.backoff_cap_ns,
+        )
+        if delay > 0:
+            yield delay
+
+    def _record_commit(self, ctx: TxContext, first_started: float,
+                       attempts: int, pessimistic: bool) -> None:
+        self.metrics.meter.commit()
+        self.metrics.latency.record(self.engine.now - first_started)
+        for phase, duration in ctx.phase_durations.items():
+            self.metrics.phases.add(phase, duration)
+        self.metrics.phases.finish_transaction()
+        for category, duration in ctx.category_durations.items():
+            self.metrics.overheads.add(category, duration)
+        self.metrics.overheads.finish_transaction()
+        if attempts:
+            self.metrics.counters.add("commits_after_retry")
+        if pessimistic:
+            self.metrics.counters.add("pessimistic_commits")
+
+    # ------------------------------------------------------------------
+    # messaging helpers
+    # ------------------------------------------------------------------
+
+    def next_token(self) -> int:
+        return next(self._token_counter)
+
+    def send(self, src: int, dst: int, message: Message) -> Event:
+        """Fire-and-forget message."""
+        return self.cluster.fabric.send(src, dst, message)
+
+    def request(self, src: int, dst: int, message: Message, token) -> Event:
+        """Send a request whose reply will resolve the returned event."""
+        reply = self.replies.expect(token)
+        self.cluster.fabric.send(src, dst, message)
+        return reply
+
+    def request_all(self, src: int, messages: List[Tuple[int, Message, object]]) -> AllOf:
+        """Send several requests in parallel; event fires when all reply."""
+        events = [self.request(src, dst, message, token)
+                  for dst, message, token in messages]
+        return AllOf(self.engine, events)
+
+    def _make_handler(self, node_id: int):
+        def handler(src: int, message: Message):
+            return self._handle_message(node_id, src, message)
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # record helpers
+    # ------------------------------------------------------------------
+
+    def descriptor(self, record_id: int) -> RecordDescriptor:
+        return self.cluster.record(record_id)
+
+    def requested_lines(self, request: Request) -> List[int]:
+        """Cache lines the request's byte range covers."""
+        descriptor = self.descriptor(request.record_id)
+        size = request.size if request.size is not None else descriptor.data_bytes
+        if request.offset + size > descriptor.data_bytes:
+            raise ValueError(
+                f"request range [{request.offset}, {request.offset + size}) "
+                f"exceeds record {record_repr(descriptor)}")
+        from repro.cluster.address import lines_covering
+        return lines_covering(descriptor.address + request.offset, size)
+
+    def requested_range(self, request: Request) -> Tuple[int, int]:
+        """(byte address, size) of the request within its record."""
+        descriptor = self.descriptor(request.record_id)
+        size = request.size if request.size is not None else descriptor.data_bytes
+        return descriptor.address + request.offset, size
+
+
+def record_repr(descriptor: RecordDescriptor) -> str:
+    return (f"record {descriptor.record_id} "
+            f"({descriptor.data_bytes} B at node {descriptor.home_node})")
+
+
+class RequestStream:
+    """One transaction attempt's stream of requests."""
+
+    def next(self, last_result) -> Optional[Request]:
+        raise NotImplementedError
+
+
+class _ListStream(RequestStream):
+    def __init__(self, requests: Sequence[Request]):
+        self._requests = list(requests)
+        self._index = 0
+
+    def next(self, last_result) -> Optional[Request]:
+        if self._index >= len(self._requests):
+            return None
+        request = self._requests[self._index]
+        self._index += 1
+        return request
+
+
+class _InteractiveStream(RequestStream):
+    def __init__(self, body):
+        self._body = body
+        self._started = False
+
+    def next(self, last_result) -> Optional[Request]:
+        try:
+            if not self._started:
+                self._started = True
+                return next(self._body)
+            return self._body.send(last_result)
+        except StopIteration:
+            return None

@@ -1,0 +1,293 @@
+"""Fault-tolerance and durability extension (Section V, "Fault-Tolerance
+and Durability").
+
+The paper outlines the approach: writes additionally update replicas on
+other nodes; replica updates ride HADES' two-phase commit.  The
+committing node sends the *Intend-to-commit* (here: a replica-update
+message carrying the written values) to every replica node; each
+replica persists the update to **temporary durable storage** and Acks;
+once all Acks are in, the *Validation* promotes the temporary copy to
+permanent storage.  A missing/failed Ack aborts the transaction and the
+abort message discards the temporary copies.
+
+:class:`HadesReplicatedProtocol` composes this onto the hardware-only
+protocol: replica targets are added to the commit fan-out, the Ack
+accounting is shared with the normal remote-node Acks (so the
+"unsquashable after all Acks" rule covers replicas too), and replica
+failures (injectable, for testing recovery) squash-and-retry the
+transaction exactly like a directory-lock conflict.
+
+Replica placement: the ``k``-th replica of a line homed on node ``h``
+lives on node ``(h + k) mod N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.address import node_of_line
+from repro.core.api import Owner, SquashedError
+from repro.core.hades import HadesProtocol
+from repro.core.txn import TxContext
+from repro.net.messages import (
+    ADDRESS_BYTES,
+    HEADER_BYTES,
+    LINE_BYTES,
+    AckMessage,
+    Message,
+)
+
+
+@dataclass
+class ReplicaUpdateMessage(Message):
+    """Phase 1: written values for this replica node, to be persisted
+    in temporary durable storage."""
+
+    updates: Dict[int, object] = field(default_factory=dict)
+    token: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + (ADDRESS_BYTES + LINE_BYTES) * len(self.updates)
+
+
+@dataclass
+class ReplicaCommitMessage(Message):
+    """Phase 2: promote the temporary copy to permanent storage.
+
+    ``stamp`` totally orders promotions of conflicting writes: writers of
+    the same line serialize through the home node's directory lock, so
+    their coordinators' commit times are ordered — a replica applies a
+    line only if the stamp is newer than what it already holds (promote
+    messages from *different* coordinators are not FIFO-ordered).
+    """
+
+    stamp: float = 0.0
+
+
+@dataclass
+class ReplicaAbortMessage(Message):
+    """Abort: discard the temporary copy."""
+
+
+class ReplicaStore:
+    """One node's replica storage: a temporary durable log plus the
+    permanent replica copy."""
+
+    def __init__(self) -> None:
+        self.temporary: Dict[Owner, Dict[int, object]] = {}
+        self.permanent: Dict[int, object] = {}
+        #: Per-line stamp of the newest applied write (ordering guard).
+        self.stamps: Dict[int, float] = {}
+        self.persist_count = 0
+        self.promote_count = 0
+        self.abort_count = 0
+        self.stale_promotes = 0
+        #: Test hook: owners whose persist attempt must fail.
+        self.fail_next = 0
+
+    def persist_temporary(self, owner: Owner,
+                          updates: Dict[int, object]) -> bool:
+        """Write updates to the temporary durable log; False = failure."""
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            return False
+        self.temporary[owner] = dict(updates)
+        self.persist_count += 1
+        return True
+
+    def promote(self, owner: Owner, stamp: Optional[float] = None) -> None:
+        """Move the temporary copy to permanent storage.
+
+        With a ``stamp``, each line is applied only if it is newer than
+        the line's current stamp (out-of-order promotions from different
+        coordinators must not roll a line back).
+        """
+        updates = self.temporary.pop(owner, None)
+        if not updates:
+            return
+        self.promote_count += 1
+        for line, value in updates.items():
+            if stamp is not None and self.stamps.get(line, -1.0) >= stamp:
+                self.stale_promotes += 1
+                continue
+            self.permanent[line] = value
+            if stamp is not None:
+                self.stamps[line] = stamp
+
+    def discard(self, owner: Owner) -> None:
+        if self.temporary.pop(owner, None) is not None:
+            self.abort_count += 1
+
+
+class HadesReplicatedProtocol(HadesProtocol):
+    """HADES with per-line replication riding the two-phase commit."""
+
+    name = "hades+replication"
+
+    def __init__(self, cluster, metrics=None, seed: int = 1,
+                 replicas: int = 1, persist_ns: float = 1000.0):
+        if replicas < 1:
+            raise ValueError(f"need at least one replica: {replicas}")
+        if replicas >= cluster.config.nodes:
+            raise ValueError(
+                f"{replicas} replicas need more than {cluster.config.nodes} "
+                "nodes (a replica never lives on the home node)")
+        super().__init__(cluster, metrics=metrics, seed=seed)
+        self.replicas = replicas
+        #: Durable-write latency charged at each replica (SSD/NVM).
+        self.persist_ns = persist_ns
+        self.stores: Dict[int, ReplicaStore] = {
+            node.node_id: ReplicaStore() for node in cluster.nodes
+        }
+
+    # -- placement --------------------------------------------------------
+
+    def replica_nodes_of_line(self, line: int) -> List[int]:
+        home = node_of_line(line)
+        nodes = self.config.nodes
+        return [(home + k) % nodes for k in range(1, self.replicas + 1)]
+
+    def _replica_updates(self, ctx: TxContext) -> Dict[int, Dict[int, object]]:
+        """replica node -> {line: value} for everything ctx wrote."""
+        written: Dict[int, object] = dict(ctx.local_write_buffer)
+        for remote in ctx.node.nic.involved_nodes(ctx.txid):
+            written.update(ctx.node.nic.data_payload(ctx.txid, remote))
+        per_node: Dict[int, Dict[int, object]] = {}
+        for line, value in written.items():
+            for replica in self.replica_nodes_of_line(line):
+                per_node.setdefault(replica, {})[line] = value
+        return per_node
+
+    # -- commit integration -----------------------------------------------
+
+    def _commit(self, ctx: TxContext):
+        per_node = self._replica_updates(ctx)
+        # Record the attempted replica set up front: a failure after a
+        # partial persist must discard every temporary copy at cleanup.
+        ctx.replicated_nodes = sorted(per_node)
+        # Phase 1: replica updates must be durable (temporary storage)
+        # before the transaction may commit — their Acks join the
+        # Intend-to-commit Acks conceptually; we collect them first so
+        # the base commit's "unsquashable after Acks" point still holds.
+        events = []
+        for replica_node, updates in per_node.items():
+            if replica_node == ctx.node_id:
+                # Local replica: persist directly (charged below).
+                yield ctx.charge_cpu_ns(self.persist_ns)
+                if not self.stores[replica_node].persist_temporary(
+                        ctx.owner, updates):
+                    self.metrics.counters.add("replica_persist_failures")
+                    raise SquashedError("replica_failure")
+                continue
+            token = (ctx.owner, "replica", replica_node)
+            message = ReplicaUpdateMessage(ctx.owner, updates=updates,
+                                           token=token)
+            events.append(self.request(ctx.node_id, replica_node, message,
+                                       token))
+        if events:
+            from repro.sim.events import AllOf
+            outcomes = yield AllOf(self.engine, events)
+            if ctx.squashed:
+                raise SquashedError("squashed_during_commit")
+            if not all(outcomes):
+                self.metrics.counters.add("replica_persist_failures")
+                raise SquashedError("replica_failure")
+
+        yield from super()._commit(ctx)
+
+        # Phase 2: the transaction is committed; promote every replica.
+        # The stamp orders conflicting writers (serialized by the home
+        # directory lock, so their commit times are ordered).
+        stamp = self.engine.now
+        for replica_node in ctx.replicated_nodes:
+            if replica_node == ctx.node_id:
+                self.stores[replica_node].promote(ctx.owner, stamp)
+            else:
+                self.send(ctx.node_id, replica_node,
+                          ReplicaCommitMessage(ctx.owner, stamp=stamp))
+
+    def _pre_pessimistic_publish(self, ctx: TxContext, buffered_remote):
+        """Pessimistic commits replicate too: with every directory lock
+        held nothing can squash the attempt, so persist and promote the
+        replicas directly (one round trip to the remote stores)."""
+        written: Dict[int, object] = dict(ctx.local_write_buffer)
+        for updates in buffered_remote.values():
+            written.update(updates)
+        per_node: Dict[int, Dict[int, object]] = {}
+        for line, value in written.items():
+            for replica in self.replica_nodes_of_line(line):
+                per_node.setdefault(replica, {})[line] = value
+        if not per_node:
+            return
+        ctx.replicated_nodes = sorted(per_node)
+        events = []
+        for replica_node, updates in per_node.items():
+            if replica_node == ctx.node_id:
+                yield ctx.charge_cpu_ns(self.persist_ns)
+                self.stores[replica_node].persist_temporary(ctx.owner, updates)
+                continue
+            token = (ctx.owner, "replica", replica_node)
+            events.append(self.request(
+                ctx.node_id, replica_node,
+                ReplicaUpdateMessage(ctx.owner, updates=updates, token=token),
+                token))
+        if events:
+            from repro.sim.events import AllOf
+            yield AllOf(self.engine, events)
+        stamp = self.engine.now
+        for replica_node in ctx.replicated_nodes:
+            if replica_node == ctx.node_id:
+                self.stores[replica_node].promote(ctx.owner, stamp)
+            else:
+                self.send(ctx.node_id, replica_node,
+                          ReplicaCommitMessage(ctx.owner, stamp=stamp))
+        ctx.replicated_nodes = []
+
+    def _cleanup_after_squash(self, ctx: TxContext):
+        for replica_node in getattr(ctx, "replicated_nodes", ()):
+            if replica_node == ctx.node_id:
+                self.stores[replica_node].discard(ctx.owner)
+            else:
+                self.send(ctx.node_id, replica_node,
+                          ReplicaAbortMessage(ctx.owner))
+        # Abandon before the base cleanup so late replica Acks drop.
+        yield from super()._cleanup_after_squash(ctx)
+
+    # -- message handling ---------------------------------------------------
+
+    def _handle_message(self, node_id: int, src: int, message: Message):
+        if isinstance(message, ReplicaUpdateMessage):
+            return self._serve_replica_update(node_id, src, message)
+        if isinstance(message, ReplicaCommitMessage):
+            self.stores[node_id].promote(message.owner, message.stamp)
+            return None
+        if isinstance(message, ReplicaAbortMessage):
+            self.stores[node_id].discard(message.owner)
+            return None
+        return super()._handle_message(node_id, src, message)
+
+    def _serve_replica_update(self, node_id: int, src: int,
+                              message: ReplicaUpdateMessage):
+        """Persist to temporary durable storage, then Ack (Section V)."""
+        store = self.stores[node_id]
+        success = store.persist_temporary(message.owner, message.updates)
+        yield self.persist_ns  # durable-media write latency
+        self.send(node_id, src, AckMessage(message.owner, success=success,
+                                           token=message.token))
+
+    # -- audits --------------------------------------------------------------
+
+    def replica_value(self, replica_node: int, line: int):
+        return self.stores[replica_node].permanent.get(line)
+
+    def verify_replicas(self) -> Tuple[int, int]:
+        """(checked, mismatched) permanent replica lines vs primary memory."""
+        checked = mismatched = 0
+        for node_id, store in self.stores.items():
+            for line, value in store.permanent.items():
+                checked += 1
+                home = self.cluster.node(node_of_line(line))
+                if home.memory.read_line(line) != value:
+                    mismatched += 1
+        return checked, mismatched

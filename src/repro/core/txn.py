@@ -1,0 +1,149 @@
+"""Per-attempt transaction state and time accounting.
+
+A :class:`TxContext` exists for one *attempt* of a transaction — every
+squash-and-restart creates a fresh context with a fresh cluster-unique
+txid (so late messages addressed to the dead attempt miss the registry
+and are dropped, which is exactly what hardware does when it finds no
+matching TX ID).
+
+Time accounting serves three figures at once:
+
+* **phases** (Fig. 10): wall-clock time between :meth:`begin_phase`
+  boundaries — Execution/Validation/Commit for Baseline,
+  Execution/Validation for the HADES variants.
+* **overhead categories** (Fig. 3): CPU cycles and attributed waits
+  charged via :meth:`charge_cpu` / :meth:`attribute_wait` under the
+  Table I category names.
+* **core occupancy**: CPU charges reserve the physical core through
+  :class:`~repro.cluster.node.CoreClock`, so multiplexed transactions
+  serialize their software work but overlap their network waits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.api import Owner, TxStatus
+
+#: Overhead category names (Fig. 3 legend, top-to-bottom of Table I).
+CATEGORY_MANAGE_SETS = "manage_sets"
+CATEGORY_UPDATE_VERSION = "update_version"
+CATEGORY_READ_ATOMICITY = "read_atomicity"
+CATEGORY_RD_BEFORE_WR = "rd_before_wr"
+CATEGORY_CONFLICT_DETECTION = "conflict_detection"
+CATEGORY_OTHER = "other"
+
+ALL_CATEGORIES = (
+    CATEGORY_MANAGE_SETS,
+    CATEGORY_UPDATE_VERSION,
+    CATEGORY_READ_ATOMICITY,
+    CATEGORY_RD_BEFORE_WR,
+    CATEGORY_CONFLICT_DETECTION,
+    CATEGORY_OTHER,
+)
+
+PHASE_EXECUTION = "execution"
+PHASE_VALIDATION = "validation"
+PHASE_COMMIT = "commit"
+
+
+class TxContext:
+    """State of one transaction attempt."""
+
+    def __init__(self, protocol, node_id: int, txid: int, slot: int):
+        self.protocol = protocol
+        self.engine = protocol.engine
+        self.cluster = protocol.cluster
+        self.config = protocol.config
+        self.node_id = node_id
+        self.txid = txid
+        self.slot = slot
+        self.node = protocol.cluster.node(node_id)
+        self.core = self.node.core_for_slot(slot)
+        self.owner: Owner = (node_id, txid)
+        self.status = TxStatus.RUNNING
+        #: Set (synchronously) by the protocol when a squash targets this
+        #: attempt; checked at commit decision points.
+        self.squashed = False
+        self.squash_reason: Optional[str] = None
+        #: Set when the last Ack arrives: no squash can touch us anymore.
+        self.unsquashable = False
+        self.started_at = self.engine.now
+        self._phase: Optional[str] = None
+        self._phase_started_at = self.engine.now
+        self.phase_durations: Dict[str, float] = {}
+        self.category_durations: Dict[str, float] = {}
+        #: Values observed by reads, in request order (examples/tests).
+        self.read_results: list = []
+        #: Record ids touched by this attempt — accumulated across
+        #: attempts by the driver to learn an interactive transaction's
+        #: footprint for the pessimistic fallback.
+        self.touched_records: set = set()
+
+    # -- time accounting ------------------------------------------------
+
+    def begin_phase(self, phase: str) -> None:
+        """Close the current phase (if any) and open ``phase``."""
+        now = self.engine.now
+        if self._phase is not None:
+            elapsed = now - self._phase_started_at
+            self.phase_durations[self._phase] = (
+                self.phase_durations.get(self._phase, 0.0) + elapsed)
+        self._phase = phase
+        self._phase_started_at = now
+
+    def finish(self, status: TxStatus) -> None:
+        """Close the open phase and freeze the attempt."""
+        self.begin_phase("__done__")
+        self._phase = None
+        self.phase_durations.pop("__done__", None)
+        self.status = status
+
+    @property
+    def latency_ns(self) -> float:
+        return self.engine.now - self.started_at
+
+    def charge_cpu(self, cycles: float, category: str = CATEGORY_OTHER) -> float:
+        """Book ``cycles`` of CPU work; returns the delay to yield.
+
+        The delay includes queueing behind the other transaction
+        multiplexed on the same core.  The *work* (not the queueing) is
+        attributed to ``category``.
+        """
+        ns = self.config.cycles_to_ns(cycles)
+        return self.charge_cpu_ns(ns, category)
+
+    def charge_cpu_ns(self, ns: float, category: str = CATEGORY_OTHER) -> float:
+        delay = self.core.reserve(ns)
+        self.category_durations[category] = (
+            self.category_durations.get(category, 0.0) + ns)
+        return delay
+
+    def attribute_wait(self, ns: float, category: str) -> None:
+        """Attribute a non-CPU wait (e.g. a validation round trip) to a
+        Fig. 3 category without booking core time."""
+        if ns < 0:
+            raise ValueError(f"negative wait: {ns}")
+        self.category_durations[category] = (
+            self.category_durations.get(category, 0.0) + ns)
+
+    # -- bookkeeping used by the protocols -------------------------------
+
+    def note_squash(self, reason: str) -> None:
+        self.squashed = True
+        if self.squash_reason is None:
+            self.squash_reason = reason
+
+
+class ActiveTx:
+    """Registry entry for a squashable in-flight transaction attempt."""
+
+    def __init__(self, ctx: TxContext, process):
+        self.ctx = ctx
+        self.process = process
+        #: Outstanding Intend-to-commit Acks; when it reaches zero with
+        #: every Ack successful, the NIC marks the attempt unsquashable
+        #: *at Ack-arrival time* (before the coordinator process resumes),
+        #: closing the squash/Ack race the paper's Step 3 describes.
+        self.acks_remaining = 0
+        self.any_ack_failed = False

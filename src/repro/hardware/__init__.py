@@ -1,0 +1,28 @@
+"""Hardware models: Bloom filters, caches, directory, NIC, DRAM, cost.
+
+Each module models one of the shaded structures in Fig. 5 of the paper
+(plus the DRAM timing and the Section VI storage/area calculator).  The
+models hold *real state* — actual bit arrays, actual tag maps — so
+conflict detection exhibits genuine Bloom-filter false positives.
+"""
+
+from repro.hardware.bloom import BloomFilter, SplitWriteBloomFilter
+from repro.hardware.cache import LlcModel, PrivateCacheFilter
+from repro.hardware.crc import crc32c, hash_family
+from repro.hardware.directory import Directory, LockingBuffer
+from repro.hardware.nic import Nic
+from repro.hardware.cost import HardwareCostReport, compute_cost
+
+__all__ = [
+    "BloomFilter",
+    "Directory",
+    "HardwareCostReport",
+    "LlcModel",
+    "LockingBuffer",
+    "Nic",
+    "PrivateCacheFilter",
+    "SplitWriteBloomFilter",
+    "compute_cost",
+    "crc32c",
+    "hash_family",
+]

@@ -1,0 +1,217 @@
+"""Bloom filters for transaction read/write-set tracking.
+
+Two designs from the paper:
+
+* :class:`BloomFilter` — a plain bit-array filter with CRC hashing, used
+  for the core *read* BFs (1024 bits) and the NIC read/write BFs
+  (1024 bits each) — Table III.
+* :class:`SplitWriteBloomFilter` — the Fig. 8 write-BF design: WrBF1
+  (512 bits, CRC-hashed) plus WrBF2 (4096 bits, indexed by the LLC set
+  bits modulo the filter size).  Membership requires a hit in *both*
+  sections; WrBF2's structure additionally lets the hardware enable only
+  the LLC sets that might hold a transaction's written lines
+  (:meth:`SplitWriteBloomFilter.enabled_llc_sets`).
+
+Filters track ``inserted_count`` so the characterization experiments can
+report occupancy, and offer :meth:`analytic false-positive rates
+<BloomFilter.analytic_false_positive_rate>` for Table IV.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Set
+
+from repro.hardware.crc import hash_family
+
+
+class BloomFilter:
+    """A standard Bloom filter over integer keys (cache-line addresses).
+
+    Class-level access totals feed the Table III energy model
+    (:mod:`repro.hardware.energy`): each ``insert`` is one BF write
+    access, each ``might_contain`` one BF read access.
+    """
+
+    #: Global access totals across every filter instance (energy model).
+    total_read_ops = 0
+    total_write_ops = 0
+
+    @classmethod
+    def reset_stats(cls) -> None:
+        cls.total_read_ops = 0
+        cls.total_write_ops = 0
+
+    def __init__(self, bits: int, hashes: int = 2):
+        if bits < 8:
+            raise ValueError(f"filter too small: {bits} bits")
+        self.bits = bits
+        self.hashes = hashes
+        self._hash_fns = hash_family(hashes, bits)
+        self._array = bytearray(bits // 8 + (1 if bits % 8 else 0))
+        self.inserted_count = 0
+
+    def _positions(self, key: int) -> List[int]:
+        return [fn(key) for fn in self._hash_fns]
+
+    def insert(self, key: int) -> None:
+        """Insert a key; duplicates still count toward ``inserted_count``."""
+        for position in self._positions(key):
+            self._array[position >> 3] |= 1 << (position & 7)
+        self.inserted_count += 1
+        BloomFilter.total_write_ops += 1
+
+    def insert_all(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.insert(key)
+
+    def might_contain(self, key: int) -> bool:
+        """Membership test — may return false positives, never negatives."""
+        BloomFilter.total_read_ops += 1
+        for position in self._positions(key):
+            if not self._array[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset the filter (transaction commit/squash)."""
+        for index in range(len(self._array)):
+            self._array[index] = 0
+        self.inserted_count = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self._array)
+
+    def set_bit_count(self) -> int:
+        """Number of bits currently set (occupancy diagnostics)."""
+        return sum(bin(byte).count("1") for byte in self._array)
+
+    def analytic_false_positive_rate(self, inserted: int) -> float:
+        """Expected FP rate after ``inserted`` distinct keys (Table IV)."""
+        if inserted < 0:
+            raise ValueError(f"negative insert count: {inserted}")
+        if inserted == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.hashes * inserted / self.bits)
+        return fill ** self.hashes
+
+    def storage_bytes(self) -> int:
+        return len(self._array)
+
+
+class SplitWriteBloomFilter:
+    """The Fig. 8 split write-BF: CRC section + LLC-index section.
+
+    ``llc_sets`` is the number of sets in the node's LLC; WrBF2 maps a
+    line's LLC index modulo ``index_bits``, so each WrBF2 bit covers
+    ``llc_sets / index_bits`` sets (when the LLC has more sets than the
+    filter has bits) and a set WrBF2 bit enables those sets during the
+    parallel WrTX_ID search.
+    """
+
+    def __init__(
+        self,
+        crc_bits: int = 512,
+        index_bits: int = 4096,
+        crc_hashes: int = 1,
+        llc_sets: int = 4096,
+        line_bytes: int = 64,
+    ):
+        if llc_sets < 1:
+            raise ValueError(f"llc_sets must be positive: {llc_sets}")
+        self.crc_section = BloomFilter(crc_bits, crc_hashes)
+        self.index_bits = index_bits
+        self.llc_sets = llc_sets
+        self.line_bytes = line_bytes
+        self._index_array = bytearray(index_bits // 8 + (1 if index_bits % 8 else 0))
+        self.inserted_count = 0
+
+    @property
+    def bits(self) -> int:
+        return self.crc_section.bits + self.index_bits
+
+    def _llc_index(self, key: int) -> int:
+        """LLC set index of a cache-line address."""
+        return (key // self.line_bytes) % self.llc_sets
+
+    def _index_position(self, key: int) -> int:
+        return self._llc_index(key) % self.index_bits
+
+    def insert(self, key: int) -> None:
+        self.crc_section.insert(key)
+        position = self._index_position(key)
+        self._index_array[position >> 3] |= 1 << (position & 7)
+        self.inserted_count += 1
+
+    def insert_all(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.insert(key)
+
+    def might_contain(self, key: int) -> bool:
+        """Membership requires a hit in both WrBF1 and WrBF2."""
+        position = self._index_position(key)
+        if not self._index_array[position >> 3] & (1 << (position & 7)):
+            return False
+        return self.crc_section.might_contain(key)
+
+    def clear(self) -> None:
+        self.crc_section.clear()
+        for index in range(len(self._index_array)):
+            self._index_array[index] = 0
+        self.inserted_count = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.crc_section.is_empty and not any(self._index_array)
+
+    def enabled_llc_sets(self) -> Set[int]:
+        """LLC sets that may hold lines written by the owner transaction.
+
+        This is the Fig. 8 fast path: each set WrBF2 bit enables the LLC
+        sets that map to it, and only those sets compare their WrTX_ID
+        tags against the transaction ID.
+        """
+        enabled: Set[int] = set()
+        for position in range(self.index_bits):
+            if self._index_array[position >> 3] & (1 << (position & 7)):
+                llc_set = position
+                while llc_set < self.llc_sets:
+                    enabled.add(llc_set)
+                    llc_set += self.index_bits
+        return enabled
+
+    def analytic_false_positive_rate(self, inserted: int) -> float:
+        """Expected FP rate of the split design (product of sections)."""
+        if inserted < 0:
+            raise ValueError(f"negative insert count: {inserted}")
+        if inserted == 0:
+            return 0.0
+        crc_rate = self.crc_section.analytic_false_positive_rate(inserted)
+        index_fill = 1.0 - math.exp(-inserted / self.index_bits)
+        return crc_rate * index_fill
+
+    def storage_bytes(self) -> int:
+        return self.crc_section.storage_bytes() + len(self._index_array)
+
+
+def make_core_read_filter(bloom_params, llc_sets: int = 4096) -> BloomFilter:
+    """Core-side read BF per Table III (1024 bits)."""
+    return BloomFilter(bloom_params.core_read_bits, bloom_params.core_read_hashes)
+
+
+def make_core_write_filter(bloom_params, llc_sets: int) -> SplitWriteBloomFilter:
+    """Core-side split write BF per Table III (512 + 4096 bits)."""
+    return SplitWriteBloomFilter(
+        crc_bits=bloom_params.core_write_crc_bits,
+        index_bits=bloom_params.core_write_index_bits,
+        crc_hashes=bloom_params.core_write_crc_hashes,
+        llc_sets=llc_sets,
+    )
+
+
+def make_nic_filter_pair(bloom_params) -> "tuple[BloomFilter, BloomFilter]":
+    """NIC-side (read, write) BF pair per Table III (1024 bits each)."""
+    read_bf = BloomFilter(bloom_params.nic_read_bits, bloom_params.nic_hashes)
+    write_bf = BloomFilter(bloom_params.nic_write_bits, bloom_params.nic_hashes)
+    return read_bf, write_bf

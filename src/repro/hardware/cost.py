@@ -1,0 +1,98 @@
+"""Hardware storage / area / energy calculator (Section VI).
+
+Reproduces the paper's arithmetic:
+
+* each node needs m×C core BF pairs (0.7 KB each with Table III sizing),
+* each LLC line needs ``log2(m×C)`` WrTX_ID bits,
+* each NIC needs m×C×D BF pairs (0.25 KB each) plus m×C Module-4b
+  entries (the paper's totals round with 100 B per entry; Table III
+  quotes "90B of storage" — both are exposed).
+
+Paper checkpoints (Section VI):
+
+* N=5, C=5, m=2, D=4  → 7.0 KB core BFs, 4 WrTX_ID bits, ≈11.0 KB NIC.
+* N=90, C=16, m=2, D=5 → 22.4 KB core BFs, 5 bits, ≈43.1 KB NIC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import BloomParams
+
+
+@dataclass(frozen=True)
+class HardwareCostReport:
+    """Per-node storage footprint of the HADES hardware."""
+
+    core_bf_pairs: int
+    core_bf_bytes: int
+    wrtx_id_bits_per_llc_line: int
+    nic_bf_pairs: int
+    nic_bf_bytes: int
+    module4b_entries: int
+    module4b_bytes: int
+
+    @property
+    def nic_total_bytes(self) -> int:
+        return self.nic_bf_bytes + self.module4b_bytes
+
+    @property
+    def core_bf_kb(self) -> float:
+        return self.core_bf_bytes / 1024.0
+
+    @property
+    def nic_total_kb(self) -> float:
+        return self.nic_total_bytes / 1024.0
+
+    def as_dict(self) -> dict:
+        return {
+            "core_bf_pairs": self.core_bf_pairs,
+            "core_bf_kb": round(self.core_bf_kb, 2),
+            "wrtx_id_bits": self.wrtx_id_bits_per_llc_line,
+            "nic_bf_pairs": self.nic_bf_pairs,
+            "nic_total_kb": round(self.nic_total_kb, 2),
+        }
+
+
+def compute_cost(
+    cores_per_node: int,
+    multiplexing: int,
+    remote_nodes_per_txn: float,
+    bloom: BloomParams = None,
+    module4b_entry_bytes: int = 100,
+) -> HardwareCostReport:
+    """Compute the Section VI per-node storage numbers.
+
+    ``module4b_entry_bytes`` defaults to 100 B ("less than 100B" in the
+    text; the paper's KB totals round with 100 B).
+    """
+    if cores_per_node < 1 or multiplexing < 1:
+        raise ValueError("cores and multiplexing must be positive")
+    if remote_nodes_per_txn < 0:
+        raise ValueError("remote_nodes_per_txn cannot be negative")
+    bloom = bloom if bloom is not None else BloomParams()
+
+    concurrent_txns = multiplexing * cores_per_node
+    core_pairs = concurrent_txns
+    core_bytes = core_pairs * bloom.core_pair_bytes
+    wrtx_bits = max(1, math.ceil(math.log2(concurrent_txns))) if concurrent_txns > 1 else 1
+    nic_pairs = int(round(concurrent_txns * remote_nodes_per_txn))
+    nic_bytes = nic_pairs * bloom.nic_pair_bytes
+    return HardwareCostReport(
+        core_bf_pairs=core_pairs,
+        core_bf_bytes=core_bytes,
+        wrtx_id_bits_per_llc_line=wrtx_bits,
+        nic_bf_pairs=nic_pairs,
+        nic_bf_bytes=nic_bytes,
+        module4b_entries=concurrent_txns,
+        module4b_bytes=concurrent_txns * module4b_entry_bytes,
+    )
+
+
+def bloom_energy_pj(bloom: BloomParams, reads: int, writes: int) -> float:
+    """Dynamic BF energy for an access mix (Table III energy rows)."""
+    if reads < 0 or writes < 0:
+        raise ValueError("access counts cannot be negative")
+    return reads * bloom.read_energy_pj + writes * bloom.write_energy_pj

@@ -1,0 +1,80 @@
+"""CRC hashing for Bloom filters.
+
+The paper fills WrBF1 "by hashing addresses using a conventional hash
+function (e.g., CRC)" (Section V-C, citing Peterson & Brown).  We
+implement table-driven CRC-32C (Castagnoli polynomial) from scratch and
+derive independent hash functions from it by salting the input — the
+standard Kirsch–Mitzenmacher-style construction for Bloom filters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+#: CRC-32C (Castagnoli) reversed polynomial — good dispersion, widely
+#: implemented in hardware.
+_CRC32C_POLYNOMIAL = 0x82F63B78
+
+
+def _build_table(polynomial: int) -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ polynomial
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table(_CRC32C_POLYNOMIAL)
+
+
+def crc32c(data: bytes, seed: int = 0) -> int:
+    """CRC-32C of ``data`` with an optional ``seed`` (non-standard salt)."""
+    crc = (~seed) & 0xFFFFFFFF
+    for byte in data:
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return (~crc) & 0xFFFFFFFF
+
+
+def crc32c_int(value: int, seed: int = 0) -> int:
+    """CRC-32C of a 64-bit integer (e.g., a cache-line address)."""
+    return crc32c((value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"), seed)
+
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def splitmix64(value: int) -> int:
+    """SplitMix64 finalizer: fast, well-dispersed 64-bit mixing."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def hash_family(count: int, modulus: int) -> List[Callable[[int], int]]:
+    """``count`` independent hash functions mapping ints to ``[0, modulus)``.
+
+    Hardware would implement these as ``count`` parallel CRC units with
+    *different polynomials* (Table III: 2-cycle latency each).  CRC with
+    a single polynomial is GF(2)-linear — differently-seeded instances
+    differ only by a constant, which ruins Bloom-filter independence —
+    so the simulator models the family with seeded SplitMix64 mixing,
+    whose statistics match independent uniform hashing.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one hash: {count}")
+    if modulus < 2:
+        raise ValueError(f"modulus too small: {modulus}")
+
+    def make(seed: int) -> Callable[[int], int]:
+        def hash_fn(value: int) -> int:
+            return splitmix64(value ^ (seed * 0x9E3779B97F4A7C15 & _MASK64)) % modulus
+
+        return hash_fn
+
+    return [make(i + 1) for i in range(count)]

@@ -1,0 +1,53 @@
+"""Per-node DRAM timing model (Table III main-memory rows).
+
+A deliberately small model in the spirit of DRAMSim2's role in the
+paper: fixed access latency plus bank-occupancy queuing.  Addresses are
+interleaved across channels × banks by cache-line index.  The protocol
+layer mostly uses the expected-value
+:meth:`~repro.config.ClusterConfig.local_line_access_ns`; this model
+serves bandwidth-sensitive experiments and the memory-pressure tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import DramParams
+
+
+class DramModel:
+    """Bank-aware DRAM access timing."""
+
+    #: How long one access occupies its bank (row activate + column).
+    BANK_OCCUPANCY_NS = 20.0
+
+    def __init__(self, params: DramParams, line_bytes: int = 64):
+        self.params = params
+        self.line_bytes = line_bytes
+        self.total_banks = params.channels * params.banks
+        self._bank_free_at: List[float] = [0.0] * self.total_banks
+        self.access_count = 0
+        self.total_queue_ns = 0.0
+
+    def bank_of(self, byte_address: int) -> int:
+        return (byte_address // self.line_bytes) % self.total_banks
+
+    def access(self, now: float, byte_address: int) -> float:
+        """Latency (ns) of an access issued at ``now`` to ``byte_address``.
+
+        Includes queuing behind earlier accesses to the same bank.
+        """
+        if now < 0:
+            raise ValueError(f"negative time: {now}")
+        bank = self.bank_of(byte_address)
+        start = max(now, self._bank_free_at[bank])
+        queue_ns = start - now
+        self._bank_free_at[bank] = start + self.BANK_OCCUPANCY_NS
+        self.access_count += 1
+        self.total_queue_ns += queue_ns
+        return queue_ns + self.params.rt_ns
+
+    def mean_queue_ns(self) -> float:
+        if self.access_count == 0:
+            return 0.0
+        return self.total_queue_ns / self.access_count

@@ -1,0 +1,218 @@
+"""SmartNIC model (Modules 4a and 4b of Fig. 5).
+
+Each node's NIC holds:
+
+* **Module 4a** — a (Remote read BF, Remote write BF) pair per
+  in-progress *remote* transaction that has accessed data homed in this
+  node, tagged by (origin node, txid).  These are real
+  :class:`~repro.hardware.bloom.BloomFilter` instances, so conflict
+  checks exhibit genuine false positives; exact shadow sets are kept
+  *only* to classify a hit as true/false for the Section VIII-C
+  characterization — the protocol never consults them.
+* **Module 4b** — per *local* transaction: the remote line addresses it
+  wrote grouped by home node (with the buffered values), plus the set of
+  remote nodes involved in the transaction.  Consumed at commit to build
+  Intend-to-commit and Validation messages.
+
+Capacity follows Section VI: m×C×D BF pairs and m×C Module-4b entries;
+exceeding the BF-pair pool is counted (``bf_pool_overflows``) — the
+paper's graceful degradation would switch to HADES-H during such
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.hardware.bloom import BloomFilter
+
+Owner = Tuple[int, int]  # (origin node id, transaction id)
+
+
+@dataclass
+class RemoteTxState:
+    """Module 4a state for one remote transaction."""
+
+    read_bf: BloomFilter
+    write_bf: BloomFilter
+    #: Exact keys inserted into each BF — oracle for false-positive
+    #: classification only.
+    shadow_reads: Set[int] = field(default_factory=set)
+    shadow_writes: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class LocalTxRemoteState:
+    """Module 4b state for one local transaction."""
+
+    #: home node -> written line addresses (ordered for message layout).
+    writes_by_node: Dict[int, List[int]] = field(default_factory=dict)
+    #: home node -> {line: value} buffered data ("Data Location" buffer).
+    data_by_node: Dict[int, Dict[int, object]] = field(default_factory=dict)
+    #: every remote node the transaction read or wrote.
+    involved_nodes: Set[int] = field(default_factory=set)
+
+
+class ConflictCheckResult:
+    """Outcome of checking addresses against the NIC's remote BFs."""
+
+    def __init__(self) -> None:
+        self.conflicting_owners: Set[Owner] = set()
+        self.checks = 0
+        self.hits = 0
+        self.false_positive_hits = 0
+
+
+class Nic:
+    """One node's SmartNIC."""
+
+    def __init__(self, node_id: int, bloom_params, bf_pair_capacity: int,
+                 module4b_capacity: int):
+        self.node_id = node_id
+        self._bloom = bloom_params
+        self.bf_pair_capacity = bf_pair_capacity
+        self.module4b_capacity = module4b_capacity
+        self._remote: Dict[Owner, RemoteTxState] = {}
+        self._local: Dict[int, LocalTxRemoteState] = {}
+        self.bf_pool_overflows = 0
+        self.messages_handled = 0
+
+    # -- Module 4a: remote transactions -------------------------------
+
+    def remote_state(self, owner: Owner) -> RemoteTxState:
+        """Get or allocate the BF pair for a remote transaction."""
+        state = self._remote.get(owner)
+        if state is None:
+            if len(self._remote) >= self.bf_pair_capacity:
+                self.bf_pool_overflows += 1
+            state = RemoteTxState(
+                read_bf=BloomFilter(self._bloom.nic_read_bits, self._bloom.nic_hashes),
+                write_bf=BloomFilter(self._bloom.nic_write_bits, self._bloom.nic_hashes),
+            )
+            self._remote[owner] = state
+        return state
+
+    def has_remote_state(self, owner: Owner) -> bool:
+        return owner in self._remote
+
+    def record_remote_read(self, owner: Owner, lines: Iterable[int]) -> None:
+        state = self.remote_state(owner)
+        for line in lines:
+            state.read_bf.insert(line)
+            state.shadow_reads.add(line)
+
+    def record_remote_write(self, owner: Owner, partial_lines: Iterable[int]) -> None:
+        """Insert only *partially written* lines, per the protocol.
+
+        Fully-overwritten lines are deliberately not inserted (Table II,
+        Remote Write): their conflicts are caught by the writer's own
+        commit-time checks using the exact address list.
+        """
+        state = self.remote_state(owner)
+        for line in partial_lines:
+            state.write_bf.insert(line)
+            state.shadow_writes.add(line)
+
+    def clear_remote(self, owner: Owner) -> None:
+        """Validation received or squash: drop the BF pair (commit Step 5)."""
+        self._remote.pop(owner, None)
+
+    def remote_owners(self) -> List[Owner]:
+        return list(self._remote)
+
+    def check_remote_conflicts(
+        self,
+        lines: Iterable[int],
+        exclude: Optional[Owner] = None,
+        reads_matter: bool = True,
+    ) -> ConflictCheckResult:
+        """Check ``lines`` against every remote transaction's BF pair.
+
+        Used at commit: a committing transaction's written lines are
+        probed against all other remote transactions' read *and* write
+        BFs (Table II, commit Steps 2 at x and 2 at y).
+        """
+        result = ConflictCheckResult()
+        line_list = list(lines)
+        for owner, state in self._remote.items():
+            if owner == exclude:
+                continue
+            for line in line_list:
+                result.checks += 1
+                hit_read = reads_matter and state.read_bf.might_contain(line)
+                hit_write = state.write_bf.might_contain(line)
+                if hit_read or hit_write:
+                    result.hits += 1
+                    truly_read = line in state.shadow_reads
+                    truly_written = line in state.shadow_writes
+                    if not ((hit_read and truly_read) or (hit_write and truly_written)):
+                        result.false_positive_hits += 1
+                    result.conflicting_owners.add(owner)
+                    break  # one hit is enough to squash this owner
+        return result
+
+    # -- Module 4b: local transactions' remote footprint ---------------
+
+    def local_state(self, txid: int) -> LocalTxRemoteState:
+        state = self._local.get(txid)
+        if state is None:
+            if len(self._local) >= self.module4b_capacity:
+                raise RuntimeError(
+                    f"NIC {self.node_id}: Module 4b capacity {self.module4b_capacity} "
+                    f"exhausted (m x C transactions already tracked)"
+                )
+            state = LocalTxRemoteState()
+            self._local[txid] = state
+        return state
+
+    def note_involved_node(self, txid: int, remote_node: int) -> None:
+        self.local_state(txid).involved_nodes.add(remote_node)
+
+    def buffer_remote_write(self, txid: int, remote_node: int, line: int,
+                            value: object) -> None:
+        """Buffer a remote write locally until commit (Table II)."""
+        state = self.local_state(txid)
+        state.involved_nodes.add(remote_node)
+        lines = state.writes_by_node.setdefault(remote_node, [])
+        data = state.data_by_node.setdefault(remote_node, {})
+        if line not in data:
+            lines.append(line)
+        data[line] = value
+
+    def involved_nodes(self, txid: int) -> Set[int]:
+        state = self._local.get(txid)
+        return set(state.involved_nodes) if state else set()
+
+    def writes_for_node(self, txid: int, remote_node: int) -> List[int]:
+        state = self._local.get(txid)
+        if state is None:
+            return []
+        return list(state.writes_by_node.get(remote_node, ()))
+
+    def buffered_value(self, txid: int, remote_node: int, line: int):
+        """Read-your-writes support for buffered remote data."""
+        state = self._local.get(txid)
+        if state is None:
+            return None
+        return state.data_by_node.get(remote_node, {}).get(line)
+
+    def data_payload(self, txid: int, remote_node: int) -> Dict[int, object]:
+        state = self._local.get(txid)
+        if state is None:
+            return {}
+        return dict(state.data_by_node.get(remote_node, {}))
+
+    def clear_local(self, txid: int) -> None:
+        """Commit finished or squash: drop Module 4b state."""
+        self._local.pop(txid, None)
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def remote_tx_count(self) -> int:
+        return len(self._remote)
+
+    @property
+    def local_tx_count(self) -> int:
+        return len(self._local)

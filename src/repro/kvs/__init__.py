@@ -1,0 +1,34 @@
+"""Key-value store engines (Section VII: HT, Map, B-Tree, B+Tree).
+
+Each store is a real, from-scratch index implementation mapping integer
+keys to record ids.  In the modeled system the index *internal* nodes
+are read-mostly and cached at every cluster node (the standard technique
+FaRM-class systems use to avoid remote pointer chasing), so a lookup
+costs local CPU work proportional to the structure's probe depth — the
+store's :meth:`~repro.kvs.base.KeyValueStore.lookup` reports that depth
+and the YCSB workload charges it as per-request work.  The *data*
+records are the transactional objects.
+"""
+
+from repro.kvs.base import KeyValueStore, LookupResult
+from repro.kvs.bplustree import BPlusTreeStore
+from repro.kvs.btree import BTreeStore
+from repro.kvs.hashtable import HashTableStore
+from repro.kvs.ordered_map import OrderedMapStore
+
+__all__ = [
+    "BPlusTreeStore",
+    "BTreeStore",
+    "HashTableStore",
+    "KeyValueStore",
+    "LookupResult",
+    "STORES",
+]
+
+#: Registry keyed by the short names used in figure labels.
+STORES = {
+    "ht": HashTableStore,
+    "map": OrderedMapStore,
+    "btree": BTreeStore,
+    "bplustree": BPlusTreeStore,
+}

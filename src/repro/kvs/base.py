@@ -1,0 +1,57 @@
+"""Key-value store interface.
+
+Stores map integer keys to record ids through a real index structure;
+:class:`LookupResult` reports the probe depth so workloads can charge
+index-traversal CPU (see the :mod:`repro.kvs` package docs for why
+traversal is local work in the modeled system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of an index probe."""
+
+    record_id: int
+    #: Index nodes touched on the way to the record (1 for a hash
+    #: bucket, tree height for trees) — the workload charges CPU per
+    #: touched node.
+    probe_depth: int
+
+
+class KeyValueStore:
+    """Maps integer keys to record ids through a real index structure."""
+
+    #: Short name used in figure labels ("ht", "map", ...).
+    kind = "abstract"
+
+    def insert(self, key: int, record_id: int) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: int) -> Optional[LookupResult]:
+        """Find ``key``; None if absent."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None
+
+    # -- optional capabilities -------------------------------------------
+
+    def range_scan(self, low: int, high: int) -> List[Tuple[int, int]]:
+        """(key, record_id) pairs with low <= key <= high, ascending.
+
+        Only ordered stores support scans.
+        """
+        raise NotImplementedError(f"{self.kind} does not support range scans")
+
+    def bulk_load(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Insert many (key, record_id) pairs."""
+        for key, record_id in pairs:
+            self.insert(key, record_id)

@@ -1,0 +1,165 @@
+"""B+Tree (the paper's *B+Tree* store, after the TLX btree).
+
+Values live only in leaves; leaves are chained for fast range scans.
+Internal nodes hold separator keys.  Splits are preemptive on the way
+down, like the B-Tree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.kvs.base import KeyValueStore, LookupResult
+
+DEFAULT_FANOUT = 128
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.values: List[int] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.children: List[object] = []
+
+
+class BPlusTreeStore(KeyValueStore):
+    """B+Tree with linked leaves."""
+
+    kind = "bplustree"
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT):
+        if fanout < 4:
+            raise ValueError(f"fanout too small: {fanout}")
+        self.fanout = fanout
+        self._root: object = _Leaf()
+        self._size = 0
+
+    # -- insert -------------------------------------------------------------
+
+    def insert(self, key: int, record_id: int) -> None:
+        split = self._insert_into(self._root, key, record_id)
+        if split is not None:
+            separator, right = split
+            new_root = _Inner()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert_into(self, node, key: int, record_id: int):
+        """Insert; returns (separator, new right sibling) if node split."""
+        if isinstance(node, _Leaf):
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position] = record_id
+                return None
+            node.keys.insert(position, key)
+            node.values.insert(position, record_id)
+            self._size += 1
+            if len(node.keys) <= self.fanout:
+                return None
+            middle = len(node.keys) // 2
+            right = _Leaf()
+            right.keys = node.keys[middle:]
+            right.values = node.values[middle:]
+            node.keys = node.keys[:middle]
+            node.values = node.values[:middle]
+            right.next = node.next
+            node.next = right
+            return right.keys[0], right
+
+        position = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[position], key, record_id)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(position, separator)
+        node.children.insert(position + 1, right)
+        if len(node.keys) <= self.fanout:
+            return None
+        middle = len(node.keys) // 2
+        new_inner = _Inner()
+        up_key = node.keys[middle]
+        new_inner.keys = node.keys[middle + 1:]
+        new_inner.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        return up_key, new_inner
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[LookupResult]:
+        node = self._root
+        depth = 0
+        while isinstance(node, _Inner):
+            depth += 1
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        depth += 1
+        position = bisect.bisect_left(node.keys, key)
+        if position < len(node.keys) and node.keys[position] == key:
+            return LookupResult(node.values[position], probe_depth=depth)
+        return None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def height(self) -> int:
+        node, levels = self._root, 1
+        while isinstance(node, _Inner):
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # -- range scan (the B+Tree's specialty) -----------------------------------
+
+    def range_scan(self, low: int, high: int) -> List[Tuple[int, int]]:
+        if low > high:
+            raise ValueError(f"empty range: [{low}, {high}]")
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[bisect.bisect_right(node.keys, low)]
+        out: List[Tuple[int, int]] = []
+        while node is not None:
+            position = bisect.bisect_left(node.keys, low)
+            while position < len(node.keys):
+                key = node.keys[position]
+                if key > high:
+                    return out
+                out.append((key, node.values[position]))
+                position += 1
+            node = node.next
+        return out
+
+    def check_invariants(self) -> None:
+        """Sorted keys everywhere, leaf chain covers all keys in order."""
+        def visit(node, lower, upper):
+            assert node.keys == sorted(node.keys)
+            for key in node.keys:
+                assert lower is None or key >= lower
+                assert upper is None or key < upper
+            if isinstance(node, _Inner):
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [lower] + node.keys + [upper]
+                for index, child in enumerate(node.children):
+                    visit(child, bounds[index], bounds[index + 1])
+
+        visit(self._root, None, None)
+        # Leaf chain must be globally sorted and complete.
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        seen = []
+        while node is not None:
+            seen.extend(node.keys)
+            node = node.next
+        assert seen == sorted(seen)
+        assert len(seen) == self._size

@@ -1,0 +1,151 @@
+"""B-Tree (the paper's *B-Tree* store, after Google's cpp-btree).
+
+A classic B-Tree: keys and values live in internal nodes too, so a
+lookup can stop before reaching a leaf.  Order-``fanout`` nodes split at
+``fanout`` keys on the way down (preemptive splitting keeps the insert
+path single-pass).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.kvs.base import KeyValueStore, LookupResult
+
+DEFAULT_FANOUT = 64
+
+
+class _BTreeNode:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.values: List[int] = []
+        self.children: List["_BTreeNode"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTreeStore(KeyValueStore):
+    """B-Tree with values in every node."""
+
+    kind = "btree"
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT):
+        if fanout < 4:
+            raise ValueError(f"fanout too small: {fanout}")
+        self.fanout = fanout
+        self._root = _BTreeNode()
+        self._size = 0
+
+    # -- insert ------------------------------------------------------------
+
+    def insert(self, key: int, record_id: int) -> None:
+        root = self._root
+        if len(root.keys) >= self.fanout:
+            new_root = _BTreeNode()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, record_id)
+
+    def _split_child(self, parent: _BTreeNode, index: int) -> None:
+        child = parent.children[index]
+        middle = len(child.keys) // 2
+        sibling = _BTreeNode()
+        sibling.keys = child.keys[middle + 1:]
+        sibling.values = child.values[middle + 1:]
+        if not child.is_leaf:
+            sibling.children = child.children[middle + 1:]
+            child.children = child.children[:middle + 1]
+        up_key = child.keys[middle]
+        up_value = child.values[middle]
+        child.keys = child.keys[:middle]
+        child.values = child.values[:middle]
+        parent.keys.insert(index, up_key)
+        parent.values.insert(index, up_value)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _BTreeNode, key: int, record_id: int) -> None:
+        while True:
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position] = record_id
+                return
+            if node.is_leaf:
+                node.keys.insert(position, key)
+                node.values.insert(position, record_id)
+                self._size += 1
+                return
+            child = node.children[position]
+            if len(child.keys) >= self.fanout:
+                self._split_child(node, position)
+                if key == node.keys[position]:
+                    node.values[position] = record_id
+                    return
+                if key > node.keys[position]:
+                    position += 1
+            node = node.children[position]
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[LookupResult]:
+        node = self._root
+        depth = 0
+        while True:
+            depth += 1
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                return LookupResult(node.values[position], probe_depth=depth)
+            if node.is_leaf:
+                return None
+            node = node.children[position]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def height(self) -> int:
+        node, levels = self._root, 1
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def range_scan(self, low: int, high: int) -> List[Tuple[int, int]]:
+        """In-order traversal restricted to [low, high]."""
+        if low > high:
+            raise ValueError(f"empty range: [{low}, {high}]")
+        out: List[Tuple[int, int]] = []
+        self._scan(self._root, low, high, out)
+        return out
+
+    def _scan(self, node: _BTreeNode, low: int, high: int,
+              out: List[Tuple[int, int]]) -> None:
+        start = bisect.bisect_left(node.keys, low)
+        for position in range(start, len(node.keys) + 1):
+            if not node.is_leaf:
+                if position == start or node.keys[position - 1] <= high:
+                    self._scan(node.children[position], low, high, out)
+            if position < len(node.keys) and low <= node.keys[position] <= high:
+                out.append((node.keys[position], node.values[position]))
+            if position < len(node.keys) and node.keys[position] > high:
+                break
+
+    def check_invariants(self) -> None:
+        """Structural sanity: sorted keys, consistent child counts."""
+        def visit(node: _BTreeNode, lower: Optional[int], upper: Optional[int]):
+            assert node.keys == sorted(node.keys)
+            assert len(node.keys) == len(node.values)
+            for key in node.keys:
+                assert lower is None or key > lower
+                assert upper is None or key < upper
+            if not node.is_leaf:
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [lower] + node.keys + [upper]
+                for index, child in enumerate(node.children):
+                    visit(child, bounds[index], bounds[index + 1])
+
+        visit(self._root, None, None)

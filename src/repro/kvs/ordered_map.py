@@ -1,0 +1,146 @@
+"""Ordered map (the paper's *Map* store): an AVL tree.
+
+A classic height-balanced binary search tree, standing in for the
+``std::map``-style red-black tree.  Probe depth is the binary-search
+path length — noticeably deeper than the wide trees, which is exactly
+the per-request work difference the Fig. 9 *Map* bars reflect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kvs.base import KeyValueStore, LookupResult
+
+
+class _AvlNode:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: int, value: int):
+        self.key = key
+        self.value = value
+        self.left: Optional["_AvlNode"] = None
+        self.right: Optional["_AvlNode"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_AvlNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _balance(node: _AvlNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _fix_height(node: _AvlNode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _rotate_right(node: _AvlNode) -> _AvlNode:
+    pivot = node.left
+    node.left = pivot.right
+    pivot.right = node
+    _fix_height(node)
+    _fix_height(pivot)
+    return pivot
+
+
+def _rotate_left(node: _AvlNode) -> _AvlNode:
+    pivot = node.right
+    node.right = pivot.left
+    pivot.left = node
+    _fix_height(node)
+    _fix_height(pivot)
+    return pivot
+
+
+def _rebalance(node: _AvlNode) -> _AvlNode:
+    _fix_height(node)
+    balance = _balance(node)
+    if balance > 1:
+        if _balance(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        if _balance(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class OrderedMapStore(KeyValueStore):
+    """AVL-tree ordered map."""
+
+    kind = "map"
+
+    def __init__(self) -> None:
+        self._root: Optional[_AvlNode] = None
+        self._size = 0
+
+    def insert(self, key: int, record_id: int) -> None:
+        self._root = self._insert(self._root, key, record_id)
+
+    def _insert(self, node: Optional[_AvlNode], key: int,
+                record_id: int) -> _AvlNode:
+        if node is None:
+            self._size += 1
+            return _AvlNode(key, record_id)
+        if key == node.key:
+            node.value = record_id
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key, record_id)
+        else:
+            node.right = self._insert(node.right, key, record_id)
+        return _rebalance(node)
+
+    def lookup(self, key: int) -> Optional[LookupResult]:
+        node = self._root
+        depth = 0
+        while node is not None:
+            depth += 1
+            if key == node.key:
+                return LookupResult(node.value, probe_depth=depth)
+            node = node.left if key < node.key else node.right
+        return None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def height(self) -> int:
+        return _height(self._root)
+
+    def range_scan(self, low: int, high: int) -> List[Tuple[int, int]]:
+        if low > high:
+            raise ValueError(f"empty range: [{low}, {high}]")
+        out: List[Tuple[int, int]] = []
+        stack: List[Tuple[_AvlNode, bool]] = []
+        if self._root is not None:
+            stack.append((self._root, False))
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                if low <= node.key <= high:
+                    out.append((node.key, node.value))
+                continue
+            if node.right is not None and node.key < high:
+                stack.append((node.right, False))
+            stack.append((node, True))
+            if node.left is not None and node.key > low:
+                stack.append((node.left, False))
+        return out
+
+    def check_invariants(self) -> None:
+        """BST ordering + AVL balance factor in [-1, 1] everywhere."""
+        def visit(node, lower, upper) -> int:
+            if node is None:
+                return 0
+            assert lower is None or node.key > lower
+            assert upper is None or node.key < upper
+            left = visit(node.left, lower, node.key)
+            right = visit(node.right, node.key, upper)
+            assert abs(left - right) <= 1, "AVL balance violated"
+            assert node.height == 1 + max(left, right)
+            return node.height
+
+        visit(self._root, None, None)

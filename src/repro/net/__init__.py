@@ -1,0 +1,39 @@
+"""RDMA network model: message types and the NIC-to-NIC fabric.
+
+The fabric models Table III's network rows: 2 µs NIC-to-NIC round trip,
+200 Gb/s bandwidth with per-NIC egress serialization, and the HADES
+message extensions (Intend-to-commit, Ack, Validation, Squash) handled
+at the receiving NIC.
+"""
+
+from repro.net.fabric import Fabric
+from repro.net.messages import (
+    AckMessage,
+    BatchedLockRequest,
+    BatchedUnlockRequest,
+    BatchedValidateRequest,
+    IntendToCommitMessage,
+    Message,
+    RdmaReadRequest,
+    RdmaReadResponse,
+    RdmaWriteRequest,
+    RemoteWriteAccessRequest,
+    SquashMessage,
+    ValidationMessage,
+)
+
+__all__ = [
+    "AckMessage",
+    "BatchedLockRequest",
+    "BatchedUnlockRequest",
+    "BatchedValidateRequest",
+    "Fabric",
+    "IntendToCommitMessage",
+    "Message",
+    "RdmaReadRequest",
+    "RdmaReadResponse",
+    "RdmaWriteRequest",
+    "RemoteWriteAccessRequest",
+    "SquashMessage",
+    "ValidationMessage",
+]

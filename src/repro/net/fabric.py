@@ -1,0 +1,127 @@
+"""NIC-to-NIC network fabric.
+
+Delivery time of a message from node ``src`` to node ``dst``:
+
+* the sender's NIC serializes the message at line rate (200 Gb/s); a
+  busy NIC queues the message (per-NIC egress serialization models
+  bandwidth contention),
+* plus one-way propagation (half of the 2 µs round trip),
+* plus a small fixed NIC processing charge at the receiver.
+
+Handlers registered per node receive ``(src, message)``; a handler may
+be a plain callable or return a generator, which the fabric spawns as a
+process (long-running handling such as Intend-to-commit processing).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict
+
+from repro.config import NetworkParams
+from repro.net.messages import Message
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+Handler = Callable[[int, Message], Any]
+
+
+class Fabric:
+    """The cluster's RDMA network."""
+
+    def __init__(self, engine: Engine, params: NetworkParams):
+        self.engine = engine
+        self.params = params
+        self._handlers: Dict[int, Handler] = {}
+        self._egress_free_at: Dict[int, float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def register(self, node_id: int, handler: Handler) -> None:
+        """Install ``handler`` for messages delivered to ``node_id``."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already has a handler")
+        self._handlers[node_id] = handler
+
+    def send(self, src: int, dst: int, message: Message) -> Event:
+        """Send ``message``; returns an event that fires at delivery.
+
+        The returned event is informational — delivery also invokes the
+        destination handler.  Sending to an unregistered node or to
+        yourself is a protocol bug and raises immediately.
+        """
+        if src == dst:
+            raise ValueError(f"node {src} sending to itself: {message!r}")
+        if dst not in self._handlers:
+            raise KeyError(f"no handler registered for node {dst}")
+        size = message.size_bytes()
+        now = self.engine.now
+        egress_start = max(now, self._egress_free_at.get(src, 0.0))
+        egress_done = egress_start + self.params.transfer_ns(size)
+        self._egress_free_at[src] = egress_done
+        delivery_delay = (
+            (egress_done - now)
+            + self.params.one_way_latency_ns
+            + self.params.nic_processing_ns
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size
+        delivered = self.engine.event()
+        self.engine.schedule(delivery_delay, self._deliver, src, dst, message,
+                             delivered)
+        return delivered
+
+    def _deliver(self, src: int, dst: int, message: Message,
+                 delivered: Event) -> None:
+        handler = self._handlers[dst]
+        result = handler(src, message)
+        if inspect.isgenerator(result):
+            self.engine.process(result, name=f"handle-{type(message).__name__}")
+        delivered.succeed(message)
+
+    def egress_backlog_ns(self, node_id: int) -> float:
+        """How far in the future the node's NIC egress is booked."""
+        return max(0.0, self._egress_free_at.get(node_id, 0.0) - self.engine.now)
+
+
+class RequestReplyHelper:
+    """Correlates request messages with their replies.
+
+    Protocols often need "send request, wait for the matching reply".
+    The helper hands out reply events keyed by an arbitrary token; the
+    destination's handler resolves them via :meth:`resolve`.
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._pending: Dict[Any, Event] = {}
+
+    def expect(self, token: Any) -> Event:
+        if token in self._pending:
+            raise ValueError(f"duplicate outstanding request token {token!r}")
+        event = self.engine.event()
+        self._pending[token] = event
+        return event
+
+    def resolve(self, token: Any, value: Any = None) -> None:
+        event = self._pending.pop(token, None)
+        if event is None:
+            # The requester may have been squashed and abandoned the
+            # request; late replies are dropped.
+            return
+        event.succeed(value)
+
+    def abandon(self, token: Any) -> None:
+        """Requester no longer cares (squashed mid-flight)."""
+        self._pending.pop(token, None)
+
+    def abandon_owner(self, owner) -> None:
+        """Drop every pending token issued for ``owner``'s transaction."""
+        stale = [token for token in self._pending
+                 if isinstance(token, tuple) and token and token[0] == owner]
+        for token in stale:
+            self._pending.pop(token, None)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)

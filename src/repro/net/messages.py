@@ -1,0 +1,209 @@
+"""Protocol message types.
+
+Messages model both the conventional one-sided RDMA verbs used by the
+Baseline (reads, writes, CAS-based lock/unlock, batched validation) and
+the three new HADES RDMA operations (Section IV-A / Table II):
+*Intend-to-commit*, *Ack*, and *Validation*, plus the *Squash*
+notification.
+
+Every message reports its wire size so the fabric can charge
+serialization delay: a fixed header plus 8 B per line address and the
+payload bytes for carried data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Fixed per-message wire overhead (headers, routing, CRC).
+HEADER_BYTES = 64
+#: Wire size of one line address.
+ADDRESS_BYTES = 8
+#: Cache-line payload size.
+LINE_BYTES = 64
+
+Owner = Tuple[int, int]  # (origin node id, transaction id)
+
+
+@dataclass
+class Message:
+    """Base class: every message knows its origin transaction."""
+
+    owner: Owner
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+    @property
+    def origin_node(self) -> int:
+        return self.owner[0]
+
+
+# -- conventional RDMA verbs (Baseline + HADES execution phase) --------
+
+
+@dataclass
+class ReplyMessage(Message):
+    """Generic reply correlated to a request by ``token``."""
+
+    token: int = 0
+    payload: object = None
+    #: Wire size of the payload (data lines, version vectors, ...).
+    payload_bytes: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+
+@dataclass
+class RdmaReadRequest(Message):
+    """One-sided RDMA read of a set of cache lines."""
+
+    lines: List[int] = field(default_factory=list)
+    token: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * len(self.lines)
+
+
+@dataclass
+class RdmaReadResponse(Message):
+    """Data returned for an RDMA read."""
+
+    values: Dict[int, object] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + LINE_BYTES * len(self.values)
+
+
+@dataclass
+class RdmaWriteRequest(Message):
+    """One-sided RDMA write carrying line values (Baseline commit)."""
+
+    values: Dict[int, object] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + (ADDRESS_BYTES + LINE_BYTES) * len(self.values)
+
+
+@dataclass
+class RemoteWriteAccessRequest(Message):
+    """HADES execution-phase remote write access (Table II).
+
+    Registers the write in the remote NIC's RemoteWriteBF and fetches
+    only the partially-written edge lines back to the requester.
+    """
+
+    all_lines: List[int] = field(default_factory=list)
+    partial_lines: List[int] = field(default_factory=list)
+    token: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * len(self.all_lines)
+
+
+@dataclass
+class BatchedLockRequest(Message):
+    """Baseline validation: batched RDMA CAS locks for one node's records.
+
+    FaRM CASes a combined version+lock word, so each lock carries the
+    version observed at read time: a changed version fails the lock.
+    """
+
+    record_addresses: List[int] = field(default_factory=list)
+    expected_versions: List[int] = field(default_factory=list)
+    token: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * len(self.record_addresses)
+
+
+@dataclass
+class BatchedValidateRequest(Message):
+    """Baseline validation: batched version re-reads for one node."""
+
+    record_addresses: List[int] = field(default_factory=list)
+    #: Version each record had when first read (for re-validation).
+    expected_versions: List[int] = field(default_factory=list)
+    token: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * len(self.record_addresses)
+
+
+@dataclass
+class BatchedUnlockRequest(Message):
+    """Baseline commit: batched unlocks (sent without stalling)."""
+
+    record_addresses: List[int] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * len(self.record_addresses)
+
+
+# -- new HADES RDMA operations ------------------------------------------
+
+
+@dataclass
+class IntendToCommitMessage(Message):
+    """Commit Step 3: the written addresses homed at the destination."""
+
+    written_lines: List[int] = field(default_factory=list)
+    token: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * len(self.written_lines)
+
+
+@dataclass
+class AckMessage(Message):
+    """Remote node's Ack: the committer cannot be squashed there anymore."""
+
+    success: bool = True
+    token: int = 0
+
+
+@dataclass
+class ValidationMessage(Message):
+    """Commit Step 5: clear remote state and push the buffered updates."""
+
+    updates: Dict[int, object] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + (ADDRESS_BYTES + LINE_BYTES) * len(self.updates)
+
+
+@dataclass
+class SquashMessage(Message):
+    """Squash notification for a conflicting transaction.
+
+    ``victim`` identifies the transaction to squash at the destination
+    (it may be a transaction local to the destination, or one whose
+    remote state the destination must clear).
+    """
+
+    victim: Owner = (0, 0)
+    reason: str = "conflict"
+
+
+@dataclass
+class AbortCleanupMessage(Message):
+    """Squashed transaction tells remote NICs to drop its BFs/locks."""
+
+
+@dataclass
+class DirectoryLockRequest(Message):
+    """Pessimistic mode (Section VI): lock a remote directory up front.
+
+    Carries the exact read/write line lists so the remote NIC can build
+    the BF pair for its Locking Buffer.
+    """
+
+    read_lines: List[int] = field(default_factory=list)
+    write_lines: List[int] = field(default_factory=list)
+    token: int = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * (len(self.read_lines)
+                                               + len(self.write_lines))

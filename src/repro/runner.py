@@ -1,0 +1,174 @@
+"""Experiment runner: build a cluster, run workloads, collect metrics.
+
+One :func:`run_experiment` call reproduces one bar of one figure: it
+builds a fresh cluster from a :class:`~repro.config.ClusterConfig`,
+instantiates the requested protocol, populates the workload's records,
+starts one client driver per (node, slot), and runs the simulation for
+``duration_ns`` of simulated time (after an optional warm-up whose
+metrics are discarded, mirroring the paper's 1B-instruction warm-up).
+
+Workload mixes (Figs. 14, 15) pass several workloads; nodes' core slots
+are partitioned round-robin between them, modeling the paper's
+space-shared environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Union
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import PROTOCOLS
+from repro.sim.engine import Engine
+from repro.sim.random import DeterministicRandom
+from repro.sim.stats import RunMetrics
+from repro.workloads.base import Workload
+
+#: Default simulated run length (ns).  Long enough for thousands of
+#: transactions on the default cluster.
+DEFAULT_DURATION_NS = 3_000_000.0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run reports."""
+
+    protocol: str
+    workload: str
+    config: ClusterConfig
+    metrics: RunMetrics
+    #: Per-workload metrics when running a mix (keyed by workload name).
+    per_workload: Dict[str, RunMetrics] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput()
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.metrics.latency.mean()
+
+    @property
+    def p95_latency_ns(self) -> float:
+        return self.metrics.latency.p95()
+
+
+def build_protocol(name: str, cluster: Cluster,
+                   metrics: Optional[RunMetrics] = None, seed: int = 1):
+    """Instantiate a protocol by registry name."""
+    if name not in PROTOCOLS:
+        raise KeyError(f"unknown protocol {name!r}; pick from "
+                       f"{sorted(PROTOCOLS)}")
+    return PROTOCOLS[name](cluster, metrics=metrics, seed=seed)
+
+
+def run_experiment(
+    protocol: str,
+    workloads: Union[Workload, Sequence[Workload]],
+    config: Optional[ClusterConfig] = None,
+    duration_ns: float = DEFAULT_DURATION_NS,
+    warmup_ns: float = 0.0,
+    seed: int = 42,
+    llc_sets: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one (protocol, workload[s], cluster) combination."""
+    if isinstance(workloads, Workload):
+        workloads = [workloads]
+    else:
+        workloads = list(workloads)
+    if not workloads:
+        raise ValueError("need at least one workload")
+    config = config if config is not None else ClusterConfig()
+
+    engine = Engine()
+    cluster = Cluster(engine, config, llc_sets=llc_sets)
+    metrics = RunMetrics()
+    proto = build_protocol(protocol, cluster, metrics=metrics, seed=seed)
+    per_workload = {workload.name: RunMetrics() for workload in workloads}
+
+    for workload in workloads:
+        workload.populate(cluster)
+
+    # One driver per transaction slot; slots are partitioned round-robin
+    # between the workloads of a mix (space sharing).
+    for node in cluster.nodes:
+        for slot in range(config.transactions_per_node):
+            workload = workloads[slot % len(workloads)]
+            rng = DeterministicRandom(f"{seed}:{node.node_id}:{slot}")
+            engine.process(
+                _client_driver(proto, workload, node.node_id, slot, rng,
+                               per_workload[workload.name]),
+                name=f"client-n{node.node_id}-s{slot}",
+            )
+
+    if warmup_ns > 0:
+        engine.run(until=warmup_ns)
+        _reset_metrics(metrics)
+        for workload_metrics in per_workload.values():
+            _reset_metrics(workload_metrics)
+    engine.run(until=warmup_ns + duration_ns)
+
+    metrics.elapsed_ns = duration_ns
+    for workload_metrics in per_workload.values():
+        workload_metrics.elapsed_ns = duration_ns
+    workload_name = (workloads[0].name if len(workloads) == 1
+                     else "+".join(w.name for w in workloads))
+    return ExperimentResult(protocol=protocol, workload=workload_name,
+                            config=config, metrics=metrics,
+                            per_workload=per_workload)
+
+
+def _client_driver(protocol, workload: Workload, node_id: int, slot: int,
+                   rng: DeterministicRandom, workload_metrics: RunMetrics):
+    """Closed-loop client: one transaction after another, forever."""
+    cluster = protocol.cluster
+    while True:
+        spec = workload.next_transaction(rng, node_id, cluster,
+                                         client_id=(node_id, slot))
+        started = protocol.engine.now
+        yield from protocol.execute(node_id, slot, spec)
+        workload_metrics.meter.commit()
+        workload_metrics.latency.record(protocol.engine.now - started)
+
+
+def _reset_metrics(metrics: RunMetrics) -> None:
+    """Discard warm-up numbers in place (the protocol holds the ref)."""
+    fresh = RunMetrics()
+    metrics.meter = fresh.meter
+    metrics.latency = fresh.latency
+    metrics.phases = fresh.phases
+    metrics.overheads = fresh.overheads
+    metrics.counters = fresh.counters
+
+
+def compare_protocols(
+    workload_factory,
+    protocols: Sequence[str] = ("baseline", "hades-h", "hades"),
+    config: Optional[ClusterConfig] = None,
+    duration_ns: float = DEFAULT_DURATION_NS,
+    seed: int = 42,
+    llc_sets: Optional[int] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run the same workload under several protocols.
+
+    ``workload_factory`` is a zero-argument callable returning fresh
+    workload instance(s) — each protocol needs its own cluster, so
+    workloads cannot be shared between runs.
+    """
+    results = {}
+    for protocol in protocols:
+        results[protocol] = run_experiment(
+            protocol, workload_factory(), config=config,
+            duration_ns=duration_ns, seed=seed, llc_sets=llc_sets)
+    return results
+
+
+def normalized_throughput(results: Dict[str, ExperimentResult],
+                          baseline: str = "baseline") -> Dict[str, float]:
+    """Throughput of each protocol relative to ``baseline`` (Fig. 9 y-axis)."""
+    reference = results[baseline].throughput
+    if reference <= 0:
+        raise ValueError("baseline committed no transactions")
+    return {name: result.throughput / reference
+            for name, result in results.items()}

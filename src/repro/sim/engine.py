@@ -1,0 +1,185 @@
+"""The discrete-event simulation engine.
+
+:class:`Engine` owns the simulated clock (a float, in nanoseconds) and a
+priority queue of scheduled callbacks.  :class:`Process` wraps a Python
+generator into a schedulable process: the generator yields what it waits
+for and the engine resumes it when that thing happens.
+
+Yieldable values inside a process generator:
+
+* ``float`` / ``int`` — sleep for that many nanoseconds.
+* :class:`~repro.sim.events.Event` (including :class:`Process`) — wait
+  until it triggers; the ``yield`` expression evaluates to the event's
+  value.
+* ``None`` — yield the CPU for zero time (resume immediately, after any
+  events already scheduled for *now*).
+
+A process may be :meth:`interrupted <Process.interrupt>`: an
+:class:`~repro.sim.events.Interrupt` is thrown into its generator at the
+current wait point.  Generators can catch it (transaction restart) or let
+it unwind (process death).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import CompletionEvent, Event, Interrupt, Timeout
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Engine:
+    """Deterministic event loop with a nanosecond clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list = []
+        self._sequence = itertools.count()
+        self._active = 0  # number of live processes (for run-until-idle)
+        #: The process currently executing, if any — lets library code
+        #: running inside a process discover its own Process handle
+        #: (used to register transactions for squash interrupts).
+        self.current_process: Optional["Process"] = None
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay}")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), callback, args)
+        )
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> "Process":
+        """Start ``generator`` as a new process, beginning at the current time."""
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or the clock passes ``until``.
+
+        Returns the final simulation time.  With ``until`` set, the clock
+        is advanced exactly to ``until`` even if the last event fired
+        earlier, so throughput denominators are well defined.
+        """
+        while self._queue:
+            when, _seq, callback, args = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            callback(*args)
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+
+class Process(CompletionEvent):
+    """A running generator-based process.
+
+    A ``Process`` is itself an event that triggers when the generator
+    returns (value = generator return value) or dies with an exception.
+    """
+
+    def __init__(self, engine: Engine, generator: ProcessGenerator, name: str = ""):
+        super().__init__(engine)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        engine._active += 1
+        engine.schedule(0.0, self._resume, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        No-op on a dead process.  If the process is waiting on an event,
+        it is removed from that event's waiters first, so the event's
+        later trigger does not resume it a second time.
+        """
+        if not self._alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._on_event)
+            self._waiting_on = None
+        self.engine.schedule(0.0, self._resume, None, Interrupt(cause))
+
+    # -- internals ---------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        exception = getattr(event, "exception", None)
+        if exception is not None:
+            self._resume(None, exception)
+        else:
+            self._resume(event.value, None)
+
+    def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        previous = self.engine.current_process
+        self.engine.current_process = self
+        try:
+            if exception is not None:
+                yielded = self._generator.throw(exception)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Interrupt as interrupt:
+            # An uncaught interrupt kills the process quietly: this is
+            # the normal fate of a squashed helper process.
+            self._finish(None, interrupt)
+            return
+        except BaseException as error:  # noqa: BLE001 - route to waiters
+            self._finish(None, error)
+            return
+        finally:
+            self.engine.current_process = previous
+        self._wait_for(yielded)
+
+    def _wait_for(self, yielded: Any) -> None:
+        if yielded is None:
+            self.engine.schedule(0.0, self._resume, None, None)
+        elif isinstance(yielded, Event):
+            self._waiting_on = yielded
+            yielded.add_callback(self._on_event)
+        elif isinstance(yielded, (int, float)):
+            self._wait_for(self.engine.timeout(float(yielded)))
+        else:
+            error = TypeError(f"process {self.name!r} yielded {yielded!r}")
+            self._finish(None, error)
+
+    def _finish(self, value: Any, exception: Optional[BaseException]) -> None:
+        self._alive = False
+        self.engine._active -= 1
+        if exception is not None and not isinstance(exception, Interrupt):
+            had_waiters = bool(self._callbacks)
+            self.fail(exception)
+            # A real error should not pass silently: re-raise out of the
+            # event loop unless somebody is waiting for this process.
+            if not had_waiters:
+                raise exception
+        else:
+            self.exception = exception
+            if not self.triggered:
+                self.succeed(value)

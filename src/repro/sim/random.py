@@ -1,0 +1,164 @@
+"""Deterministic random-variate generation for workloads.
+
+Every experiment seeds its own :class:`DeterministicRandom`, so runs are
+reproducible bit-for-bit.  :class:`ZipfianGenerator` implements the YCSB
+scrambled-zipfian popularity distribution used by the paper's key-value
+store workloads (Section VII: "using a zipfian distribution").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Default skew used by YCSB and by the paper's evaluation.
+YCSB_ZIPFIAN_CONSTANT = 0.99
+
+#: Large prime used by YCSB's hash scrambling of zipfian ranks.
+_FNV_OFFSET_BASIS = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """64-bit FNV-1a hash of an integer, used to scatter zipfian ranks."""
+    data = value & 0xFFFFFFFFFFFFFFFF
+    result = _FNV_OFFSET_BASIS
+    for _ in range(8):
+        octet = data & 0xFF
+        data >>= 8
+        result ^= octet
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class DeterministicRandom(random.Random):
+    """A seeded RNG with a few workload-oriented helpers."""
+
+    def choice_weighted(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Pick one item with the given (unnormalized) weights."""
+        total = sum(weights)
+        point = self.random() * total
+        accumulated = 0.0
+        for item, weight in zip(items, weights):
+            accumulated += weight
+            if point < accumulated:
+                return item
+        return items[-1]
+
+    def distinct_sample(self, population: int, count: int) -> List[int]:
+        """``count`` distinct integers in ``[0, population)``."""
+        if count > population:
+            raise ValueError(f"cannot sample {count} from {population}")
+        return self.sample(range(population), count)
+
+
+class ZipfianGenerator:
+    """YCSB-style zipfian generator over ``[0, item_count)``.
+
+    Rank 0 is the most popular item.  With ``scrambled=True`` (the YCSB
+    default and ours) the rank is hashed so popular keys are spread over
+    the whole key space — and therefore over all home nodes, matching the
+    paper's uniform record distribution.
+    """
+
+    def __init__(
+        self,
+        item_count: int,
+        theta: float = YCSB_ZIPFIAN_CONSTANT,
+        rng: random.Random = None,
+        scrambled: bool = True,
+    ):
+        if item_count < 1:
+            raise ValueError("item_count must be positive")
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"theta must be in (0, 1): {theta}")
+        self.item_count = item_count
+        self.theta = theta
+        self.scrambled = scrambled
+        self._rng = rng if rng is not None else DeterministicRandom(0)
+        self._zeta_n = self._zeta(item_count, theta)
+        self._zeta_2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        if item_count > 2:
+            self._eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (
+                1.0 - self._zeta_2 / self._zeta_n
+            )
+        else:
+            # The YCSB closed form degenerates for tiny populations;
+            # next_rank() falls back to direct inverse-CDF sampling.
+            self._eta = 0.0
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next_rank(self) -> int:
+        """Draw the next zipfian rank (0 = most popular)."""
+        u = self._rng.random()
+        if self.item_count <= 2:
+            return 0 if u < self.probability_of_rank(0) else self.item_count - 1
+        uz = u * self._zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        rank = int(self.item_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(rank, self.item_count - 1)
+
+    def next_key(self) -> int:
+        """Draw the next key in ``[0, item_count)``."""
+        rank = self.next_rank()
+        if not self.scrambled:
+            return rank
+        return fnv1a_64(rank) % self.item_count
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Analytic probability mass of the item at ``rank`` (0-based)."""
+        if not 0 <= rank < self.item_count:
+            raise ValueError(f"rank out of range: {rank}")
+        return (1.0 / ((rank + 1) ** self.theta)) / self._zeta_n
+
+
+class UniformGenerator:
+    """Uniform key generator with the same interface as the zipfian one."""
+
+    def __init__(self, item_count: int, rng: random.Random = None):
+        if item_count < 1:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self._rng = rng if rng is not None else DeterministicRandom(0)
+
+    def next_key(self) -> int:
+        return self._rng.randrange(self.item_count)
+
+
+def exponential_backoff(rng: random.Random, attempt: int, base_ns: float,
+                        cap_ns: float) -> float:
+    """Randomized exponential backoff delay for transaction retries."""
+    if attempt < 0:
+        raise ValueError("attempt must be non-negative")
+    ceiling = min(cap_ns, base_ns * (2.0 ** min(attempt, 32)))
+    return rng.random() * ceiling
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    interpolated = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    # Clamp: float interpolation of equal values can exceed max by an ulp.
+    return min(max(interpolated, ordered[0]), ordered[-1])

@@ -1,0 +1,182 @@
+"""Statistics collectors used across the simulator.
+
+The paper's figures need: committed-transactions-per-second throughput
+(Figs. 9, 12–15), mean latency broken into Execution/Validation/Commit
+phases (Fig. 10), 95th-percentile tail latency (Fig. 11), and event
+counters for the characterization experiments (squash causes, Bloom
+filter false positives — Section VIII-C).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.sim.random import percentile
+
+NANOSECONDS_PER_SECOND = 1e9
+
+
+class Counter:
+    """Named integer counters with defaultdict semantics."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters (0 when the denominator is 0)."""
+        below = self._counts.get(denominator, 0)
+        if below == 0:
+            return 0.0
+        return self._counts.get(numerator, 0) / below
+
+
+class LatencyRecorder:
+    """Collects per-transaction latencies (nanoseconds)."""
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency: {value}")
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def percentile(self, fraction: float) -> float:
+        if not self._values:
+            return 0.0
+        return percentile(self._values, fraction)
+
+    def p95(self) -> float:
+        """95th-percentile tail latency (Fig. 11)."""
+        return self.percentile(0.95)
+
+
+class PhaseBreakdown:
+    """Accumulates time per named phase, per committed transaction.
+
+    Baseline transactions have Execution / Validation / Commit phases;
+    HADES variants only Execution / Validation (Fig. 10).  The overhead
+    analysis (Fig. 3) uses the same collector with category names.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._transactions = 0
+
+    def add(self, phase: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration for {phase}: {duration}")
+        self._totals[phase] += duration
+
+    def finish_transaction(self) -> None:
+        self._transactions += 1
+
+    @property
+    def transactions(self) -> int:
+        return self._transactions
+
+    def total(self, phase: Optional[str] = None) -> float:
+        if phase is not None:
+            return self._totals.get(phase, 0.0)
+        return sum(self._totals.values())
+
+    def mean_per_transaction(self) -> Dict[str, float]:
+        if self._transactions == 0:
+            return {}
+        return {name: total / self._transactions for name, total in self._totals.items()}
+
+    def fractions(self) -> Dict[str, float]:
+        """Each phase's share of the grand total (sums to 1)."""
+        grand = self.total()
+        if grand == 0:
+            return {}
+        return {name: total / grand for name, total in self._totals.items()}
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+
+class ThroughputMeter:
+    """Committed transactions per simulated second."""
+
+    def __init__(self) -> None:
+        self.committed = 0
+        self.aborted = 0
+
+    def commit(self) -> None:
+        self.committed += 1
+
+    def abort(self) -> None:
+        self.aborted += 1
+
+    def throughput(self, elapsed_ns: float) -> float:
+        """Committed transactions per second over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            raise ValueError(f"elapsed time must be positive: {elapsed_ns}")
+        return self.committed * NANOSECONDS_PER_SECOND / elapsed_ns
+
+    @property
+    def attempts(self) -> int:
+        return self.committed + self.aborted
+
+    def abort_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.aborted / self.attempts
+
+
+class RunMetrics:
+    """Everything one experiment run reports, bundled.
+
+    ``latency`` only records *committed* transactions (the paper reports
+    transaction latency for completed transactions); squashed attempts
+    show up in the meter's abort counts and in ``counters``.
+    """
+
+    def __init__(self) -> None:
+        self.meter = ThroughputMeter()
+        self.latency = LatencyRecorder()
+        self.phases = PhaseBreakdown()
+        #: Fig. 3 overhead categories (Table I rows + "other").
+        self.overheads = PhaseBreakdown()
+        self.counters = Counter()
+        self.elapsed_ns: float = 0.0
+
+    def throughput(self) -> float:
+        return self.meter.throughput(self.elapsed_ns)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers for reports and tests."""
+        result = {
+            "committed": float(self.meter.committed),
+            "aborted": float(self.meter.aborted),
+            "abort_rate": self.meter.abort_rate(),
+            "elapsed_ns": self.elapsed_ns,
+            "mean_latency_ns": self.latency.mean(),
+            "p95_latency_ns": self.latency.p95(),
+        }
+        if self.elapsed_ns > 0:
+            result["throughput_tps"] = self.throughput()
+        return result

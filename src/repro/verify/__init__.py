@@ -1,0 +1,20 @@
+"""Runtime correctness verification.
+
+:mod:`repro.verify.serializability` checks executed histories for
+conflict-serializability by building the direct serialization graph
+(WW/WR/RW edges) over the values transactions observed and wrote, and
+testing it for cycles.  The property-based protocol tests run every
+protocol through it under contention.
+"""
+
+from repro.verify.serializability import (
+    CheckResult,
+    SerializabilityChecker,
+    TransactionObservation,
+)
+
+__all__ = [
+    "CheckResult",
+    "SerializabilityChecker",
+    "TransactionObservation",
+]

@@ -1,0 +1,47 @@
+"""Workloads: the paper's benchmark suite (Section VII).
+
+* :mod:`repro.workloads.micro` — the Section III overhead-analysis
+  workloads: 100%WR, 50%WR-50%RD, 100%RD.
+* :mod:`repro.workloads.ycsb` — YCSB workload A (50/50) and B (5/95)
+  over the four key-value stores, zipfian-distributed.
+* :mod:`repro.workloads.tpcc` — TPC-C new-order/payment model
+  (write-intensive, ~13.5 fine-grained requests per transaction).
+* :mod:`repro.workloads.tatp` — TATP subscriber model (80% read, few
+  requests per transaction).
+* :mod:`repro.workloads.smallbank` — Smallbank accounts model (~46%
+  writes).
+* :mod:`repro.workloads.mixes` — workload factories, the Fig. 14 pairs
+  and the Table V mixes.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.micro import MicroWorkload, micro_suite
+from repro.workloads.mixes import (
+    FIG14_PAIRS,
+    FIGURE9_WORKLOADS,
+    TABLE5_MIXES,
+    make_mix,
+    make_workload,
+    table5_mix,
+)
+from repro.workloads.smallbank import SmallbankWorkload
+from repro.workloads.tatp import TatpWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.ycsb import YcsbScanWorkload, YcsbWorkload
+
+__all__ = [
+    "FIG14_PAIRS",
+    "FIGURE9_WORKLOADS",
+    "MicroWorkload",
+    "SmallbankWorkload",
+    "TABLE5_MIXES",
+    "TatpWorkload",
+    "TpccWorkload",
+    "Workload",
+    "YcsbScanWorkload",
+    "YcsbWorkload",
+    "make_mix",
+    "make_workload",
+    "micro_suite",
+    "table5_mix",
+]

@@ -1,0 +1,106 @@
+"""Workload factories and the paper's mixes (Figs. 14/15, Table V).
+
+The runner partitions each node's transaction slots round-robin between
+the workloads of a mix (the paper's space-shared environment).  Each
+workload in a mix gets a disjoint record-id range.
+
+``make_workload(name, ...)`` builds any workload from its figure label
+("TPC-C", "TATP", "Smallbank", "HT-wA", "BTree-wB", ...).  ``scale``
+shrinks populations uniformly so four-workload mixes stay tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workloads.base import Workload
+from repro.workloads.smallbank import SmallbankWorkload
+from repro.workloads.tatp import TatpWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
+
+#: Room reserved per workload in the shared record-id space.
+RECORD_ID_STRIDE = 10_000_000
+
+#: The eight application labels of Fig. 9 (the paper's full suite).
+FIGURE9_WORKLOADS = (
+    "TPC-C", "TATP", "Smallbank",
+    "HT-wA", "HT-wB", "Map-wA", "Map-wB",
+    "BTree-wA", "BTree-wB", "B+Tree-wA", "B+Tree-wB",
+)
+
+#: Table V: mixes of four workloads for the 200-core experiment.
+TABLE5_MIXES: Dict[str, List[str]] = {
+    "mix1": ["HT-wA", "BTree-wA", "Map-wA", "TATP"],
+    "mix2": ["Map-wA", "TATP", "B+Tree-wB", "Map-wB"],
+    "mix3": ["B+Tree-wA", "Map-wB", "Smallbank", "BTree-wB"],
+    "mix4": ["Smallbank", "BTree-wB", "TPC-C", "TATP"],
+    "mix5": ["TPC-C", "HT-wB", "Smallbank", "BTree-wA"],
+    "mix6": ["B+Tree-wB", "Smallbank", "TPC-C", "TATP"],
+    "mix7": ["TPC-C", "TATP", "BTree-wB", "Map-wA"],
+    "mix8": ["BTree-wB", "Map-wA", "HT-wA", "BTree-wA"],
+}
+
+#: Representative two-workload mixes for the Fig. 14 experiment
+#: (the figure pairs applications from the usual set).
+FIG14_PAIRS: List[List[str]] = [
+    ["TPC-C", "TATP"],
+    ["HT-wA", "BTree-wB"],
+    ["Smallbank", "Map-wB"],
+    ["B+Tree-wA", "HT-wB"],
+]
+
+_YCSB_STORES = {"HT": "ht", "Map": "map", "BTree": "btree",
+                "B+Tree": "bplustree"}
+
+
+def make_workload(name: str, record_id_base: int = 0, scale: float = 1.0,
+                  locality: Optional[float] = None, seed: int = 23) -> Workload:
+    """Build a workload from its figure label."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive: {scale}")
+    if name == "TPC-C":
+        # The warehouse count is structural (terminals bind to home
+        # districts), not a population: scaling it down would manufacture
+        # district contention that full-size TPC-C does not have.  Only
+        # table populations scale.
+        return TpccWorkload(warehouses=8,
+                            items=max(100, int(20000 * scale)),
+                            locality=locality,
+                            record_id_base=record_id_base, seed=seed)
+    if name == "TATP":
+        return TatpWorkload(subscribers=max(100, int(100000 * scale)),
+                            locality=locality,
+                            record_id_base=record_id_base, seed=seed)
+    if name == "Smallbank":
+        return SmallbankWorkload(customers=max(100, int(100000 * scale)),
+                                 locality=locality,
+                                 record_id_base=record_id_base, seed=seed)
+    if "-w" in name:
+        store_label, variant = name.rsplit("-w", 1)
+        store = _YCSB_STORES.get(store_label)
+        if store is not None and variant.lower() in ("a", "b"):
+            return YcsbWorkload(store=store, variant=variant.lower(),
+                                record_count=max(100, int(100000 * scale)),
+                                locality=locality,
+                                record_id_base=record_id_base, seed=seed)
+    raise KeyError(f"unknown workload label {name!r}")
+
+
+def make_mix(names: List[str], scale: float = 1.0,
+             locality: Optional[float] = None, seed: int = 23) -> List[Workload]:
+    """Build a mix: one workload per label, disjoint record-id ranges."""
+    if not names:
+        raise ValueError("a mix needs at least one workload")
+    return [
+        make_workload(name, record_id_base=index * RECORD_ID_STRIDE,
+                      scale=scale, locality=locality, seed=seed + index)
+        for index, name in enumerate(names)
+    ]
+
+
+def table5_mix(name: str, scale: float = 1.0, seed: int = 23) -> List[Workload]:
+    """One of the Table V four-workload mixes."""
+    if name not in TABLE5_MIXES:
+        raise KeyError(f"unknown mix {name!r}; pick from {sorted(TABLE5_MIXES)}")
+    return make_mix(TABLE5_MIXES[name], scale=scale, seed=seed)

@@ -1,0 +1,98 @@
+"""Tests for global addressing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.address import (
+    LINE_BYTES,
+    line_of,
+    lines_covering,
+    make_address,
+    node_of_address,
+    node_of_line,
+    offset_of,
+    partially_covered_lines,
+)
+
+
+def test_roundtrip_node_and_offset():
+    address = make_address(3, 4096)
+    assert node_of_address(address) == 3
+    assert offset_of(address) == 4096
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        make_address(-1, 0)
+    with pytest.raises(ValueError):
+        make_address(0, 1 << 40)
+
+
+def test_line_of():
+    assert line_of(0) == 0
+    assert line_of(LINE_BYTES - 1) == 0
+    assert line_of(LINE_BYTES) == 1
+
+
+def test_node_of_line_preserves_home():
+    address = make_address(4, 128)
+    assert node_of_line(line_of(address)) == 4
+
+
+def test_lines_covering_single_line():
+    assert lines_covering(0, 1) == [0]
+    assert lines_covering(0, LINE_BYTES) == [0]
+
+
+def test_lines_covering_straddles_boundary():
+    assert lines_covering(LINE_BYTES - 1, 2) == [0, 1]
+    assert lines_covering(0, LINE_BYTES + 1) == [0, 1]
+
+
+def test_lines_covering_rejects_zero_size():
+    with pytest.raises(ValueError):
+        lines_covering(0, 0)
+
+
+def test_partially_covered_lines_aligned_write_has_none():
+    assert partially_covered_lines(0, LINE_BYTES) == []
+    assert partially_covered_lines(0, 2 * LINE_BYTES) == []
+
+
+def test_partially_covered_lines_unaligned_start():
+    # Starts mid-line 0 and ends mid-line 1: both edge lines are partial.
+    assert partially_covered_lines(8, LINE_BYTES) == [0, 1]
+    # Starts mid-line 0 but ends exactly on a boundary: only the start.
+    assert partially_covered_lines(8, LINE_BYTES - 8) == [0]
+
+
+def test_partially_covered_lines_unaligned_end():
+    partial = partially_covered_lines(0, LINE_BYTES + 8)
+    assert partial == [1]
+
+
+def test_partially_covered_lines_both_edges():
+    partial = partially_covered_lines(8, 2 * LINE_BYTES)
+    assert 0 in partial and 2 in partial
+
+
+@given(st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=0, max_value=(1 << 40) - 1))
+@settings(max_examples=100, deadline=None)
+def test_address_roundtrip_property(node_id, offset):
+    address = make_address(node_id, offset)
+    assert node_of_address(address) == node_id
+    assert offset_of(address) == offset
+
+
+@given(st.integers(min_value=0, max_value=1 << 30),
+       st.integers(min_value=1, max_value=4096))
+@settings(max_examples=100, deadline=None)
+def test_partial_lines_subset_of_covered(address, size):
+    covered = lines_covering(address, size)
+    partial = partially_covered_lines(address, size)
+    assert set(partial) <= set(covered)
+    # Interior lines are never partial.
+    for line in partial:
+        assert line == covered[0] or line == covered[-1]

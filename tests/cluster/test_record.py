@@ -1,0 +1,93 @@
+"""Tests for record descriptors and the Fig. 1 augmented metadata."""
+
+import pytest
+
+from repro.cluster.address import LINE_BYTES, make_address
+from repro.cluster.record import (
+    PER_LINE_VERSION_BYTES,
+    RECORD_HEADER_BYTES,
+    RecordDescriptor,
+    RecordMetadata,
+)
+
+
+class TestRecordDescriptor:
+    def test_basic_properties(self):
+        descriptor = RecordDescriptor(1, make_address(2, 64), 128)
+        assert descriptor.home_node == 2
+        assert descriptor.line_count == 2
+        assert len(descriptor.lines) == 2
+
+    def test_sub_line_record_is_one_line(self):
+        descriptor = RecordDescriptor(1, make_address(0, 64), 16)
+        assert descriptor.line_count == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            RecordDescriptor(1, 0, 0)
+
+    def test_augmented_bytes_matches_fig1_layout(self):
+        descriptor = RecordDescriptor(1, make_address(0, 64), 128)
+        expected = (RECORD_HEADER_BYTES + 2 * PER_LINE_VERSION_BYTES + 128)
+        assert descriptor.augmented_bytes() == expected
+
+
+class TestRecordMetadata:
+    def test_fresh_metadata_consistent_and_unlocked(self):
+        meta = RecordMetadata(line_count=2)
+        assert not meta.locked
+        assert meta.lines_consistent()
+        assert meta.version == 0
+
+    def test_line_count_validated(self):
+        with pytest.raises(ValueError):
+            RecordMetadata(0)
+
+    def test_lock_unlock(self):
+        meta = RecordMetadata(1)
+        assert meta.try_lock((0, 1))
+        assert meta.locked
+        assert not meta.try_lock((0, 2))
+        meta.unlock((0, 1))
+        assert not meta.locked
+
+    def test_lock_reentrant_for_same_owner(self):
+        meta = RecordMetadata(1)
+        assert meta.try_lock((0, 1))
+        assert meta.try_lock((0, 1))
+
+    def test_unlock_by_wrong_owner_is_bug(self):
+        meta = RecordMetadata(1)
+        meta.try_lock((0, 1))
+        with pytest.raises(RuntimeError):
+            meta.unlock((0, 2))
+
+    def test_write_in_flight_breaks_consistency(self):
+        meta = RecordMetadata(line_count=3)
+        meta.begin_write()
+        assert not meta.lines_consistent()
+        meta.complete_write()
+        assert meta.lines_consistent()
+        assert meta.version == 1
+
+    def test_single_line_record_always_consistent(self):
+        meta = RecordMetadata(line_count=1)
+        meta.begin_write()
+        assert meta.lines_consistent()  # one line cannot be torn
+
+    def test_versions_advance_per_write(self):
+        meta = RecordMetadata(2)
+        meta.complete_write()
+        meta.complete_write()
+        assert meta.version == 2
+        assert meta.line_versions == [2, 2]
+
+    def test_free_bumps_incarnation_and_resets(self):
+        meta = RecordMetadata(2)
+        meta.complete_write()
+        meta.try_lock((0, 1))
+        meta.free()
+        assert meta.incarnation == 1
+        assert meta.version == 0
+        assert not meta.locked
+        assert meta.lines_consistent()

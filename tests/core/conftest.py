@@ -1,0 +1,69 @@
+"""Shared fixtures for protocol tests: a small cluster per protocol."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import PROTOCOLS
+from repro.sim.engine import Engine
+
+
+class ProtocolHarness:
+    """A small cluster with one protocol installed and helpers to run
+    transactions to completion."""
+
+    def __init__(self, protocol_name: str, nodes: int = 3,
+                 cores_per_node: int = 2, multiplexing: int = 2,
+                 llc_sets: int = 256, **config_overrides):
+        self.engine = Engine()
+        self.config = ClusterConfig(nodes=nodes, cores_per_node=cores_per_node,
+                                    multiplexing=multiplexing,
+                                    **config_overrides)
+        self.cluster = Cluster(self.engine, self.config, llc_sets=llc_sets)
+        self.protocol = PROTOCOLS[protocol_name](self.cluster, seed=3)
+
+    def add_record(self, record_id: int, data_bytes: int = 128,
+                   home: int = None):
+        return self.cluster.allocate_record(record_id, data_bytes, home=home)
+
+    def run_transaction(self, spec, node_id: int = 0, slot: int = 0):
+        """Run one transaction to commit; returns its final TxContext."""
+        holder = {}
+
+        def driver():
+            holder["ctx"] = yield from self.protocol.execute(node_id, slot,
+                                                             spec)
+
+        self.engine.process(driver())
+        self.engine.run()
+        return holder["ctx"]
+
+    def run_concurrent(self, jobs):
+        """Run several (spec, node_id, slot) transactions concurrently."""
+        contexts = []
+
+        def driver(spec, node_id, slot):
+            ctx = yield from self.protocol.execute(node_id, slot, spec)
+            contexts.append(ctx)
+
+        for spec, node_id, slot in jobs:
+            self.engine.process(driver(spec, node_id, slot))
+        self.engine.run()
+        return contexts
+
+    def record_values(self, record_id: int):
+        """Current memory contents of a record (line -> value)."""
+        descriptor = self.cluster.record(record_id)
+        node = self.cluster.node(descriptor.home_node)
+        return node.memory.read_lines(descriptor.lines)
+
+
+@pytest.fixture(params=sorted(PROTOCOLS))
+def any_protocol(request):
+    """Parametrized over all three protocols."""
+    return request.param
+
+
+@pytest.fixture
+def harness(any_protocol):
+    return ProtocolHarness(any_protocol)

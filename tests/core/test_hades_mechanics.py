@@ -1,0 +1,178 @@
+"""HADES-specific mechanism tests (Table II behaviours)."""
+
+import pytest
+
+from repro.core import read, write
+from repro.core.api import TxStatus
+
+from tests.core.conftest import ProtocolHarness
+
+
+@pytest.fixture
+def hades():
+    return ProtocolHarness("hades")
+
+
+@pytest.fixture
+def hybrid():
+    return ProtocolHarness("hades-h")
+
+
+class TestStateHygiene:
+    """After every commit/squash, all speculative state must be gone."""
+
+    def assert_quiescent(self, harness):
+        for node in harness.cluster.nodes:
+            assert node.active_local_transactions == 0, "leaked Module 3 BFs"
+            assert node.directory.active_locks == 0, "leaked Locking Buffer"
+            assert node.nic.remote_tx_count == 0, "leaked Module 4a BFs"
+            assert node.nic.local_tx_count == 0, "leaked Module 4b state"
+            assert not node.directory._writer_tags, "leaked WrTX_ID tags"
+
+    def test_quiescent_after_single_commit(self, hades):
+        hades.add_record(1, home=1)
+        hades.run_transaction([write(1, value="x"), read(1)])
+        self.assert_quiescent(hades)
+
+    def test_quiescent_after_contended_run(self, hades):
+        for record_id in range(1, 4):
+            hades.add_record(record_id, home=record_id % 3)
+        jobs = [([write(1, value=f"v{n}-{s}"), read(2), write(3, value=n)],
+                 n, s) for n in range(3) for s in range(2)]
+        contexts = hades.run_concurrent(jobs)
+        assert all(ctx.status is TxStatus.COMMITTED for ctx in contexts)
+        self.assert_quiescent(hades)
+
+    def test_quiescent_after_hybrid_contention(self, hybrid):
+        for record_id in range(1, 4):
+            hybrid.add_record(record_id, home=record_id % 3)
+        jobs = [([write(1, value=f"v{n}-{s}"), write(2, value=n)], n, s)
+                for n in range(3) for s in range(2)]
+        hybrid.run_concurrent(jobs)
+        self.assert_quiescent(hybrid)
+
+
+class TestEagerLocalConflicts:
+    def test_second_local_writer_squashes_itself(self, hades):
+        """L-L: the second conflicting access squashes its own
+        transaction (Section IV-B), detected eagerly at access time."""
+        hades.add_record(1, home=0)
+        # Two local transactions on node 0 writing the same record.
+        contexts = hades.run_concurrent([
+            ([write(1, value="first")], 0, 0),
+            ([write(1, value="second")], 0, 1),
+        ])
+        assert all(ctx.status is TxStatus.COMMITTED for ctx in contexts)
+        counters = hades.protocol.metrics.counters
+        eager = (counters.get("eager_ll_write_conflicts")
+                 + counters.get("eager_ll_read_conflicts"))
+        assert eager >= 1
+
+    def test_no_eager_conflicts_for_hybrid(self, hybrid):
+        """HADES-H has no local BFs/tags: local conflicts surface at
+        Local Validation instead (Section V-D)."""
+        hybrid.add_record(1, home=0)
+        hybrid.run_concurrent([
+            ([write(1, value="first")], 0, 0),
+            ([write(1, value="second")], 0, 1),
+        ])
+        counters = hybrid.protocol.metrics.counters
+        assert counters.get("eager_ll_write_conflicts") == 0
+
+
+class TestCommitMechanics:
+    def test_readonly_remote_commit_sends_intend_to_commit(self, hades):
+        """All involved nodes get the Intend-to-commit, even for pure
+        readers (their remote BFs must be cleared) — Table II."""
+        hades.add_record(1, home=2)
+        before = hades.cluster.fabric.messages_sent
+        hades.run_transaction([read(1)], node_id=0)
+        assert hades.cluster.fabric.messages_sent - before >= 4
+        # read req + reply + ITC + ack (+ validation)
+
+    def test_local_only_commit_needs_no_network(self, hades):
+        hades.add_record(1, home=0)
+        before = hades.cluster.fabric.messages_sent
+        hades.run_transaction([write(1, value="x")], node_id=0)
+        assert hades.cluster.fabric.messages_sent == before
+
+    def test_aligned_remote_write_execution_is_network_free(self, hades):
+        """Fully-overwritten remote lines cost no execution-phase
+        traffic (Table II, Remote Write); only commit messages flow."""
+        hades.add_record(1, data_bytes=64, home=2)
+        before = hades.cluster.fabric.messages_sent
+        hades.run_transaction([write(1, value="whole")], node_id=0)
+        sent = hades.cluster.fabric.messages_sent - before
+        assert sent == 3  # Intend-to-commit + Ack + Validation
+
+    def test_partial_remote_write_fetches_edge_lines(self, hades):
+        hades.add_record(1, data_bytes=128, home=2)
+        before = hades.cluster.fabric.messages_sent
+        hades.run_transaction([write(1, value="part", offset=8, size=16)],
+                              node_id=0)
+        sent = hades.cluster.fabric.messages_sent - before
+        assert sent == 5  # write-access + reply + ITC + Ack + Validation
+
+    def test_squash_stale_owner_ignored(self, hades):
+        hades.add_record(1, home=0)
+        hades.run_transaction([write(1, value="x")])
+        assert not hades.protocol.squash((0, 99999), "test")
+        assert hades.protocol.metrics.counters.get("squash_stale") == 1
+
+    def test_squash_after_unsquashable_ignored(self, hades):
+        hades.add_record(1, home=0)
+        captured = {}
+
+        def run():
+            ctx = yield from hades.protocol.execute(0, 0,
+                                                    [write(1, value="x")])
+            captured["ctx"] = ctx
+
+        hades.engine.process(run())
+        hades.engine.run()
+        ctx = captured["ctx"]
+        ctx.unsquashable = True
+        # Simulate: registry still holds an entry whose ctx is
+        # unsquashable -> squash() must refuse.
+        from repro.core.txn import ActiveTx
+
+        class FakeProcess:
+            def interrupt(self, cause=None):
+                raise AssertionError("must not interrupt unsquashable tx")
+
+        hades.protocol._active[ctx.owner] = ActiveTx(ctx, FakeProcess())
+        assert not hades.protocol.squash(ctx.owner, "late")
+        assert hades.protocol.metrics.counters.get(
+            "squash_after_acks_ignored") == 1
+
+
+class TestPrivateFilterFastPath:
+    def test_repeated_access_skips_directory(self, hades):
+        """Module 1 filter bits: the second access to a line is an
+        L1-speed fast path with no directory check."""
+        hades.add_record(1, home=0)
+        ctx = hades.run_transaction([read(1), read(1), read(1)])
+        assert ctx.status is TxStatus.COMMITTED
+        # First read records the line; later reads hit the filter.
+        # (Behavioral proxy: the run commits and stays consistent; the
+        # filter's timing effect is covered by the latency being small.)
+        assert ctx.read_results[0] == ctx.read_results[2]
+
+
+class TestLlcEvictionSquash:
+    def test_writer_squashed_on_speculative_eviction(self):
+        """Filling one LLC set with speculative lines squashes the LRU
+        writer (Section V-A); the workload still completes by retrying."""
+        harness = ProtocolHarness("hades", llc_sets=1)  # one set: brutal
+        # Many single-line records on node 0, all mapping to set 0.
+        for record_id in range(1, 40):
+            harness.add_record(record_id, data_bytes=64, home=0)
+        spec = [write(record_id, value=record_id)
+                for record_id in range(1, 40)]
+        ctx = harness.run_transaction(spec, node_id=0)
+        # A transaction writing 39 lines into a 16-way set must have
+        # been squashed for eviction at least once, then fallen back to
+        # the pessimistic path (which buffers without LLC tags).
+        counters = harness.protocol.metrics.counters
+        assert counters.get("abort_reason_llc_eviction") >= 1
+        assert ctx.status is TxStatus.COMMITTED

@@ -1,0 +1,185 @@
+"""Cross-protocol correctness tests.
+
+Every test in this file runs against all three protocols (Baseline,
+HADES, HADES-H) via the parametrized ``harness`` fixture: the protocols
+implement one transactional contract and must agree on visible behavior.
+"""
+
+import pytest
+
+from repro.core import read, write
+from repro.core.api import TxStatus
+
+from tests.core.conftest import ProtocolHarness
+
+
+def first_value(values):
+    """Value of the lowest line of a record-read result."""
+    return values[min(values)]
+
+
+class TestSingleTransaction:
+    def test_commit_makes_writes_visible(self, harness):
+        harness.add_record(1, home=1)
+        ctx = harness.run_transaction([write(1, value="hello")])
+        assert ctx.status is TxStatus.COMMITTED
+        assert set(harness.record_values(1).values()) == {"hello"}
+
+    def test_remote_write_lands_at_home_node(self, harness):
+        harness.add_record(1, home=2)  # remote for the node-0 client
+        harness.run_transaction([write(1, value="remote")], node_id=0)
+        assert set(harness.record_values(1).values()) == {"remote"}
+
+    def test_read_returns_committed_value(self, harness):
+        harness.add_record(1, home=1)
+        harness.run_transaction([write(1, value="v1")])
+        ctx = harness.run_transaction([read(1)], node_id=2, slot=1)
+        assert first_value(ctx.read_results[0]) == "v1"
+
+    def test_read_your_own_writes(self, harness):
+        harness.add_record(1, home=2)
+        ctx = harness.run_transaction([write(1, value="mine"), read(1)])
+        assert first_value(ctx.read_results[0]) == "mine"
+
+    def test_read_unwritten_record_is_none(self, harness):
+        harness.add_record(1, home=0)
+        ctx = harness.run_transaction([read(1)])
+        assert first_value(ctx.read_results[0]) is None
+
+    def test_multi_record_transaction(self, harness):
+        for record_id, home in ((1, 0), (2, 1), (3, 2)):
+            harness.add_record(record_id, home=home)
+        ctx = harness.run_transaction(
+            [write(1, value="a"), write(2, value="b"), read(3)])
+        assert set(harness.record_values(1).values()) == {"a"}
+        assert set(harness.record_values(2).values()) == {"b"}
+        assert ctx.status is TxStatus.COMMITTED
+
+    def test_partial_write_updates_only_requested_lines(self, harness):
+        harness.add_record(1, data_bytes=128, home=1)
+        harness.run_transaction([write(1, value="base")])
+        # Overwrite only the first 64-byte line.
+        harness.run_transaction([write(1, value="new", offset=0, size=64)],
+                                node_id=2)
+        values = harness.record_values(1)
+        assert sorted(values.values()) == ["base", "new"]
+
+    def test_phase_breakdown_recorded(self, harness):
+        harness.add_record(1, home=1)
+        ctx = harness.run_transaction([write(1, value="x"), read(1)])
+        assert ctx.phase_durations.get("execution", 0) > 0
+        assert "validation" in ctx.phase_durations
+
+    def test_latency_positive(self, harness):
+        harness.add_record(1, home=2)
+        ctx = harness.run_transaction([write(1, value="x")])
+        assert ctx.latency_ns > 0
+
+
+class TestInteractiveTransactions:
+    def test_write_depends_on_read(self, harness):
+        harness.add_record(1, home=1)
+        harness.run_transaction([write(1, value=10)])
+
+        def body():
+            values = yield read(1)
+            yield write(1, value=first_value(values) + 5)
+
+        harness.run_transaction(body, node_id=0, slot=1)
+        assert set(harness.record_values(1).values()) == {15}
+
+    def test_concurrent_increments_serialize(self, harness):
+        """The classic lost-update test: K clients x M increments."""
+        harness.add_record(1, data_bytes=64, home=1)
+        harness.run_transaction([write(1, value=0)])
+
+        def increments(node_id, slot, count):
+            def one():
+                values = yield read(1)
+                yield write(1, value=first_value(values) + 1)
+
+            for _ in range(count):
+                yield from harness.protocol.execute(node_id, slot, one)
+
+        jobs = [(node, slot) for node in range(3) for slot in range(2)]
+        per_client = 5
+        for node_id, slot in jobs:
+            harness.engine.process(increments(node_id, slot, per_client))
+        harness.engine.run()
+        expected = len(jobs) * per_client
+        assert set(harness.record_values(1).values()) == {expected}
+
+    def test_concurrent_transfers_conserve_total(self, harness):
+        """Balance transfers between two accounts never create money."""
+        harness.add_record(1, data_bytes=64, home=0)
+        harness.add_record(2, data_bytes=64, home=2)
+        harness.run_transaction([write(1, value=100)])
+        harness.run_transaction([write(2, value=100)])
+
+        def transfers(node_id, slot, count, direction):
+            src, dst = (1, 2) if direction else (2, 1)
+
+            def one():
+                src_values = yield read(src)
+                dst_values = yield read(dst)
+                yield write(src, value=first_value(src_values) - 1)
+                yield write(dst, value=first_value(dst_values) + 1)
+
+            for _ in range(count):
+                yield from harness.protocol.execute(node_id, slot, one)
+
+        harness.engine.process(transfers(0, 0, 6, True))
+        harness.engine.process(transfers(1, 0, 6, False))
+        harness.engine.process(transfers(2, 1, 6, True))
+        harness.engine.run()
+        total = (first_value(harness.record_values(1))
+                 + first_value(harness.record_values(2)))
+        assert total == 200
+
+
+class TestConflicts:
+    def test_conflicting_writers_both_commit_eventually(self, harness):
+        harness.add_record(1, home=1)
+        contexts = harness.run_concurrent([
+            ([write(1, value="first")], 0, 0),
+            ([write(1, value="second")], 2, 0),
+        ])
+        assert all(ctx.status is TxStatus.COMMITTED for ctx in contexts)
+        assert set(harness.record_values(1).values()) in ({"first"}, {"second"})
+
+    def test_many_hot_record_writers_all_commit(self, harness):
+        harness.add_record(1, home=0)
+        jobs = [([write(1, value=f"w{node}-{slot}")], node, slot)
+                for node in range(3) for slot in range(4)]
+        contexts = harness.run_concurrent(jobs)
+        assert len(contexts) == 12
+        assert all(ctx.status is TxStatus.COMMITTED for ctx in contexts)
+
+    def test_disjoint_transactions_do_not_conflict(self, harness):
+        for record_id in range(1, 7):
+            harness.add_record(record_id, home=record_id % 3)
+        jobs = [([write(record_id, value=record_id)], record_id % 3, 0)
+                for record_id in range(1, 4)]
+        harness.run_concurrent(jobs)
+        aborts = harness.protocol.metrics.counters.get("aborts")
+        assert aborts == 0
+
+
+class TestMetricsPlumbing:
+    def test_commit_recorded_in_metrics(self, harness):
+        harness.add_record(1, home=1)
+        harness.run_transaction([write(1, value="x")])
+        assert harness.protocol.metrics.meter.committed == 1
+        assert harness.protocol.metrics.latency.count == 1
+
+    def test_overhead_categories_only_for_software_paths(self, any_protocol):
+        harness = ProtocolHarness(any_protocol)
+        harness.add_record(1, home=1)
+        ctx = harness.run_transaction([write(1, value="x")])
+        categories = ctx.category_durations
+        if any_protocol == "baseline":
+            assert "manage_sets" in categories
+        if any_protocol == "hades":
+            # Hardware protocol: none of the Fig. 3 software categories.
+            assert "manage_sets" not in categories
+            assert "read_atomicity" not in categories

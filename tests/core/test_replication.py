@@ -1,0 +1,161 @@
+"""Tests for the fault-tolerance/durability extension (Section V)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import read, write
+from repro.core.api import TxStatus
+from repro.core.replication import HadesReplicatedProtocol, ReplicaStore
+from repro.sim.engine import Engine
+
+
+class ReplicationHarness:
+    def __init__(self, replicas=1, nodes=3, persist_ns=500.0):
+        self.engine = Engine()
+        self.config = ClusterConfig(nodes=nodes, cores_per_node=2)
+        self.cluster = Cluster(self.engine, self.config, llc_sets=256)
+        self.protocol = HadesReplicatedProtocol(self.cluster, seed=3,
+                                                replicas=replicas,
+                                                persist_ns=persist_ns)
+
+    def add_record(self, record_id, home=None):
+        return self.cluster.allocate_record(record_id, 64, home=home)
+
+    def run(self, spec, node_id=0, slot=0):
+        holder = {}
+
+        def driver():
+            holder["ctx"] = yield from self.protocol.execute(node_id, slot,
+                                                             spec)
+
+        self.engine.process(driver())
+        self.engine.run()
+        return holder["ctx"]
+
+
+class TestReplicaStore:
+    def test_persist_then_promote(self):
+        store = ReplicaStore()
+        assert store.persist_temporary((0, 1), {10: "v"})
+        assert store.permanent == {}
+        store.promote((0, 1))
+        assert store.permanent == {10: "v"}
+        assert (0, 1) not in store.temporary
+
+    def test_discard_drops_temporary(self):
+        store = ReplicaStore()
+        store.persist_temporary((0, 1), {10: "v"})
+        store.discard((0, 1))
+        assert store.permanent == {}
+        assert store.abort_count == 1
+
+    def test_injected_failure(self):
+        store = ReplicaStore()
+        store.fail_next = 1
+        assert not store.persist_temporary((0, 1), {10: "v"})
+        assert store.persist_temporary((0, 2), {11: "w"})
+
+    def test_promote_unknown_owner_noop(self):
+        store = ReplicaStore()
+        store.promote((9, 9))
+        assert store.promote_count == 0
+
+
+class TestReplicatedCommit:
+    def test_replica_count_validated(self):
+        engine = Engine()
+        cluster = Cluster(engine, ClusterConfig(nodes=3, cores_per_node=1),
+                          llc_sets=64)
+        with pytest.raises(ValueError):
+            HadesReplicatedProtocol(cluster, replicas=0)
+        with pytest.raises(ValueError):
+            HadesReplicatedProtocol(cluster, replicas=3)
+
+    def test_placement_never_on_home_node(self):
+        harness = ReplicationHarness(replicas=2, nodes=4)
+        for line in (0, 100, 7777):
+            replicas = harness.protocol.replica_nodes_of_line(line)
+            assert len(replicas) == 2
+            from repro.cluster.address import node_of_line
+            assert node_of_line(line) not in replicas
+
+    def test_write_reaches_primary_and_replica(self):
+        harness = ReplicationHarness(replicas=1)
+        descriptor = harness.add_record(1, home=1)
+        ctx = harness.run([write(1, value="dur")], node_id=0)
+        assert ctx.status is TxStatus.COMMITTED
+        line = descriptor.lines[0]
+        replica_node = harness.protocol.replica_nodes_of_line(line)[0]
+        assert harness.protocol.replica_value(replica_node, line) == "dur"
+        checked, mismatched = harness.protocol.verify_replicas()
+        assert checked >= 1 and mismatched == 0
+
+    def test_two_replicas_both_updated(self):
+        harness = ReplicationHarness(replicas=2, nodes=4)
+        descriptor = harness.add_record(1, home=0)
+        harness.run([write(1, value="x2")], node_id=1)
+        line = descriptor.lines[0]
+        for replica_node in harness.protocol.replica_nodes_of_line(line):
+            assert harness.protocol.replica_value(replica_node, line) == "x2"
+
+    def test_read_only_transaction_touches_no_replicas(self):
+        harness = ReplicationHarness()
+        harness.add_record(1, home=1)
+        harness.run([write(1, value="seed")])
+        persists_before = sum(s.persist_count
+                              for s in harness.protocol.stores.values())
+        harness.run([read(1)], node_id=2, slot=1)
+        persists_after = sum(s.persist_count
+                             for s in harness.protocol.stores.values())
+        assert persists_after == persists_before
+
+    def test_replica_failure_aborts_then_retries_to_success(self):
+        harness = ReplicationHarness(replicas=1)
+        descriptor = harness.add_record(1, home=1)
+        line = descriptor.lines[0]
+        replica_node = harness.protocol.replica_nodes_of_line(line)[0]
+        harness.protocol.stores[replica_node].fail_next = 2
+        ctx = harness.run([write(1, value="recovered")], node_id=0)
+        assert ctx.status is TxStatus.COMMITTED
+        counters = harness.protocol.metrics.counters
+        assert counters.get("replica_persist_failures") == 2
+        assert counters.get("abort_reason_replica_failure") == 2
+        assert harness.protocol.replica_value(replica_node, line) == "recovered"
+        # No temporary copies linger after the retries.
+        assert all(not store.temporary
+                   for store in harness.protocol.stores.values())
+
+    def test_replication_adds_latency(self):
+        plain = ReplicationHarness(replicas=1, persist_ns=0.0)
+        slow = ReplicationHarness(replicas=1, persist_ns=5000.0)
+        for harness in (plain, slow):
+            harness.add_record(1, home=1)
+        fast_ctx = plain.run([write(1, value="a")], node_id=0)
+        slow_ctx = slow.run([write(1, value="a")], node_id=0)
+        assert slow_ctx.latency_ns > fast_ctx.latency_ns
+
+    def test_serializability_preserved_with_replication(self):
+        harness = ReplicationHarness(replicas=1)
+        harness.add_record(1, home=1)
+        harness.run([write(1, value=0)])
+
+        def first_value(values):
+            return values[min(values)]
+
+        def increments(node_id, slot, count):
+            def one():
+                values = yield read(1)
+                yield write(1, value=first_value(values) + 1)
+
+            for _ in range(count):
+                yield from harness.protocol.execute(node_id, slot, one)
+
+        for node_id in range(3):
+            harness.engine.process(increments(node_id, 0, 4))
+        harness.engine.run()
+        descriptor = harness.cluster.record(1)
+        home = harness.cluster.node(descriptor.home_node)
+        assert home.memory.read_line(descriptor.lines[0]) == 12
+        checked, mismatched = harness.protocol.verify_replicas()
+        assert mismatched == 0

@@ -1,0 +1,64 @@
+"""Tests for the CRC hashing used by the Bloom filters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.crc import crc32c, crc32c_int, hash_family
+
+
+def test_crc32c_known_vector():
+    # Standard CRC-32C check value for "123456789".
+    assert crc32c(b"123456789") == 0xE3069283
+
+
+def test_crc32c_empty_is_zero():
+    assert crc32c(b"") == 0
+
+
+def test_seed_changes_output():
+    assert crc32c(b"abc", seed=1) != crc32c(b"abc", seed=2)
+
+
+def test_crc32c_int_matches_bytes_form():
+    value = 0xDEADBEEF
+    assert crc32c_int(value) == crc32c(value.to_bytes(8, "little"))
+
+
+def test_hash_family_independent_functions():
+    functions = hash_family(4, 1024)
+    assert len(functions) == 4
+    outputs = [fn(123456) for fn in functions]
+    assert len(set(outputs)) > 1  # different seeds, different positions
+
+
+def test_hash_family_range():
+    functions = hash_family(2, 97)
+    for value in [0, 1, 2 ** 63, 42]:
+        for fn in functions:
+            assert 0 <= fn(value) < 97
+
+
+def test_hash_family_validates_args():
+    with pytest.raises(ValueError):
+        hash_family(0, 128)
+    with pytest.raises(ValueError):
+        hash_family(2, 1)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+@settings(max_examples=200, deadline=None)
+def test_crc32c_int_deterministic_and_32bit(value):
+    first = crc32c_int(value)
+    assert first == crc32c_int(value)
+    assert 0 <= first < 2 ** 32
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 32), min_size=50,
+                max_size=50, unique=True))
+@settings(max_examples=20, deadline=None)
+def test_crc_dispersion_no_catastrophic_collisions(values):
+    """Hashing 50 distinct keys into 1024 buckets should not all collide."""
+    fn = hash_family(1, 1024)[0]
+    buckets = {fn(value) for value in values}
+    assert len(buckets) >= 25

@@ -1,0 +1,141 @@
+"""Tests for the directory: WrTX_ID tags and partial locking (Fig. 7)."""
+
+import pytest
+
+from repro.hardware.bloom import BloomFilter
+from repro.hardware.directory import Directory, snapshot_filters
+
+
+def make_pair(reads=(), writes=()):
+    return snapshot_filters(reads, writes)
+
+
+class TestWriterTags:
+    def test_untagged_line_has_no_writer(self):
+        assert Directory().writer_of(100) is None
+
+    def test_tag_and_lookup(self):
+        directory = Directory()
+        directory.tag_write(100, txid=7)
+        assert directory.writer_of(100) == 7
+        assert directory.lines_written_by(7) == {100}
+
+    def test_retag_same_tx_ok(self):
+        directory = Directory()
+        directory.tag_write(100, txid=7)
+        directory.tag_write(100, txid=7)
+        assert directory.lines_written_by(7) == {100}
+
+    def test_retag_other_tx_is_protocol_bug(self):
+        directory = Directory()
+        directory.tag_write(100, txid=7)
+        with pytest.raises(RuntimeError):
+            directory.tag_write(100, txid=8)
+
+    def test_clear_writer_tags(self):
+        directory = Directory()
+        directory.tag_write(100, txid=7)
+        directory.tag_write(200, txid=7)
+        directory.tag_write(300, txid=9)
+        assert directory.clear_writer_tags(7) == 2
+        assert directory.writer_of(100) is None
+        assert directory.writer_of(300) == 9
+
+
+class TestPartialLocking:
+    def test_lock_install_and_unlock(self):
+        directory = Directory()
+        read_bf, write_bf = make_pair(reads=[1], writes=[2])
+        assert directory.try_lock((0, 1), read_bf, write_bf, [2])
+        assert directory.holds_lock((0, 1))
+        directory.unlock((0, 1))
+        assert not directory.holds_lock((0, 1))
+        assert directory.active_locks == 0
+
+    def test_double_lock_same_owner_rejected(self):
+        directory = Directory()
+        read_bf, write_bf = make_pair()
+        directory.try_lock((0, 1), read_bf, write_bf, [])
+        with pytest.raises(RuntimeError):
+            directory.try_lock((0, 1), read_bf, write_bf, [])
+
+    def test_conflicting_write_lines_denied(self):
+        directory = Directory()
+        first_read, first_write = make_pair(reads=[10], writes=[20])
+        assert directory.try_lock((0, 1), first_read, first_write, [20])
+        second_read, second_write = make_pair(writes=[10])
+        # Second committer writes line 10, which the first reader locked.
+        assert not directory.try_lock((0, 2), second_read, second_write, [10])
+        assert directory.lock_failures == 1
+
+    def test_disjoint_commits_lock_concurrently(self):
+        directory = Directory()
+        a_read, a_write = make_pair(reads=[1], writes=[2])
+        b_read, b_write = make_pair(reads=[100], writes=[200])
+        assert directory.try_lock((0, 1), a_read, a_write, [2])
+        assert directory.try_lock((0, 2), b_read, b_write, [200])
+        assert directory.active_locks == 2
+
+    def test_buffer_capacity_limit(self):
+        directory = Directory(locking_buffers=1)
+        a_read, a_write = make_pair(writes=[1])
+        b_read, b_write = make_pair(writes=[1000])
+        assert directory.try_lock((0, 1), a_read, a_write, [1])
+        assert not directory.try_lock((0, 2), b_read, b_write, [1000])
+
+    def test_read_blocked_by_locked_write_bf(self):
+        directory = Directory()
+        read_bf, write_bf = make_pair(writes=[50])
+        directory.try_lock((0, 1), read_bf, write_bf, [50])
+        assert directory.read_blocked(50)
+        assert not directory.read_blocked(51) or BloomFilter(1024).might_contain(51)
+
+    def test_write_blocked_by_locked_read_bf(self):
+        directory = Directory()
+        read_bf, write_bf = make_pair(reads=[60])
+        directory.try_lock((0, 1), read_bf, write_bf, [])
+        assert directory.write_blocked(60)
+
+    def test_owner_not_blocked_by_own_lock(self):
+        directory = Directory()
+        read_bf, write_bf = make_pair(reads=[60], writes=[61])
+        directory.try_lock((0, 1), read_bf, write_bf, [61])
+        assert not directory.read_blocked(61, requester=(0, 1))
+        assert not directory.write_blocked(60, requester=(0, 1))
+        assert directory.read_blocked(61, requester=(0, 2))
+
+    def test_unlock_unknown_owner_is_noop(self):
+        Directory().unlock((9, 9))
+
+    def test_lock_owners_listing(self):
+        directory = Directory()
+        read_bf, write_bf = make_pair()
+        directory.try_lock((3, 4), read_bf, write_bf, [])
+        assert directory.lock_owners() == [(3, 4)]
+
+
+class TestWholeDirectoryAblation:
+    """partial=False degrades to one whole-directory lock."""
+
+    def test_second_lock_always_denied(self):
+        directory = Directory(partial=False)
+        a_read, a_write = make_pair(writes=[1])
+        b_read, b_write = make_pair(writes=[1000])
+        assert directory.try_lock((0, 1), a_read, a_write, [1])
+        assert not directory.try_lock((0, 2), b_read, b_write, [1000])
+
+    def test_any_access_blocked_while_locked(self):
+        directory = Directory(partial=False)
+        read_bf, write_bf = make_pair(writes=[1])
+        directory.try_lock((0, 1), read_bf, write_bf, [1])
+        assert directory.read_blocked(999999)
+        assert directory.write_blocked(999999)
+        assert not directory.read_blocked(999999, requester=(0, 1))
+
+
+def test_snapshot_filters_contain_given_lines():
+    read_bf, write_bf = snapshot_filters([1, 2, 3], [4, 5])
+    assert all(read_bf.might_contain(line) for line in (1, 2, 3))
+    assert all(write_bf.might_contain(line) for line in (4, 5))
+    assert read_bf.inserted_count == 3
+    assert write_bf.inserted_count == 2

@@ -1,0 +1,53 @@
+"""Tests for the DRAM timing model."""
+
+import pytest
+
+from repro.config import DramParams
+from repro.hardware.dram import DramModel
+
+
+def test_unloaded_access_costs_rt():
+    dram = DramModel(DramParams())
+    assert dram.access(0.0, 0) == pytest.approx(100.0)
+
+
+def test_same_bank_back_to_back_queues():
+    dram = DramModel(DramParams())
+    first = dram.access(0.0, 0)
+    second = dram.access(0.0, 0)  # same line -> same bank, still busy
+    assert second == pytest.approx(first + DramModel.BANK_OCCUPANCY_NS)
+
+
+def test_different_banks_do_not_queue():
+    dram = DramModel(DramParams())
+    dram.access(0.0, 0)
+    other = dram.access(0.0, 64)  # next line -> next bank
+    assert other == pytest.approx(100.0)
+
+
+def test_bank_frees_over_time():
+    dram = DramModel(DramParams())
+    dram.access(0.0, 0)
+    later = dram.access(1000.0, 0)
+    assert later == pytest.approx(100.0)
+
+
+def test_bank_interleaving_by_line():
+    dram = DramModel(DramParams())
+    assert dram.bank_of(0) == 0
+    assert dram.bank_of(64) == 1
+    assert dram.bank_of(64 * dram.total_banks) == 0
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        DramModel(DramParams()).access(-1.0, 0)
+
+
+def test_mean_queue_tracks_contention():
+    dram = DramModel(DramParams())
+    assert dram.mean_queue_ns() == 0.0
+    for _ in range(5):
+        dram.access(0.0, 0)
+    assert dram.mean_queue_ns() > 0.0
+    assert dram.access_count == 5

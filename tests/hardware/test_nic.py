@@ -1,0 +1,130 @@
+"""Tests for the SmartNIC model (Modules 4a / 4b)."""
+
+import pytest
+
+from repro.config import BloomParams
+from repro.hardware.nic import Nic
+
+
+def make_nic(node_id=0, pairs=40, m4b=10):
+    return Nic(node_id, BloomParams(), bf_pair_capacity=pairs,
+               module4b_capacity=m4b)
+
+
+class TestModule4a:
+    def test_remote_state_allocated_on_demand(self):
+        nic = make_nic()
+        assert not nic.has_remote_state((1, 5))
+        state = nic.remote_state((1, 5))
+        assert nic.has_remote_state((1, 5))
+        assert state.read_bf.is_empty and state.write_bf.is_empty
+
+    def test_record_remote_read_inserts_lines(self):
+        nic = make_nic()
+        nic.record_remote_read((1, 5), [10, 11])
+        state = nic.remote_state((1, 5))
+        assert state.read_bf.might_contain(10)
+        assert state.shadow_reads == {10, 11}
+
+    def test_record_remote_write_only_partial_lines(self):
+        nic = make_nic()
+        nic.record_remote_write((1, 5), [100])
+        state = nic.remote_state((1, 5))
+        assert state.write_bf.might_contain(100)
+        assert state.shadow_writes == {100}
+
+    def test_conflict_check_finds_reader(self):
+        nic = make_nic()
+        nic.record_remote_read((1, 5), [10])
+        result = nic.check_remote_conflicts([10])
+        assert result.conflicting_owners == {(1, 5)}
+        assert result.hits >= 1
+
+    def test_conflict_check_excludes_committer(self):
+        nic = make_nic()
+        nic.record_remote_read((1, 5), [10])
+        result = nic.check_remote_conflicts([10], exclude=(1, 5))
+        assert result.conflicting_owners == set()
+
+    def test_conflict_check_counts_false_positive(self):
+        nic = make_nic()
+        # Insert many lines to pollute the read BF, then probe lines that
+        # were never inserted: any hit is a false positive.
+        nic.record_remote_read((1, 5), list(range(0, 6400, 64)))
+        probes = list(range(10 ** 9, 10 ** 9 + 64 * 3000, 64))
+        result = nic.check_remote_conflicts(probes)
+        assert result.false_positive_hits == result.hits
+
+    def test_conflict_check_ignores_reads_when_asked(self):
+        nic = make_nic()
+        nic.record_remote_read((1, 5), [10])
+        result = nic.check_remote_conflicts([10], reads_matter=False)
+        assert result.conflicting_owners == set()
+
+    def test_clear_remote_drops_state(self):
+        nic = make_nic()
+        nic.record_remote_read((1, 5), [10])
+        nic.clear_remote((1, 5))
+        assert not nic.has_remote_state((1, 5))
+        assert nic.check_remote_conflicts([10]).conflicting_owners == set()
+
+    def test_bf_pool_overflow_counted(self):
+        nic = make_nic(pairs=2)
+        nic.remote_state((1, 1))
+        nic.remote_state((1, 2))
+        assert nic.bf_pool_overflows == 0
+        nic.remote_state((1, 3))
+        assert nic.bf_pool_overflows == 1
+
+    def test_remote_owners_listing(self):
+        nic = make_nic()
+        nic.remote_state((2, 9))
+        assert nic.remote_owners() == [(2, 9)]
+
+
+class TestModule4b:
+    def test_buffer_remote_write_groups_by_node(self):
+        nic = make_nic()
+        nic.buffer_remote_write(txid=1, remote_node=2, line=100, value="v1")
+        nic.buffer_remote_write(txid=1, remote_node=3, line=200, value="v2")
+        assert nic.involved_nodes(1) == {2, 3}
+        assert nic.writes_for_node(1, 2) == [100]
+        assert nic.data_payload(1, 3) == {200: "v2"}
+
+    def test_rewrite_same_line_keeps_single_entry(self):
+        nic = make_nic()
+        nic.buffer_remote_write(1, 2, 100, "old")
+        nic.buffer_remote_write(1, 2, 100, "new")
+        assert nic.writes_for_node(1, 2) == [100]
+        assert nic.buffered_value(1, 2, 100) == "new"
+
+    def test_read_your_writes_lookup(self):
+        nic = make_nic()
+        assert nic.buffered_value(1, 2, 100) is None
+        nic.buffer_remote_write(1, 2, 100, "mine")
+        assert nic.buffered_value(1, 2, 100) == "mine"
+
+    def test_note_involved_node_for_reads(self):
+        nic = make_nic()
+        nic.note_involved_node(1, 4)
+        assert nic.involved_nodes(1) == {4}
+        assert nic.writes_for_node(1, 4) == []
+
+    def test_clear_local_drops_state(self):
+        nic = make_nic()
+        nic.buffer_remote_write(1, 2, 100, "v")
+        nic.clear_local(1)
+        assert nic.involved_nodes(1) == set()
+        assert nic.local_tx_count == 0
+
+    def test_module4b_capacity_enforced(self):
+        nic = make_nic(m4b=1)
+        nic.local_state(1)
+        with pytest.raises(RuntimeError):
+            nic.local_state(2)
+
+    def test_queries_on_unknown_tx_are_empty(self):
+        nic = make_nic()
+        assert nic.involved_nodes(99) == set()
+        assert nic.writes_for_node(99, 1) == []
+        assert nic.data_payload(99, 1) == {}

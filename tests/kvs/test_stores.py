@@ -1,0 +1,216 @@
+"""Tests for the four key-value store engines.
+
+Each store is tested through the shared interface plus its structural
+invariants; property-based tests compare every store against a plain
+dict model.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvs import STORES, BPlusTreeStore, BTreeStore, HashTableStore, OrderedMapStore
+
+
+def make_store(kind):
+    if kind == "ht":
+        return HashTableStore(expected_keys=256)
+    if kind == "btree":
+        return BTreeStore(fanout=8)
+    if kind == "bplustree":
+        return BPlusTreeStore(fanout=8)
+    return STORES[kind]()
+
+
+@pytest.fixture(params=sorted(STORES))
+def store(request):
+    return make_store(request.param)
+
+
+class TestCommonBehavior:
+    def test_empty_store(self, store):
+        assert len(store) == 0
+        assert store.lookup(42) is None
+        assert 42 not in store
+
+    def test_insert_and_lookup(self, store):
+        store.insert(5, 500)
+        hit = store.lookup(5)
+        assert hit.record_id == 500
+        assert hit.probe_depth >= 1
+        assert 5 in store
+        assert len(store) == 1
+
+    def test_overwrite_updates_value(self, store):
+        store.insert(5, 500)
+        store.insert(5, 999)
+        assert store.lookup(5).record_id == 999
+        assert len(store) == 1
+
+    def test_bulk_load(self, store):
+        store.bulk_load((key, key * 10) for key in range(200))
+        assert len(store) == 200
+        for key in (0, 57, 199):
+            assert store.lookup(key).record_id == key * 10
+
+    def test_missing_keys_after_load(self, store):
+        store.bulk_load((key, key) for key in range(0, 100, 2))
+        assert store.lookup(1) is None
+        assert store.lookup(99) is None
+
+    def test_large_sequential_and_random_loads(self, store):
+        import random
+        keys = list(range(1000))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            store.insert(key, key + 1)
+        assert len(store) == 1000
+        assert all(store.lookup(key).record_id == key + 1
+                   for key in range(0, 1000, 97))
+
+
+class TestHashTable:
+    def test_bucket_count_power_of_two(self):
+        store = HashTableStore(expected_keys=100)
+        assert store.bucket_count & (store.bucket_count - 1) == 0
+
+    def test_probe_depth_counts_chain_position(self):
+        store = HashTableStore(expected_keys=1)  # force chaining
+        for key in range(20):
+            store.insert(key, key)
+        depths = [store.lookup(key).probe_depth for key in range(20)]
+        assert max(depths) > 1
+
+    def test_delete(self):
+        store = HashTableStore(expected_keys=16)
+        store.insert(1, 10)
+        assert store.delete(1)
+        assert store.lookup(1) is None
+        assert not store.delete(1)
+        assert len(store) == 0
+
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            HashTableStore(expected_keys=0)
+        with pytest.raises(ValueError):
+            HashTableStore(expected_keys=10, load_factor=0)
+
+    def test_no_range_scan(self):
+        with pytest.raises(NotImplementedError):
+            HashTableStore(expected_keys=4).range_scan(0, 10)
+
+
+class TestBTree:
+    def test_fanout_validated(self):
+        with pytest.raises(ValueError):
+            BTreeStore(fanout=2)
+
+    def test_height_grows_logarithmically(self):
+        store = BTreeStore(fanout=8)
+        store.bulk_load((key, key) for key in range(1000))
+        assert 3 <= store.height() <= 6
+
+    def test_invariants_after_random_inserts(self):
+        import random
+        store = BTreeStore(fanout=8)
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            store.insert(key, key)
+        store.check_invariants()
+
+    def test_range_scan_sorted_and_complete(self):
+        store = BTreeStore(fanout=8)
+        store.bulk_load((key, key * 2) for key in range(0, 300, 3))
+        scan = store.range_scan(10, 50)
+        assert scan == [(key, key * 2) for key in range(12, 51, 3)]
+
+    def test_range_scan_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            BTreeStore().range_scan(10, 5)
+
+
+class TestBPlusTree:
+    def test_fanout_validated(self):
+        with pytest.raises(ValueError):
+            BPlusTreeStore(fanout=2)
+
+    def test_invariants_after_random_inserts(self):
+        import random
+        store = BPlusTreeStore(fanout=8)
+        keys = list(range(500))
+        random.Random(9).shuffle(keys)
+        for key in keys:
+            store.insert(key, key)
+        store.check_invariants()
+
+    def test_leaf_chain_range_scan(self):
+        store = BPlusTreeStore(fanout=8)
+        store.bulk_load((key, key + 1) for key in range(200))
+        assert store.range_scan(50, 60) == [(key, key + 1)
+                                            for key in range(50, 61)]
+
+    def test_scan_across_leaf_boundaries(self):
+        store = BPlusTreeStore(fanout=4)  # tiny leaves -> many boundaries
+        store.bulk_load((key, key) for key in range(100))
+        assert len(store.range_scan(0, 99)) == 100
+
+    def test_height_grows(self):
+        store = BPlusTreeStore(fanout=4)
+        store.bulk_load((key, key) for key in range(200))
+        assert store.height() >= 3
+
+
+class TestOrderedMap:
+    def test_avl_invariants_after_adversarial_inserts(self):
+        store = OrderedMapStore()
+        for key in range(200):  # sorted inserts: worst case for a BST
+            store.insert(key, key)
+        store.check_invariants()
+        assert store.height() <= 10  # balanced: ~1.44 log2(200) ≈ 11
+
+    def test_probe_depth_bounded_by_height(self):
+        store = OrderedMapStore()
+        store.bulk_load((key, key) for key in range(128))
+        for key in (0, 63, 127):
+            assert store.lookup(key).probe_depth <= store.height()
+
+    def test_range_scan_sorted(self):
+        store = OrderedMapStore()
+        store.bulk_load((key, key) for key in range(0, 100, 5))
+        assert store.range_scan(10, 40) == [(key, key)
+                                            for key in range(10, 41, 5)]
+
+
+@pytest.mark.parametrize("kind", sorted(STORES))
+@given(pairs=st.dictionaries(st.integers(min_value=0, max_value=10 ** 6),
+                             st.integers(min_value=0, max_value=10 ** 9),
+                             min_size=1, max_size=80))
+@settings(max_examples=25, deadline=None)
+def test_store_matches_dict_model(kind, pairs):
+    """Property: every store behaves like a dict for insert/lookup."""
+    store = make_store(kind)
+    for key, value in pairs.items():
+        store.insert(key, value)
+    assert len(store) == len(pairs)
+    for key, value in pairs.items():
+        assert store.lookup(key).record_id == value
+    for probe in [min(pairs) - 1, max(pairs) + 1]:
+        if probe not in pairs and probe >= 0:
+            assert store.lookup(probe) is None
+
+
+@pytest.mark.parametrize("kind", ["btree", "bplustree", "map"])
+@given(keys=st.sets(st.integers(min_value=0, max_value=10 ** 4),
+                    min_size=2, max_size=60),
+       bounds=st.tuples(st.integers(min_value=0, max_value=10 ** 4),
+                        st.integers(min_value=0, max_value=10 ** 4)))
+@settings(max_examples=25, deadline=None)
+def test_range_scan_matches_sorted_filter(kind, keys, bounds):
+    """Property: ordered stores' scans equal a sorted dict filter."""
+    low, high = min(bounds), max(bounds)
+    store = make_store(kind)
+    for key in keys:
+        store.insert(key, key * 3)
+    expected = [(key, key * 3) for key in sorted(keys) if low <= key <= high]
+    assert store.range_scan(low, high) == expected

@@ -1,0 +1,183 @@
+"""Tests for the network fabric."""
+
+import pytest
+
+from repro.config import NetworkParams
+from repro.net.fabric import Fabric, RequestReplyHelper
+from repro.net.messages import HEADER_BYTES, Message
+from repro.sim import Engine
+
+OWNER = (0, 1)
+
+
+def make_fabric(engine, **overrides):
+    fabric = Fabric(engine, NetworkParams(**overrides))
+    return fabric
+
+
+def test_delivery_invokes_handler_after_one_way_latency():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    received = []
+    fabric.register(1, lambda src, msg: received.append((engine.now, src, msg)))
+    message = Message(OWNER)
+    fabric.send(0, 1, message)
+    engine.run()
+    assert len(received) == 1
+    when, src, delivered = received[0]
+    expected = (1000.0  # one-way
+                + NetworkParams().transfer_ns(HEADER_BYTES)
+                + NetworkParams().nic_processing_ns)
+    assert when == pytest.approx(expected)
+    assert src == 0 and delivered is message
+
+
+def test_send_returns_delivery_event():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    fabric.register(1, lambda src, msg: None)
+    results = []
+
+    def waiter():
+        message = yield fabric.send(0, 1, Message(OWNER))
+        results.append((engine.now, message))
+
+    engine.process(waiter())
+    engine.run()
+    assert len(results) == 1
+    assert results[0][0] > 1000.0
+
+
+def test_generator_handler_spawned_as_process():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    trace = []
+
+    def handler(src, msg):
+        yield 500.0
+        trace.append(engine.now)
+
+    fabric.register(1, handler)
+    fabric.send(0, 1, Message(OWNER))
+    engine.run()
+    assert len(trace) == 1
+    assert trace[0] > 1500.0
+
+
+def test_egress_serialization_queues_large_messages():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    arrivals = []
+    fabric.register(1, lambda src, msg: arrivals.append(engine.now))
+
+    class Big(Message):
+        def size_bytes(self):
+            return 25000  # 1000 ns of serialization at 25 B/ns
+
+    fabric.send(0, 1, Big(OWNER))
+    fabric.send(0, 1, Big(OWNER))
+    engine.run()
+    assert arrivals[1] - arrivals[0] == pytest.approx(1000.0)
+
+
+def test_different_senders_do_not_serialize():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    arrivals = []
+    fabric.register(2, lambda src, msg: arrivals.append(engine.now))
+
+    class Big(Message):
+        def size_bytes(self):
+            return 25000
+
+    fabric.send(0, 2, Big(OWNER))
+    fabric.send(1, 2, Big((1, 2)))
+    engine.run()
+    assert arrivals[0] == pytest.approx(arrivals[1])
+
+
+def test_self_send_rejected():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    fabric.register(0, lambda src, msg: None)
+    with pytest.raises(ValueError):
+        fabric.send(0, 0, Message(OWNER))
+
+
+def test_unregistered_destination_rejected():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    with pytest.raises(KeyError):
+        fabric.send(0, 99, Message(OWNER))
+
+
+def test_duplicate_registration_rejected():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    fabric.register(1, lambda src, msg: None)
+    with pytest.raises(ValueError):
+        fabric.register(1, lambda src, msg: None)
+
+
+def test_traffic_accounting():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    fabric.register(1, lambda src, msg: None)
+    fabric.send(0, 1, Message(OWNER))
+    assert fabric.messages_sent == 1
+    assert fabric.bytes_sent == HEADER_BYTES
+
+
+def test_egress_backlog_visible():
+    engine = Engine()
+    fabric = make_fabric(engine)
+    fabric.register(1, lambda src, msg: None)
+
+    class Big(Message):
+        def size_bytes(self):
+            return 25000
+
+    fabric.send(0, 1, Big(OWNER))
+    assert fabric.egress_backlog_ns(0) == pytest.approx(1000.0)
+    assert fabric.egress_backlog_ns(5) == 0.0
+
+
+class TestRequestReplyHelper:
+    def test_expect_then_resolve(self):
+        engine = Engine()
+        helper = RequestReplyHelper(engine)
+        results = []
+
+        def waiter():
+            value = yield helper.expect("token")
+            results.append(value)
+
+        engine.process(waiter())
+        engine.schedule(10.0, helper.resolve, "token", "reply")
+        engine.run()
+        assert results == ["reply"]
+
+    def test_duplicate_token_rejected(self):
+        helper = RequestReplyHelper(Engine())
+        helper.expect("t")
+        with pytest.raises(ValueError):
+            helper.expect("t")
+
+    def test_late_resolve_dropped(self):
+        helper = RequestReplyHelper(Engine())
+        helper.resolve("never-expected")  # must not raise
+
+    def test_abandon(self):
+        helper = RequestReplyHelper(Engine())
+        helper.expect("t")
+        helper.abandon("t")
+        assert helper.outstanding == 0
+        helper.resolve("t")  # dropped silently
+
+    def test_abandon_owner_clears_matching_tokens(self):
+        helper = RequestReplyHelper(Engine())
+        helper.expect(((0, 7), "lock", 1))
+        helper.expect(((0, 7), "lock", 2))
+        helper.expect(((0, 8), "lock", 1))
+        helper.abandon_owner((0, 7))
+        assert helper.outstanding == 1

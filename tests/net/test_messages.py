@@ -1,0 +1,66 @@
+"""Tests for protocol message sizing."""
+
+from repro.net.messages import (
+    ADDRESS_BYTES,
+    HEADER_BYTES,
+    LINE_BYTES,
+    AckMessage,
+    BatchedLockRequest,
+    IntendToCommitMessage,
+    Message,
+    RdmaReadRequest,
+    RdmaReadResponse,
+    RdmaWriteRequest,
+    RemoteWriteAccessRequest,
+    SquashMessage,
+    ValidationMessage,
+)
+
+OWNER = (0, 1)
+
+
+def test_base_message_is_header_only():
+    assert Message(OWNER).size_bytes() == HEADER_BYTES
+    assert Message(OWNER).origin_node == 0
+
+
+def test_read_request_grows_with_lines():
+    empty = RdmaReadRequest(OWNER)
+    three = RdmaReadRequest(OWNER, lines=[1, 2, 3])
+    assert three.size_bytes() - empty.size_bytes() == 3 * ADDRESS_BYTES
+
+
+def test_read_response_carries_line_payload():
+    response = RdmaReadResponse(OWNER, values={1: "a", 2: "b"})
+    assert response.size_bytes() == HEADER_BYTES + 2 * LINE_BYTES
+
+
+def test_write_request_carries_addresses_and_data():
+    request = RdmaWriteRequest(OWNER, values={1: "a"})
+    assert request.size_bytes() == HEADER_BYTES + ADDRESS_BYTES + LINE_BYTES
+
+
+def test_intend_to_commit_lists_written_lines():
+    message = IntendToCommitMessage(OWNER, written_lines=[5, 6])
+    assert message.size_bytes() == HEADER_BYTES + 2 * ADDRESS_BYTES
+
+
+def test_validation_carries_updates():
+    message = ValidationMessage(OWNER, updates={5: "x"})
+    assert message.size_bytes() == HEADER_BYTES + ADDRESS_BYTES + LINE_BYTES
+
+
+def test_ack_and_squash_are_small():
+    assert AckMessage(OWNER).size_bytes() == HEADER_BYTES
+    assert SquashMessage(OWNER, victim=(1, 2)).size_bytes() == HEADER_BYTES
+
+
+def test_remote_write_access_sized_by_all_lines():
+    message = RemoteWriteAccessRequest(OWNER, all_lines=[1, 2, 3],
+                                       partial_lines=[1])
+    assert message.size_bytes() == HEADER_BYTES + 3 * ADDRESS_BYTES
+
+
+def test_batched_lock_sized_by_records():
+    message = BatchedLockRequest(OWNER, record_addresses=[10, 20, 30, 40])
+    assert message.size_bytes() == HEADER_BYTES + 4 * ADDRESS_BYTES

@@ -1,0 +1,287 @@
+"""Tests for the discrete-event engine and process model."""
+
+import pytest
+
+from repro.sim import AllOf, Engine, Interrupt
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(30.0, lambda: seen.append("c"))
+    engine.schedule(10.0, lambda: seen.append("a"))
+    engine.schedule(20.0, lambda: seen.append("b"))
+    engine.run()
+    assert seen == ["a", "b", "c"]
+    assert engine.now == 30.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    engine = Engine()
+    seen = []
+    for label in "abc":
+        engine.schedule(5.0, seen.append, label)
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_schedule_in_past_rejected():
+    with pytest.raises(ValueError):
+        Engine().schedule(-1.0, lambda: None)
+
+
+def test_run_until_stops_and_advances_clock():
+    engine = Engine()
+    seen = []
+    engine.schedule(10.0, seen.append, "early")
+    engine.schedule(100.0, seen.append, "late")
+    engine.run(until=50.0)
+    assert seen == ["early"]
+    assert engine.now == 50.0
+    engine.run()
+    assert seen == ["early", "late"]
+
+
+def test_process_delay_advances_clock():
+    engine = Engine()
+    trace = []
+
+    def worker():
+        trace.append(engine.now)
+        yield 100.0
+        trace.append(engine.now)
+        yield 50.0
+        trace.append(engine.now)
+
+    engine.process(worker())
+    engine.run()
+    assert trace == [0.0, 100.0, 150.0]
+
+
+def test_process_return_value_visible_to_waiter():
+    engine = Engine()
+    results = []
+
+    def child():
+        yield 10.0
+        return 42
+
+    def parent():
+        value = yield engine.process(child())
+        results.append(value)
+
+    engine.process(parent())
+    engine.run()
+    assert results == [42]
+
+
+def test_process_wait_on_event_gets_value():
+    engine = Engine()
+    event = engine.event()
+    results = []
+
+    def waiter():
+        value = yield event
+        results.append((engine.now, value))
+
+    def firer():
+        yield 25.0
+        event.succeed("payload")
+
+    engine.process(waiter())
+    engine.process(firer())
+    engine.run()
+    assert results == [(25.0, "payload")]
+
+
+def test_event_cannot_trigger_twice():
+    engine = Engine()
+    event = engine.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+
+
+def test_all_of_waits_for_every_child():
+    engine = Engine()
+    events = [engine.timeout(t, value=t) for t in (30.0, 10.0, 20.0)]
+    results = []
+
+    def waiter():
+        values = yield AllOf(engine, events)
+        results.append((engine.now, values))
+
+    engine.process(waiter())
+    engine.run()
+    assert results == [(30.0, [30.0, 10.0, 20.0])]
+
+
+def test_all_of_empty_triggers_immediately():
+    engine = Engine()
+    results = []
+
+    def waiter():
+        values = yield AllOf(engine, [])
+        results.append((engine.now, values))
+
+    engine.process(waiter())
+    engine.run()
+    assert results == [(0.0, [])]
+
+
+def test_interrupt_wakes_process_with_exception():
+    engine = Engine()
+    trace = []
+
+    def victim():
+        try:
+            yield 1000.0
+            trace.append("not reached")
+        except Interrupt as interrupt:
+            trace.append(("interrupted", engine.now, interrupt.cause))
+
+    process = engine.process(victim())
+
+    def attacker():
+        yield 40.0
+        process.interrupt("squash")
+
+    engine.process(attacker())
+    engine.run()
+    assert trace == [("interrupted", 40.0, "squash")]
+
+
+def test_interrupted_process_not_resumed_by_stale_event():
+    engine = Engine()
+    event = engine.event()
+    resumed = []
+
+    def victim():
+        try:
+            yield event
+            resumed.append("event")
+        except Interrupt:
+            yield 5.0
+            resumed.append("recovered")
+
+    process = engine.process(victim())
+
+    def driver():
+        yield 10.0
+        process.interrupt()
+        yield 1.0
+        event.succeed("late")
+
+    engine.process(driver())
+    engine.run()
+    assert resumed == ["recovered"]
+
+
+def test_interrupt_dead_process_is_noop():
+    engine = Engine()
+
+    def quick():
+        yield 1.0
+
+    process = engine.process(quick())
+    engine.run()
+    assert not process.is_alive
+    process.interrupt()  # must not raise
+    engine.run()
+
+
+def test_uncaught_interrupt_kills_process_quietly():
+    engine = Engine()
+
+    def victim():
+        yield 1000.0
+
+    process = engine.process(victim())
+    engine.schedule(10.0, process.interrupt)
+    engine.run()
+    assert not process.is_alive
+
+
+def test_process_error_propagates_to_waiter():
+    engine = Engine()
+    caught = []
+
+    def broken():
+        yield 1.0
+        raise RuntimeError("boom")
+
+    def parent():
+        try:
+            yield engine.process(broken())
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    engine.process(parent())
+    engine.run()
+    assert caught == ["boom"]
+
+
+def test_unwaited_process_error_raises_out_of_run():
+    engine = Engine()
+
+    def broken():
+        yield 1.0
+        raise ValueError("unobserved")
+
+    engine.process(broken())
+    with pytest.raises(ValueError, match="unobserved"):
+        engine.run()
+
+
+def test_yield_none_resumes_after_now_events():
+    engine = Engine()
+    trace = []
+
+    def yielder():
+        trace.append("first")
+        yield None
+        trace.append("third")
+
+    engine.process(yielder())
+    engine.schedule(0.0, trace.append, "second")
+    engine.run()
+    assert trace.index("first") < trace.index("second") < trace.index("third")
+
+
+def test_yield_bad_type_fails_process():
+    engine = Engine()
+
+    def bad():
+        yield "not yieldable"
+
+    engine.process(bad())
+    with pytest.raises(TypeError):
+        engine.run()
+
+
+def test_peek_reports_next_event_time():
+    engine = Engine()
+    assert engine.peek() is None
+    engine.schedule(12.0, lambda: None)
+    assert engine.peek() == 12.0
+
+
+def test_nested_generators_compose_with_yield_from():
+    engine = Engine()
+    trace = []
+
+    def inner():
+        yield 10.0
+        return "inner-done"
+
+    def outer():
+        value = yield from inner()
+        trace.append((engine.now, value))
+
+    engine.process(outer())
+    engine.run()
+    assert trace == [(10.0, "inner-done")]

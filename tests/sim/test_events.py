@@ -1,0 +1,73 @@
+"""Tests for event combinators."""
+
+import pytest
+
+from repro.sim import AnyOf, Engine
+from repro.sim.events import Timeout
+
+
+def test_timeout_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        Timeout(engine, -5.0)
+
+
+def test_timeout_carries_value():
+    engine = Engine()
+    received = []
+
+    def waiter():
+        value = yield engine.timeout(7.0, value="hello")
+        received.append(value)
+
+    engine.process(waiter())
+    engine.run()
+    assert received == ["hello"]
+
+
+def test_any_of_fires_on_first_child():
+    engine = Engine()
+    events = [engine.timeout(50.0, "slow"), engine.timeout(10.0, "fast")]
+    received = []
+
+    def waiter():
+        index, value = yield AnyOf(engine, events)
+        received.append((engine.now, index, value))
+
+    engine.process(waiter())
+    engine.run()
+    assert received == [(10.0, 1, "fast")]
+
+
+def test_any_of_requires_children():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        AnyOf(engine, [])
+
+
+def test_callback_on_already_triggered_event_runs():
+    engine = Engine()
+    event = engine.event()
+    event.succeed(3)
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    engine.run()
+    assert seen == [3]
+
+
+def test_remove_callback_prevents_delivery():
+    engine = Engine()
+    event = engine.event()
+    seen = []
+    callback = lambda e: seen.append(e.value)  # noqa: E731
+    event.add_callback(callback)
+    event.remove_callback(callback)
+    event.succeed(1)
+    engine.run()
+    assert seen == []
+
+
+def test_remove_unknown_callback_is_noop():
+    engine = Engine()
+    event = engine.event()
+    event.remove_callback(lambda e: None)  # must not raise

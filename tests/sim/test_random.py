@@ -1,0 +1,150 @@
+"""Tests for the deterministic RNG and zipfian generator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import (
+    DeterministicRandom,
+    UniformGenerator,
+    ZipfianGenerator,
+    exponential_backoff,
+    fnv1a_64,
+    percentile,
+)
+
+
+def test_deterministic_random_reproducible():
+    first = [DeterministicRandom(42).random() for _ in range(5)]
+    second = [DeterministicRandom(42).random() for _ in range(5)]
+    assert first == second
+
+
+def test_choice_weighted_respects_weights():
+    rng = DeterministicRandom(7)
+    draws = [rng.choice_weighted(["a", "b"], [0.99, 0.01]) for _ in range(500)]
+    assert draws.count("a") > 450
+
+
+def test_choice_weighted_returns_last_on_rounding():
+    rng = DeterministicRandom(1)
+    assert rng.choice_weighted(["only"], [1.0]) == "only"
+
+
+def test_distinct_sample_distinct():
+    rng = DeterministicRandom(3)
+    sample = rng.distinct_sample(100, 10)
+    assert len(set(sample)) == 10
+    assert all(0 <= value < 100 for value in sample)
+
+
+def test_distinct_sample_rejects_oversample():
+    with pytest.raises(ValueError):
+        DeterministicRandom(0).distinct_sample(3, 5)
+
+
+def test_zipfian_rank_zero_most_popular():
+    gen = ZipfianGenerator(1000, rng=DeterministicRandom(5), scrambled=False)
+    counts = {}
+    for _ in range(20000):
+        rank = gen.next_rank()
+        counts[rank] = counts.get(rank, 0) + 1
+    assert counts.get(0, 0) > counts.get(10, 0) > counts.get(500, 0)
+
+
+def test_zipfian_keys_in_range():
+    gen = ZipfianGenerator(50, rng=DeterministicRandom(9))
+    for _ in range(1000):
+        assert 0 <= gen.next_key() < 50
+
+
+def test_zipfian_probability_mass_sums_to_one():
+    gen = ZipfianGenerator(200, rng=DeterministicRandom(0))
+    total = sum(gen.probability_of_rank(rank) for rank in range(200))
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+
+def test_zipfian_empirical_matches_analytic_head():
+    gen = ZipfianGenerator(100, rng=DeterministicRandom(11), scrambled=False)
+    draws = 50000
+    zero_count = sum(1 for _ in range(draws) if gen.next_rank() == 0)
+    expected = gen.probability_of_rank(0)
+    assert abs(zero_count / draws - expected) < 0.02
+
+
+def test_zipfian_scrambling_spreads_popular_keys():
+    plain = ZipfianGenerator(1000, rng=DeterministicRandom(2), scrambled=False)
+    scrambled = ZipfianGenerator(1000, rng=DeterministicRandom(2), scrambled=True)
+    plain_keys = {plain.next_key() for _ in range(100)}
+    scrambled_keys = {scrambled.next_key() for _ in range(100)}
+    # Unscrambled draws concentrate near 0; scrambled draws spread out.
+    assert max(plain_keys) < max(scrambled_keys)
+
+
+def test_zipfian_validates_parameters():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=1.5)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=0.0)
+
+
+def test_zipfian_rank_bounds_checked():
+    gen = ZipfianGenerator(10, rng=DeterministicRandom(0))
+    with pytest.raises(ValueError):
+        gen.probability_of_rank(10)
+
+
+def test_uniform_generator_covers_range():
+    gen = UniformGenerator(10, rng=DeterministicRandom(4))
+    keys = {gen.next_key() for _ in range(500)}
+    assert keys == set(range(10))
+
+
+def test_fnv1a_deterministic_and_64bit():
+    assert fnv1a_64(12345) == fnv1a_64(12345)
+    assert 0 <= fnv1a_64(2 ** 63) < 2 ** 64
+    assert fnv1a_64(1) != fnv1a_64(2)
+
+
+def test_exponential_backoff_grows_then_caps():
+    rng = DeterministicRandom(8)
+    cap = 1000.0
+    for attempt in range(20):
+        delay = exponential_backoff(rng, attempt, base_ns=10.0, cap_ns=cap)
+        assert 0.0 <= delay <= cap
+    with pytest.raises(ValueError):
+        exponential_backoff(rng, -1, 10.0, cap)
+
+
+def test_percentile_simple_cases():
+    assert percentile([5.0], 0.95) == 5.0
+    assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+    assert percentile([1.0, 2.0], 1.0) == 2.0
+    assert percentile([1.0, 2.0], 0.0) == 1.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_percentile_bounded_by_min_max(values, fraction):
+    result = percentile(values, fraction)
+    assert min(values) <= result <= max(values)
+
+
+@given(st.integers(min_value=2, max_value=10000))
+@settings(max_examples=50, deadline=None)
+def test_zipfian_keys_always_in_range(item_count):
+    gen = ZipfianGenerator(item_count, rng=DeterministicRandom(item_count))
+    for _ in range(20):
+        assert 0 <= gen.next_key() < item_count

@@ -1,0 +1,118 @@
+"""Tests for the statistics collectors."""
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    LatencyRecorder,
+    PhaseBreakdown,
+    RunMetrics,
+    ThroughputMeter,
+)
+
+
+def test_counter_defaults_to_zero():
+    counter = Counter()
+    assert counter.get("missing") == 0
+
+
+def test_counter_accumulates():
+    counter = Counter()
+    counter.add("squash")
+    counter.add("squash", 2)
+    assert counter.get("squash") == 3
+    assert counter.as_dict() == {"squash": 3}
+
+
+def test_counter_ratio_safe_on_zero_denominator():
+    counter = Counter()
+    counter.add("hits", 5)
+    assert counter.ratio("hits", "checks") == 0.0
+    counter.add("checks", 10)
+    assert counter.ratio("hits", "checks") == 0.5
+
+
+def test_latency_recorder_mean_and_percentile():
+    recorder = LatencyRecorder()
+    for value in [100.0, 200.0, 300.0, 400.0]:
+        recorder.record(value)
+    assert recorder.mean() == 250.0
+    assert recorder.count == 4
+    assert recorder.percentile(0.5) == 250.0
+    assert recorder.p95() == pytest.approx(385.0)
+
+
+def test_latency_recorder_empty_is_zero():
+    recorder = LatencyRecorder()
+    assert recorder.mean() == 0.0
+    assert recorder.p95() == 0.0
+
+
+def test_latency_recorder_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencyRecorder().record(-1.0)
+
+
+def test_phase_breakdown_fractions_sum_to_one():
+    phases = PhaseBreakdown()
+    phases.add("execution", 60.0)
+    phases.add("validation", 30.0)
+    phases.add("commit", 10.0)
+    fractions = phases.fractions()
+    assert fractions["execution"] == pytest.approx(0.6)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_phase_breakdown_mean_per_transaction():
+    phases = PhaseBreakdown()
+    phases.add("execution", 100.0)
+    phases.finish_transaction()
+    phases.add("execution", 300.0)
+    phases.finish_transaction()
+    assert phases.transactions == 2
+    assert phases.mean_per_transaction() == {"execution": 200.0}
+
+
+def test_phase_breakdown_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        PhaseBreakdown().add("execution", -1.0)
+
+
+def test_phase_breakdown_empty_fractions():
+    assert PhaseBreakdown().fractions() == {}
+    assert PhaseBreakdown().mean_per_transaction() == {}
+
+
+def test_throughput_meter():
+    meter = ThroughputMeter()
+    for _ in range(10):
+        meter.commit()
+    meter.abort()
+    assert meter.throughput(1e9) == 10.0  # 10 commits in one second
+    assert meter.attempts == 11
+    assert meter.abort_rate() == pytest.approx(1 / 11)
+
+
+def test_throughput_meter_rejects_zero_elapsed():
+    with pytest.raises(ValueError):
+        ThroughputMeter().throughput(0.0)
+
+
+def test_abort_rate_zero_when_no_attempts():
+    assert ThroughputMeter().abort_rate() == 0.0
+
+
+def test_run_metrics_summary():
+    metrics = RunMetrics()
+    metrics.meter.commit()
+    metrics.latency.record(500.0)
+    metrics.elapsed_ns = 1e6
+    summary = metrics.summary()
+    assert summary["committed"] == 1.0
+    assert summary["mean_latency_ns"] == 500.0
+    assert summary["throughput_tps"] == pytest.approx(1e3)
+
+
+def test_run_metrics_summary_without_elapsed():
+    summary = RunMetrics().summary()
+    assert "throughput_tps" not in summary

@@ -1,0 +1,123 @@
+"""Tests for the analysis helpers (Fig. 3 breakdown, Table IV, reports)."""
+
+import pytest
+
+from repro.analysis.bloom_analysis import (
+    PAPER_TABLE_IV,
+    analytic_false_positive_rate,
+    empirical_false_positive_rate,
+    table_iv_rows,
+)
+from repro.analysis.overheads import OVERHEAD_CATEGORIES, normalized_bar, overhead_breakdown
+from repro.analysis.report import format_table, format_speedup_rows
+from repro.sim.stats import RunMetrics
+
+
+def fake_metrics(**category_ns):
+    metrics = RunMetrics()
+    for category, value in category_ns.items():
+        metrics.overheads.add(category, value)
+    metrics.overheads.finish_transaction()
+    return metrics
+
+
+class TestOverheadBreakdown:
+    def test_shares_sum_to_one(self):
+        metrics = fake_metrics(manage_sets=30.0, read_atomicity=20.0,
+                               other=50.0)
+        shares = overhead_breakdown(metrics)
+        total = sum(shares[c] for c in OVERHEAD_CATEGORIES) + shares["other"]
+        assert total == pytest.approx(1.0)
+        assert shares["overhead_fraction"] == pytest.approx(0.5)
+
+    def test_missing_categories_are_zero(self):
+        shares = overhead_breakdown(fake_metrics(other=10.0))
+        assert shares["rd_before_wr"] == 0.0
+        assert shares["overhead_fraction"] == 0.0
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_breakdown(RunMetrics())
+
+    def test_normalized_bar_reference(self):
+        reference = fake_metrics(manage_sets=60.0, other=40.0)
+        shorter = fake_metrics(manage_sets=30.0, other=20.0)
+        bar = normalized_bar(shorter, reference=reference)
+        assert bar["total"] == pytest.approx(0.5)
+        self_bar = normalized_bar(reference)
+        assert self_bar["total"] == pytest.approx(1.0)
+
+    def test_normalized_bar_requires_transactions(self):
+        with pytest.raises(ValueError):
+            normalized_bar(RunMetrics())
+
+
+class TestBloomAnalysis:
+    def test_analytic_matches_paper_1kbit(self):
+        for lines, paper in PAPER_TABLE_IV["1Kbit"].items():
+            ours = analytic_false_positive_rate("1Kbit", lines)
+            assert ours == pytest.approx(paper, rel=0.2)
+
+    def test_analytic_split_is_much_smaller(self):
+        for lines in (10, 20, 50, 100):
+            plain = analytic_false_positive_rate("1Kbit", lines)
+            split = analytic_false_positive_rate("512bit+4Kbit", lines)
+            assert split < plain / 3
+
+    def test_empirical_tracks_analytic(self):
+        analytic = analytic_false_positive_rate("1Kbit", 50)
+        empirical = empirical_false_positive_rate("1Kbit", 50, trials=60,
+                                                  probes=400)
+        assert empirical == pytest.approx(analytic, rel=0.5, abs=0.002)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            analytic_false_positive_rate("2Kbit", 10)
+        with pytest.raises(ValueError):
+            empirical_false_positive_rate("1Kbit", 0)
+
+    def test_table_rows_shape(self):
+        rows = table_iv_rows(line_counts=(10, 100), empirical=False)
+        assert len(rows) == 4
+        assert {row["design"] for row in rows} == {"1Kbit", "512bit+4Kbit"}
+        assert all("analytic" in row and "paper" in row for row in rows)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]],
+                            title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_format_bars(self):
+        from repro.analysis.report import format_bars
+        text = format_bars({"baseline": 1.0, "hades": 2.0}, width=10,
+                           title="Fig")
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert lines[2].count("#") == 10  # hades fills the width
+        assert lines[1].count("#") == 5
+
+    def test_format_bars_validation(self):
+        from repro.analysis.report import format_bars
+        with pytest.raises(ValueError):
+            format_bars({})
+        with pytest.raises(ValueError):
+            format_bars({"a": 1.0}, width=2)
+        with pytest.raises(ValueError):
+            format_bars({"a": 0.0})
+
+    def test_format_speedup_rows(self):
+        text = format_speedup_rows(
+            {"TPC-C": {"baseline": 1.0, "hades": 2.7, "hades-h": 2.3}},
+            title="Fig 9")
+        assert "TPC-C" in text and "2.70" in text

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "hades"
+        assert args.workload == "HT-wA"
+        assert args.shape == "default"
+
+    def test_run_custom(self):
+        args = build_parser().parse_args(
+            ["run", "--protocol", "baseline", "--workload", "TPC-C",
+             "--scale", "0.5", "--shape", "scale_n10"])
+        assert args.protocol == "baseline"
+        assert args.workload == "TPC-C"
+        assert args.scale == 0.5
+        assert args.shape == "scale_n10"
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "spanner"])
+
+    def test_figures_names(self):
+        for name in FIGURES:
+            args = build_parser().parse_args(["figures", name])
+            assert args.name == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_cost_prints_paper_numbers(self, capsys):
+        assert main(["cost", "--cores", "5", "--multiplexing", "2",
+                     "--remote-nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "core BF pairs" in out
+        assert "10" in out  # 10 pairs
+
+    def test_run_small_experiment(self, capsys):
+        code = main(["run", "--protocol", "hades", "--workload", "TATP",
+                     "--scale", "0.01", "--duration-us", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput (txn/s)" in out
+        assert "TATP" in out
+
+    def test_compare_small(self, capsys):
+        code = main(["compare", "--workload", "Smallbank", "--scale", "0.01",
+                     "--duration-us", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "hades" in out
+
+    def test_figures_sec06(self, capsys):
+        assert main(["figures", "sec06"]) == 0
+        out = capsys.readouterr().out
+        assert "N=5,C=5,m=2,D=4" in out

@@ -1,0 +1,98 @@
+"""Tests for the architecture configuration (Table III)."""
+
+import pytest
+
+from repro.config import (
+    CLUSTER_SHAPES,
+    BloomParams,
+    CacheParams,
+    ClusterConfig,
+    CoreParams,
+    NetworkParams,
+    make_cluster_config,
+)
+
+
+def test_default_cluster_is_paper_default():
+    config = ClusterConfig()
+    assert config.nodes == 5
+    assert config.cores_per_node == 5
+    assert config.multiplexing == 2
+    assert config.total_cores == 25
+    assert config.transactions_per_node == 10
+
+
+def test_core_cycle_time():
+    core = CoreParams()
+    assert core.cycle_ns == pytest.approx(0.5)  # 2 GHz
+    assert core.cycles_to_ns(40) == pytest.approx(20.0)
+
+
+def test_network_derived_values():
+    net = NetworkParams()
+    assert net.one_way_latency_ns == pytest.approx(1000.0)
+    assert net.bytes_per_ns == pytest.approx(25.0)  # 200 Gb/s
+    assert net.transfer_ns(2500) == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        net.transfer_ns(-1)
+
+
+def test_bloom_pair_storage_matches_paper():
+    bloom = BloomParams()
+    assert bloom.core_pair_bytes * 10 == pytest.approx(7.0 * 1024, rel=0.02)
+    assert bloom.nic_pair_bytes == 256
+
+
+def test_llc_sets_geometry():
+    cache = CacheParams()
+    # 4 MB/core x 5 cores, 16 ways, 64 B lines -> 20480 sets.
+    assert cache.llc_sets(5) == 20 * 1024 * 1024 // 64 // 16
+
+
+def test_local_line_access_is_hit_dram_mix():
+    config = ClusterConfig()
+    llc_ns = 40 * 0.5
+    dram_ns = llc_ns + 100.0
+    expected = 0.9 * llc_ns + 0.1 * dram_ns
+    assert config.local_line_access_ns() == pytest.approx(expected)
+
+
+def test_copy_cost():
+    config = ClusterConfig()
+    # 64 bytes at 2 B/cycle = 32 cycles = 16 ns.
+    assert config.copy_ns(64) == pytest.approx(16.0)
+
+
+def test_invalid_cluster_rejected():
+    with pytest.raises(ValueError):
+        ClusterConfig(nodes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(cores_per_node=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(multiplexing=0)
+
+
+def test_replace_helpers_do_not_mutate_original():
+    config = ClusterConfig()
+    faster = config.with_network(rt_latency_ns=1000.0)
+    assert faster.network.rt_latency_ns == 1000.0
+    assert config.network.rt_latency_ns == 2000.0
+    cheaper = config.with_cost(read_set_insert_cycles=1.0)
+    assert cheaper.cost.read_set_insert_cycles == 1.0
+    assert config.cost.read_set_insert_cycles != 1.0
+    bigger = config.with_bloom(nic_read_bits=2048)
+    assert bigger.bloom.nic_read_bits == 2048
+
+
+def test_cluster_shapes_cover_paper_experiments():
+    assert CLUSTER_SHAPES["default"] == (5, 5)
+    assert CLUSTER_SHAPES["scale_n10"] == (10, 5)
+    assert CLUSTER_SHAPES["scale_c10"] == (5, 10)
+    assert CLUSTER_SHAPES["scale_200"] == (8, 25)
+    config = make_cluster_config("scale_200")
+    assert config.total_cores == 200
+
+
+def test_unknown_shape_rejected():
+    with pytest.raises(KeyError):
+        make_cluster_config("mega")

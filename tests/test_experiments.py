@@ -1,0 +1,98 @@
+"""Fast shape-tests of the experiment harness.
+
+These run each experiment at very small budgets and assert structural
+properties (row shapes, normalization anchors) — the full shape
+assertions against paper numbers live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PROTOCOL_ORDER,
+    QUICK,
+    ExperimentSettings,
+    char_false_positives,
+    char_llc_evictions,
+    fig03_overheads,
+    fig09_throughput,
+    fig10_latency,
+    fig12b_locality,
+    sec06_hardware_cost,
+    table04_bloom_fp,
+)
+
+TINY = ExperimentSettings(scale=0.01, duration_ns=120_000.0,
+                          suite=("HT-wA", "TATP"), llc_sets=256)
+
+
+def test_settings_with_override():
+    assert QUICK.with_(seed=9).seed == 9
+    assert QUICK.seed != 9
+
+
+def test_fig03_rows_shape():
+    rows = fig03_overheads(TINY)
+    assert [row["workload"] for row in rows] == ["100%WR", "50%WR-50%RD",
+                                                 "100%RD"]
+    for row in rows:
+        assert 0.0 < row["overhead_fraction"] < 1.0
+        assert row["other"] > 0.0
+
+
+def test_fig09_rows_have_geomean_and_unit_baseline():
+    rows = fig09_throughput(TINY)
+    assert rows[-1]["workload"] == "geomean"
+    for row in rows:
+        assert row["baseline"] == pytest.approx(1.0) or \
+            row["workload"] == "geomean"
+        for protocol in PROTOCOL_ORDER:
+            assert row[protocol] > 0
+
+
+def test_fig10_rows_phase_shares():
+    rows = fig10_latency(TINY)
+    assert len(rows) == len(TINY.suite) * len(PROTOCOL_ORDER)
+    for row in rows:
+        shares = (row["execution_share"] + row["validation_share"]
+                  + row["commit_share"])
+        assert shares == pytest.approx(1.0, abs=1e-6)
+        if row["protocol"] != "baseline":
+            # HADES variants have no Commit phase (Fig. 10).
+            assert row["commit_share"] == 0.0
+        if row["protocol"] == "baseline":
+            assert row["normalized"] == pytest.approx(1.0)
+
+
+def test_fig12b_reference_anchor():
+    rows = fig12b_locality(TINY, local_fractions=(0.2, 0.8))
+    assert rows[0]["local_fraction"] == 0.2
+    assert rows[0]["baseline"] == pytest.approx(1.0)
+    assert len(rows) == 2
+
+
+def test_table04_rows():
+    rows = table04_bloom_fp(trials=20, probes=100)
+    assert len(rows) == 8
+    for row in rows:
+        assert row["empirical"] >= 0.0
+        assert row["analytic"] >= 0.0
+
+
+def test_sec06_matches_paper():
+    rows = sec06_hardware_cost()
+    assert rows[0]["core_bf_kb"] == pytest.approx(7.0, abs=0.2)
+    assert rows[0]["nic_total_kb"] == pytest.approx(11.0, abs=0.2)
+    assert rows[1]["wrtx_id_bits"] == 5
+
+
+def test_char_llc_evictions_reports_fraction():
+    result = char_llc_evictions(TINY, llc_sets=16)
+    assert result["attempts"] > 0
+    assert 0.0 <= result["eviction_squash_fraction"] <= 1.0
+
+
+def test_char_false_positives_small():
+    rows = char_false_positives(TINY)
+    for row in rows:
+        assert row["conflict_checks"] > 0
+        assert 0.0 <= row["fp_fraction"] < 0.05

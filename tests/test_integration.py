@@ -1,0 +1,128 @@
+"""Cross-module integration tests."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig, NetworkParams
+from repro.core import PROTOCOLS, read, write
+from repro.net.fabric import Fabric
+from repro.net.messages import Message
+from repro.sim import Engine
+from repro.sim.random import DeterministicRandom
+
+
+def final_state(protocol_name, seed=5):
+    """Run a fixed conflict-free schedule; return {record: value}."""
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(nodes=3, cores_per_node=2),
+                      llc_sets=256)
+    protocol = PROTOCOLS[protocol_name](cluster, seed=seed)
+    records = list(range(1, 13))
+    for record_id in records:
+        cluster.allocate_record(record_id, 128)
+
+    def client(client_index):
+        # Each client owns a disjoint record slice: no conflicts, so
+        # every protocol must produce the same final state.
+        mine = records[client_index * 3:(client_index + 1) * 3]
+        rng = DeterministicRandom(seed + client_index)
+        for round_number in range(4):
+            spec = []
+            for record_id in mine:
+                if rng.random() < 0.5:
+                    spec.append(write(record_id,
+                                      value=(client_index, round_number,
+                                             record_id)))
+                else:
+                    spec.append(read(record_id))
+            yield from protocol.execute(client_index % 3,
+                                        client_index % 4, spec)
+
+    for client_index in range(4):
+        engine.process(client(client_index))
+    engine.run()
+
+    state = {}
+    for record_id in records:
+        descriptor = cluster.record(record_id)
+        node = cluster.node(descriptor.home_node)
+        values = {v for v in node.memory.read_lines(descriptor.lines).values()
+                  if v is not None}
+        state[record_id] = values
+    return state, protocol.metrics
+
+
+class TestCrossProtocolEquivalence:
+    def test_conflict_free_final_states_agree(self):
+        states = {}
+        for name in sorted(PROTOCOLS):
+            state, metrics = final_state(name)
+            states[name] = state
+            assert metrics.meter.aborted == 0, f"{name} aborted needlessly"
+        assert states["baseline"] == states["hades"] == states["hades-h"]
+
+    def test_all_protocols_commit_the_same_count(self):
+        counts = set()
+        for name in sorted(PROTOCOLS):
+            _state, metrics = final_state(name)
+            counts.add(metrics.meter.committed)
+        assert len(counts) == 1
+
+
+class TestFabricOrdering:
+    def test_fifo_per_src_dst_pair(self):
+        """Messages between one (src, dst) pair always arrive in send
+        order — the protocol's cleanup correctness depends on it."""
+        engine = Engine()
+        fabric = Fabric(engine, NetworkParams())
+        arrivals = []
+        fabric.register(1, lambda src, msg: arrivals.append(msg.owner[1]))
+        rng = DeterministicRandom(3)
+
+        class Sized(Message):
+            def __init__(self, owner, size):
+                super().__init__(owner)
+                self._size = size
+
+            def size_bytes(self):
+                return self._size
+
+        def sender():
+            for index in range(50):
+                fabric.send(0, 1, Sized((0, index), rng.randint(64, 20000)))
+                yield float(rng.randint(0, 300))
+
+        engine.process(sender())
+        engine.run()
+        assert arrivals == sorted(arrivals)
+        assert len(arrivals) == 50
+
+    def test_interleaved_sources_each_stay_ordered(self):
+        engine = Engine()
+        fabric = Fabric(engine, NetworkParams())
+        arrivals = []
+        fabric.register(2, lambda src, msg: arrivals.append((src,
+                                                             msg.owner[1])))
+        for index in range(20):
+            fabric.send(0, 2, Message((0, index)))
+            fabric.send(1, 2, Message((1, index)))
+        engine.run()
+        for src in (0, 1):
+            sequence = [seq for s, seq in arrivals if s == src]
+            assert sequence == sorted(sequence)
+
+
+class TestScalabilitySmoke:
+    @pytest.mark.parametrize("shape,expected_cores", [
+        ("scale_n10", 50), ("scale_c10", 50), ("scale_200", 200)])
+    def test_larger_clusters_run(self, shape, expected_cores):
+        from repro.config import make_cluster_config
+        from repro.runner import run_experiment
+        from repro.workloads import MicroWorkload
+
+        config = make_cluster_config(shape)
+        assert config.total_cores == expected_cores
+        result = run_experiment(
+            "hades", MicroWorkload(0.5, record_count=5000),
+            config=config, duration_ns=60_000.0, seed=3, llc_sets=512)
+        assert result.metrics.meter.committed > 0

@@ -1,0 +1,39 @@
+"""The public API surface stays stable and importable."""
+
+import repro
+
+
+def test_version_present():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_protocol_registry_complete():
+    assert set(repro.PROTOCOLS) == {"baseline", "hades", "hades-h"}
+    for cls in repro.PROTOCOLS.values():
+        assert hasattr(cls, "execute")
+
+
+def test_request_helpers_exported():
+    request = repro.read(1)
+    assert request.kind == "read"
+    request = repro.write(1, value="v")
+    assert request.is_write
+
+
+def test_subpackages_import_cleanly():
+    import repro.analysis  # noqa: F401
+    import repro.cluster  # noqa: F401
+    import repro.core  # noqa: F401
+    import repro.experiments  # noqa: F401
+    import repro.hardware  # noqa: F401
+    import repro.kvs  # noqa: F401
+    import repro.net  # noqa: F401
+    import repro.sim  # noqa: F401
+    import repro.trace  # noqa: F401
+    import repro.verify  # noqa: F401
+    import repro.workloads  # noqa: F401

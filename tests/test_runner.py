@@ -1,0 +1,93 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.runner import (
+    DEFAULT_DURATION_NS,
+    compare_protocols,
+    normalized_throughput,
+    run_experiment,
+)
+from repro.workloads import MicroWorkload, make_mix
+
+SMALL = dict(duration_ns=120_000.0, seed=7, llc_sets=256)
+
+
+def tiny_workload(**kwargs):
+    return MicroWorkload(0.5, record_count=2000, **kwargs)
+
+
+def test_run_experiment_commits_transactions():
+    result = run_experiment("baseline", tiny_workload(), **SMALL)
+    assert result.metrics.meter.committed > 0
+    assert result.metrics.elapsed_ns == 120_000.0
+    assert result.throughput > 0
+    assert result.workload == "50%WR-50%RD"
+    assert result.protocol == "baseline"
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("spanner", tiny_workload(), **SMALL)
+
+
+def test_empty_workload_list_rejected():
+    with pytest.raises(ValueError):
+        run_experiment("baseline", [], **SMALL)
+
+
+def test_deterministic_given_seed():
+    first = run_experiment("hades", tiny_workload(), **SMALL)
+    second = run_experiment("hades", tiny_workload(), **SMALL)
+    assert first.metrics.meter.committed == second.metrics.meter.committed
+    assert first.metrics.latency.mean() == second.metrics.latency.mean()
+
+
+def test_different_seeds_differ():
+    first = run_experiment("hades", tiny_workload(), **SMALL)
+    second = run_experiment("hades", tiny_workload(),
+                            duration_ns=120_000.0, seed=8, llc_sets=256)
+    assert (first.metrics.latency.mean() != second.metrics.latency.mean()
+            or first.metrics.meter.committed != second.metrics.meter.committed)
+
+
+def test_warmup_metrics_discarded():
+    warm = run_experiment("baseline", tiny_workload(), duration_ns=120_000.0,
+                          warmup_ns=60_000.0, seed=7, llc_sets=256)
+    cold = run_experiment("baseline", tiny_workload(), **SMALL)
+    # Same measurement window length; warm run must not include warm-up
+    # commits (throughput the same ballpark, not doubled).
+    assert warm.metrics.elapsed_ns == cold.metrics.elapsed_ns
+    assert warm.metrics.meter.committed < 2 * cold.metrics.meter.committed
+
+
+def test_mix_partitions_slots_and_reports_per_workload():
+    workloads = make_mix(["HT-wA", "TATP"], scale=0.01)
+    result = run_experiment("baseline", workloads, **SMALL)
+    assert set(result.per_workload) == {"HT-wA", "TATP"}
+    for metrics in result.per_workload.values():
+        assert metrics.meter.committed > 0
+    total = sum(m.meter.committed for m in result.per_workload.values())
+    assert total == result.metrics.meter.committed
+    assert result.workload == "HT-wA+TATP"
+
+
+def test_compare_protocols_and_normalization():
+    results = compare_protocols(lambda: tiny_workload(),
+                                protocols=("baseline", "hades"),
+                                duration_ns=120_000.0, seed=7, llc_sets=256)
+    speedups = normalized_throughput(results)
+    assert speedups["baseline"] == pytest.approx(1.0)
+    assert speedups["hades"] > 0
+
+
+def test_custom_cluster_config_respected():
+    config = ClusterConfig(nodes=3, cores_per_node=2, multiplexing=1)
+    result = run_experiment("hades", tiny_workload(), config=config, **SMALL)
+    assert result.config.total_cores == 6
+    assert result.metrics.meter.committed > 0
+
+
+def test_default_duration_is_reasonable():
+    assert DEFAULT_DURATION_NS >= 1_000_000.0

@@ -1,0 +1,164 @@
+"""Tests for the serializability checker, then the checker applied to
+real protocol runs under contention."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import PROTOCOLS, read, write
+from repro.sim import Engine
+from repro.sim.random import DeterministicRandom
+from repro.verify import SerializabilityChecker, TransactionObservation
+from repro.verify.serializability import _find_cycle
+
+
+class TestCycleDetection:
+    def test_empty_graph(self):
+        assert _find_cycle({}) is None
+
+    def test_dag_has_no_cycle(self):
+        assert _find_cycle({1: {2, 3}, 2: {3}, 3: set()}) is None
+
+    def test_two_node_cycle(self):
+        cycle = _find_cycle({1: {2}, 2: {1}})
+        assert set(cycle) == {1, 2}
+
+    def test_long_cycle_found(self):
+        edges = {i: {i + 1} for i in range(10)}
+        edges[10] = {4}
+        cycle = _find_cycle(edges)
+        assert set(cycle) == set(range(4, 11))
+
+    def test_disconnected_components(self):
+        edges = {1: {2}, 2: set(), 10: {11}, 11: {10}}
+        cycle = _find_cycle(edges)
+        assert set(cycle) == {10, 11}
+
+
+def synthetic_checker():
+    """A checker with manually-injected install order (no cluster)."""
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(nodes=2, cores_per_node=1),
+                      llc_sets=64)
+    cluster.allocate_record(1, 64)
+    cluster.allocate_record(2, 64)
+    checker = SerializabilityChecker(cluster)
+    checker.install()
+    return checker
+
+
+class TestCheckerSemantics:
+    def test_serial_history_passes(self):
+        checker = synthetic_checker()
+        checker._install_order[1] = ["a", "b"]
+        checker.observe_commit("T1", reads={1: None}, writes={1: "a"})
+        checker.observe_commit("T2", reads={1: "a"}, writes={1: "b"})
+        result = checker.check()
+        assert result
+        assert result.serializable and not result.anomalies
+
+    def test_lost_update_detected_as_cycle(self):
+        """Both transactions read the initial value and both wrote:
+        T1 -> T2 (WW) and T2 -> T1 (RW: T2 read before T1's write)."""
+        checker = synthetic_checker()
+        checker._install_order[1] = ["a", "b"]
+        checker.observe_commit("T1", reads={1: None}, writes={1: "a"})
+        checker.observe_commit("T2", reads={1: None}, writes={1: "b"})
+        result = checker.check()
+        assert not result.serializable
+        assert set(result.cycle) == {"T1", "T2"}
+
+    def test_write_skew_detected(self):
+        """Classic write skew: T1 reads r2/writes r1, T2 reads r1/writes
+        r2, both reading initial values."""
+        checker = synthetic_checker()
+        checker._install_order[1] = ["x1"]
+        checker._install_order[2] = ["x2"]
+        checker.observe_commit("T1", reads={2: None}, writes={1: "x1"})
+        checker.observe_commit("T2", reads={1: None}, writes={2: "x2"})
+        result = checker.check()
+        assert not result.serializable
+
+    def test_read_of_uninstalled_value_is_anomaly(self):
+        checker = synthetic_checker()
+        checker._install_order[1] = ["a"]
+        checker.observe_commit("T1", reads={1: "ghost"}, writes={})
+        result = checker.check()
+        assert result.anomalies
+
+    def test_duplicate_written_values_flagged(self):
+        checker = synthetic_checker()
+        checker._install_order[1] = ["same"]
+        checker.observe_commit("T1", reads={}, writes={1: "same"})
+        checker.observe_commit("T2", reads={}, writes={1: "same"})
+        result = checker.check()
+        assert result.anomalies
+
+    def test_double_install_rejected(self):
+        checker = synthetic_checker()
+        with pytest.raises(RuntimeError):
+            checker.install()
+
+
+def run_contended(protocol_name, clients, txns_per_client, records, seed):
+    """Run a contended workload and feed every commit to the checker."""
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(nodes=3, cores_per_node=2),
+                      llc_sets=256)
+    protocol = PROTOCOLS[protocol_name](cluster, seed=seed)
+    for record_id in range(1, records + 1):
+        cluster.allocate_record(record_id, 64)
+    checker = SerializabilityChecker(cluster)
+    checker.install()
+    token_counter = itertools.count()
+    first_lines = {r: cluster.record(r).lines[0] for r in range(1, records + 1)}
+
+    def client(client_index):
+        rng = DeterministicRandom(seed * 1000 + client_index)
+        node_id = client_index % 3
+        slot = client_index % 4
+        for _ in range(txns_per_client):
+            touched = rng.distinct_sample(records, rng.randint(1, 3))
+            reads, writes, spec = {}, {}, []
+            read_records = []
+            for record_index in touched:
+                record_id = record_index + 1
+                if rng.random() < 0.6:
+                    token = ("w", client_index, next(token_counter))
+                    writes[record_id] = token
+                    spec.append(write(record_id, value=token))
+                else:
+                    read_records.append(record_id)
+                    spec.append(read(record_id))
+            ctx = yield from protocol.execute(node_id, slot, spec)
+            for record_id, values in zip(read_records, ctx.read_results):
+                reads[record_id] = values[first_lines[record_id]]
+            checker.observe_commit(ctx.txid, reads, writes)
+
+    for client_index in range(clients):
+        engine.process(client(client_index))
+    engine.run()
+    return checker.check()
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_real_contended_runs_are_serializable(protocol_name):
+    result = run_contended(protocol_name, clients=6, txns_per_client=8,
+                           records=4, seed=11)
+    assert result.transactions == 48
+    assert not result.anomalies, result.anomalies
+    assert result.serializable, f"cycle: {result.cycle}"
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=8, deadline=None)
+def test_serializability_under_random_seeds(protocol_name, seed):
+    result = run_contended(protocol_name, clients=4, txns_per_client=4,
+                           records=3, seed=seed)
+    assert not result.anomalies, result.anomalies
+    assert result.serializable, f"cycle: {result.cycle}"

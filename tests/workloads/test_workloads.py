@@ -1,0 +1,251 @@
+"""Tests for the workload generators: statistics the paper states."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.sim.engine import Engine
+from repro.sim.random import DeterministicRandom
+from repro.workloads import (
+    FIG14_PAIRS,
+    TABLE5_MIXES,
+    MicroWorkload,
+    SmallbankWorkload,
+    TatpWorkload,
+    TpccWorkload,
+    YcsbWorkload,
+    make_mix,
+    make_workload,
+    micro_suite,
+    table5_mix,
+)
+
+
+def make_cluster(nodes=3):
+    return Cluster(Engine(), ClusterConfig(nodes=nodes, cores_per_node=2),
+                   llc_sets=64)
+
+
+def sample_transactions(workload, count=300, nodes=3, client_id=(0, 0)):
+    cluster = make_cluster(nodes)
+    workload.populate(cluster)
+    rng = DeterministicRandom(99)
+    specs = [workload.next_transaction(rng, node_id=0, cluster=cluster,
+                                       client_id=client_id)
+             for _ in range(count)]
+    return cluster, specs
+
+
+def request_stats(specs):
+    total = sum(len(spec) for spec in specs)
+    writes = sum(1 for spec in specs for request in spec if request.is_write)
+    return total / len(specs), writes / total
+
+
+class TestMicro:
+    def test_names_follow_write_fraction(self):
+        assert MicroWorkload(1.0, record_count=100).name == "100%WR"
+        assert MicroWorkload(0.0, record_count=100).name == "100%RD"
+        assert MicroWorkload(0.5, record_count=100).name == "50%WR-50%RD"
+
+    def test_suite_order_matches_fig3(self):
+        names = [w.name for w in micro_suite(record_count=100)]
+        assert names == ["100%WR", "50%WR-50%RD", "100%RD"]
+
+    def test_five_requests_per_transaction(self):
+        workload = MicroWorkload(0.5, record_count=500)
+        _cluster, specs = sample_transactions(workload, count=50)
+        assert all(len(spec) == 5 for spec in specs)
+
+    def test_write_fraction_realized(self):
+        workload = MicroWorkload(0.5, record_count=500)
+        _cluster, specs = sample_transactions(workload)
+        _reqs, write_fraction = request_stats(specs)
+        assert write_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroWorkload(1.5, record_count=100)
+        with pytest.raises(ValueError):
+            MicroWorkload(0.5, record_count=100, requests_per_txn=0)
+        with pytest.raises(ValueError):
+            MicroWorkload(0.5, record_count=100, record_bytes=64,
+                          field_bytes=128)
+
+    def test_locality_steering(self):
+        workload = MicroWorkload(0.5, record_count=2000, locality=1.0)
+        cluster, specs = sample_transactions(workload, count=50)
+        local = remote = 0
+        for spec in specs:
+            for request in spec:
+                if cluster.record(request.record_id).home_node == 0:
+                    local += 1
+                else:
+                    remote += 1
+        assert local / (local + remote) > 0.95
+
+
+class TestYcsb:
+    def test_variants_set_write_fraction(self):
+        assert YcsbWorkload("ht", "a", record_count=200).write_fraction == 0.5
+        assert YcsbWorkload("ht", "b", record_count=200).write_fraction == 0.05
+
+    def test_names_match_figure_labels(self):
+        assert YcsbWorkload("ht", "a", record_count=100).name == "HT-wA"
+        assert YcsbWorkload("bplustree", "b",
+                            record_count=100).name == "B+Tree-wB"
+
+    def test_unknown_store_or_variant(self):
+        with pytest.raises(KeyError):
+            YcsbWorkload("cuckoo", "a", record_count=100)
+        with pytest.raises(ValueError):
+            YcsbWorkload("ht", "c", record_count=100)
+
+    def test_index_probe_depth_becomes_work(self):
+        deep = YcsbWorkload("map", "b", record_count=3000)
+        shallow = YcsbWorkload("ht", "b", record_count=3000)
+        _c1, deep_specs = sample_transactions(deep, count=30)
+        _c2, shallow_specs = sample_transactions(shallow, count=30)
+        deep_work = [r.work_cycles for spec in deep_specs for r in spec]
+        shallow_work = [r.work_cycles for spec in shallow_specs for r in spec]
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean(deep_work) > mean(shallow_work)  # Map is deeper than HT
+
+    def test_writes_update_one_field(self):
+        workload = YcsbWorkload("ht", "a", record_count=300)
+        _cluster, specs = sample_transactions(workload, count=100)
+        for spec in specs:
+            for request in spec:
+                if request.is_write:
+                    assert request.size <= 100
+                    assert request.offset % 100 == 0
+
+    def test_wb_write_fraction(self):
+        workload = YcsbWorkload("btree", "b", record_count=500)
+        _cluster, specs = sample_transactions(workload, count=400)
+        _reqs, write_fraction = request_stats(specs)
+        assert write_fraction == pytest.approx(0.05, abs=0.02)
+
+
+class TestTpcc:
+    def test_requests_per_transaction_near_paper(self):
+        workload = TpccWorkload(warehouses=4, items=500)
+        _cluster, specs = sample_transactions(workload, count=400)
+        mean_requests, write_fraction = request_stats(specs)
+        assert 10.0 <= mean_requests <= 16.0  # paper: about 13.5
+        assert 0.35 <= write_fraction <= 0.60  # write intensive
+
+    def test_client_bound_to_home_district(self):
+        workload = TpccWorkload(warehouses=4, items=500)
+        cluster = make_cluster()
+        workload.populate(cluster)
+        rng = DeterministicRandom(1)
+        districts = set()
+        for _ in range(50):
+            spec = workload.next_transaction(rng, 0, cluster,
+                                             client_id=(0, 0))
+            for request in spec:
+                if request.is_write and request.record_id < (
+                        workload.record_id_base + workload.warehouses
+                        + workload.districts):
+                    if request.record_id >= (workload.record_id_base
+                                             + workload.warehouses):
+                        districts.add(request.record_id)
+        assert len(districts) == 1  # one home district per terminal
+
+    def test_distinct_clients_get_distinct_homes(self):
+        workload = TpccWorkload(warehouses=4, items=500)
+        cluster = make_cluster()
+        workload.populate(cluster)
+        rng = DeterministicRandom(1)
+        homes = set()
+        for slot in range(8):
+            workload.next_transaction(rng, 0, cluster, client_id=(0, slot))
+            homes.add(workload._client_homes[(0, slot)])
+        assert len(homes) == 8
+
+    def test_fine_grained_writes(self):
+        workload = TpccWorkload(warehouses=2, items=200)
+        _cluster, specs = sample_transactions(workload, count=100)
+        sizes = [r.size for spec in specs for r in spec if r.is_write]
+        assert max(sizes) <= 256
+        assert min(sizes) == 8
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TpccWorkload(warehouses=0)
+        with pytest.raises(ValueError):
+            TpccWorkload(items=2)
+
+
+class TestTatp:
+    def test_read_write_mix_is_80_20(self):
+        workload = TatpWorkload(subscribers=2000)
+        _cluster, specs = sample_transactions(workload, count=800)
+        _reqs, write_fraction = request_stats(specs)
+        assert write_fraction == pytest.approx(0.20, abs=0.06)
+
+    def test_small_transactions(self):
+        workload = TatpWorkload(subscribers=2000)
+        _cluster, specs = sample_transactions(workload, count=200)
+        assert all(1 <= len(spec) <= 2 for spec in specs)
+
+    def test_population_has_four_tables(self):
+        workload = TatpWorkload(subscribers=100)
+        cluster = make_cluster()
+        workload.populate(cluster)
+        assert cluster.record_count == 400
+
+
+class TestSmallbank:
+    def test_write_fraction_near_paper(self):
+        workload = SmallbankWorkload(customers=2000)
+        _cluster, specs = sample_transactions(workload, count=800)
+        _reqs, write_fraction = request_stats(specs)
+        assert write_fraction == pytest.approx(0.46, abs=0.08)
+
+    def test_two_records_per_customer(self):
+        workload = SmallbankWorkload(customers=50)
+        cluster = make_cluster()
+        workload.populate(cluster)
+        assert cluster.record_count == 100
+
+    def test_validates_customers(self):
+        with pytest.raises(ValueError):
+            SmallbankWorkload(customers=1)
+
+
+class TestFactoriesAndMixes:
+    def test_every_figure_label_buildable(self):
+        for label in ("TPC-C", "TATP", "Smallbank", "HT-wA", "HT-wB",
+                      "Map-wA", "Map-wB", "BTree-wA", "BTree-wB",
+                      "B+Tree-wA", "B+Tree-wB"):
+            workload = make_workload(label, scale=0.01)
+            assert workload.name == label
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("Redis-wA")
+        with pytest.raises(ValueError):
+            make_workload("TATP", scale=0)
+
+    def test_mix_gets_disjoint_record_ranges(self):
+        workloads = make_mix(["HT-wA", "TATP"], scale=0.01)
+        cluster = make_cluster()
+        for workload in workloads:
+            workload.populate(cluster)  # raises on id collision
+        assert workloads[0].record_id_base != workloads[1].record_id_base
+
+    def test_table5_mixes_complete(self):
+        assert set(TABLE5_MIXES) == {f"mix{i}" for i in range(1, 9)}
+        for labels in TABLE5_MIXES.values():
+            assert len(labels) == 4
+
+    def test_table5_mix_builds(self):
+        workloads = table5_mix("mix1", scale=0.01)
+        assert [w.name for w in workloads] == TABLE5_MIXES["mix1"]
+        with pytest.raises(KeyError):
+            table5_mix("mix99")
+
+    def test_fig14_pairs_are_pairs(self):
+        assert all(len(pair) == 2 for pair in FIG14_PAIRS)

@@ -1,0 +1,76 @@
+"""Tests for the YCSB-E scan workload."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.runner import run_experiment
+from repro.sim import Engine
+from repro.sim.random import DeterministicRandom
+from repro.workloads.ycsb import YcsbScanWorkload
+
+
+def make_workload(**kwargs):
+    defaults = dict(store="bplustree", record_count=1000, scan_length=6,
+                    seed=5)
+    defaults.update(kwargs)
+    return YcsbScanWorkload(**defaults)
+
+
+def sample(workload, count=200):
+    cluster = Cluster(Engine(), ClusterConfig(nodes=3, cores_per_node=2),
+                      llc_sets=64)
+    workload.populate(cluster)
+    rng = DeterministicRandom(7)
+    return [workload.next_transaction(rng, 0, cluster) for _ in range(count)]
+
+
+def test_name_labels_scan_variant():
+    assert make_workload().name == "B+Tree-wE"
+    assert make_workload(store="btree").name == "BTree-wE"
+
+
+def test_hash_table_rejected():
+    with pytest.raises(ValueError):
+        make_workload(store="ht")
+
+
+def test_parameters_validated():
+    with pytest.raises(ValueError):
+        make_workload(scan_length=0)
+    with pytest.raises(ValueError):
+        make_workload(scan_length=5, max_scan_length=3)
+
+
+def test_scans_read_consecutive_records():
+    workload = make_workload()
+    specs = sample(workload)
+    scans = [spec for spec in specs if len(spec) > 1]
+    assert scans, "no scans generated"
+    for spec in scans:
+        assert all(not request.is_write for request in spec)
+        ids = [request.record_id for request in spec]
+        assert ids == list(range(ids[0], ids[0] + len(ids)))
+
+
+def test_update_fraction_about_five_percent():
+    specs = sample(make_workload(), count=600)
+    updates = sum(1 for spec in specs
+                  if len(spec) == 1 and spec[0].is_write)
+    assert 0.01 <= updates / len(specs) <= 0.12
+
+
+def test_scan_lengths_respect_bounds():
+    workload = make_workload(scan_length=4, max_scan_length=9)
+    specs = sample(workload, count=300)
+    lengths = [len(spec) for spec in specs if len(spec) > 1]
+    assert lengths
+    assert min(lengths) >= 1
+    assert max(lengths) <= 9
+
+
+def test_runs_under_every_protocol():
+    for protocol in ("baseline", "hades", "hades-h"):
+        result = run_experiment(protocol, make_workload(record_count=500),
+                                duration_ns=100_000.0, seed=3, llc_sets=256)
+        assert result.metrics.meter.committed > 0
