@@ -33,6 +33,7 @@ from repro.core import (
     write,
 )
 from repro.core.replication import HadesReplicatedProtocol
+from repro.obs import EventTracer, LogHistogram, MessageStats, TimeSeriesSampler
 from repro.runner import (
     ExperimentResult,
     compare_protocols,
@@ -45,12 +46,16 @@ __version__ = "1.0.0"
 __all__ = [
     "BaselineProtocol",
     "ClusterConfig",
+    "EventTracer",
     "ExperimentResult",
     "HadesHybridProtocol",
     "HadesProtocol",
     "HadesReplicatedProtocol",
+    "LogHistogram",
+    "MessageStats",
     "PROTOCOLS",
     "Request",
+    "TimeSeriesSampler",
     "compare_protocols",
     "make_cluster_config",
     "normalized_throughput",

@@ -45,6 +45,11 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def format_percent(fraction: float, decimals: int = 1) -> str:
+    """Render a fraction as a percentage string (0.0423 -> "4.2%")."""
+    return f"{fraction * 100:.{decimals}f}%"
+
+
 def format_bars(rows: Dict[str, float], width: int = 40,
                 title: str = "") -> str:
     """Render a labeled horizontal bar chart (figure-style output).

@@ -3,7 +3,12 @@
 Subcommands:
 
 * ``run`` — one (protocol, workload) experiment; prints throughput,
-  latency, abort rate, and the top counters.
+  latency, abort rate, and the top counters.  ``--trace out.json``
+  records a Chrome trace (Perfetto-loadable; ``.jsonl`` for line-JSON),
+  ``--metrics out.csv`` a sampled time series, ``--histogram-latency``
+  bounds latency memory on long runs.
+* ``profile`` — one traced experiment folded into per-phase and
+  per-message-type time attribution tables (see docs/OBSERVABILITY.md).
 * ``compare`` — one workload under all three protocols; prints the
   normalized Fig. 9-style row.
 * ``figures`` — regenerate a figure/table by name (fig03, fig09, ...,
@@ -48,6 +53,27 @@ def build_parser() -> argparse.ArgumentParser:
                        default="default")
     run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument("--locality", type=float, default=None)
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write an event trace (.jsonl = line-JSON, "
+                            "anything else = Chrome trace for Perfetto)")
+    run_p.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write a sampled time-series CSV")
+    run_p.add_argument("--sample-us", type=float, default=10.0,
+                       help="sampling interval for --metrics (simulated us)")
+    run_p.add_argument("--histogram-latency", action="store_true",
+                       help="record latencies into a bounded log-bucketed "
+                            "histogram instead of an exact list")
+
+    prof_p = sub.add_parser("profile",
+                            help="per-phase / per-message time attribution")
+    prof_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                        default="hades")
+    prof_p.add_argument("--workload", default="HT-wA")
+    prof_p.add_argument("--scale", type=float, default=0.1)
+    prof_p.add_argument("--duration-us", type=float, default=500.0)
+    prof_p.add_argument("--shape", choices=sorted(CLUSTER_SHAPES),
+                        default="default")
+    prof_p.add_argument("--seed", type=int, default=42)
 
     cmp_p = sub.add_parser("compare", help="all protocols on one workload")
     cmp_p.add_argument("--workload", default="HT-wA")
@@ -71,14 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_run(args) -> int:
     from repro.hardware.energy import energy_report, reset_energy_counters
+    from repro.obs import EventTracer
 
     config = make_cluster_config(args.shape)
     workload = make_workload(args.workload, scale=args.scale,
                              locality=args.locality)
+    tracer = EventTracer() if args.trace else None
+    sample_interval_ns = (args.sample_us * 1000.0 if args.metrics else None)
     reset_energy_counters()
     result = run_experiment(args.protocol, workload, config=config,
                             duration_ns=args.duration_us * 1000.0,
-                            seed=args.seed, llc_sets=2048)
+                            seed=args.seed, llc_sets=2048,
+                            tracer=tracer,
+                            sample_interval_ns=sample_interval_ns,
+                            bounded_latency=args.histogram_latency)
     energy = energy_report(config, args.duration_us * 1000.0,
                            result.metrics.meter.committed)
     summary = result.metrics.summary()
@@ -86,19 +118,41 @@ def cmd_run(args) -> int:
         ["protocol", args.protocol],
         ["workload", result.workload],
         ["cluster", f"{config.nodes} nodes x {config.cores_per_node} cores"],
-        ["throughput (txn/s)", summary.get("throughput_tps", 0.0)],
+        ["throughput (txn/s)", summary["throughput_tps"]],
         ["mean latency (us)", summary["mean_latency_ns"] / 1000.0],
         ["p95 latency (us)", summary["p95_latency_ns"] / 1000.0],
         ["committed", int(summary["committed"])],
         ["abort rate", summary["abort_rate"]],
         ["BF energy / txn (nJ)", energy.nj_per_transaction],
     ]))
-    top = sorted(result.metrics.counters.as_dict().items(),
-                 key=lambda item: -item[1])[:8]
+    if summary["no_progress"]:
+        print("warning: run made no progress (no commits or no elapsed time)")
+    top = result.metrics.counters.top(8)
     if top:
         print()
         print(format_table(["counter", "count"], [list(item) for item in top],
                            title="top counters"))
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"\ntrace: {len(tracer)} events -> {args.trace}")
+    if args.metrics:
+        from repro.obs.metrics import save_samples_csv
+
+        samples = result.samples or []
+        save_samples_csv(samples, args.metrics)
+        print(f"metrics: {len(samples)} samples -> {args.metrics}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profile import format_profile, profile_experiment
+
+    config = make_cluster_config(args.shape)
+    workload = make_workload(args.workload, scale=args.scale)
+    report = profile_experiment(args.protocol, workload, config=config,
+                                duration_ns=args.duration_us * 1000.0,
+                                seed=args.seed, llc_sets=2048)
+    print(format_profile(report))
     return 0
 
 
@@ -166,8 +220,9 @@ def cmd_cost(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "compare": cmd_compare,
-                "figures": cmd_figures, "cost": cmd_cost}
+    handlers = {"run": cmd_run, "profile": cmd_profile,
+                "compare": cmd_compare, "figures": cmd_figures,
+                "cost": cmd_cost}
     return handlers[args.command](args)
 
 

@@ -7,7 +7,7 @@ placement hash is deterministic so every protocol sees the same layout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.config import ClusterConfig
 from repro.cluster.node import Node
@@ -65,6 +65,15 @@ class Cluster:
 
     def has_record(self, record_id: int) -> bool:
         return record_id in self._records
+
+    def iter_records(self) -> Iterator[Tuple[int, RecordDescriptor]]:
+        """All allocated records as (record_id, descriptor), sorted by id.
+
+        The public way to walk the record table (trace capture, audits)
+        without reaching into the private mapping.
+        """
+        for record_id in sorted(self._records):
+            yield record_id, self._records[record_id]
 
     @property
     def record_count(self) -> int:

@@ -58,6 +58,10 @@ class ProtocolBase:
         self.metrics = metrics if metrics is not None else RunMetrics()
         self.rng = DeterministicRandom(seed)
         self.replies = RequestReplyHelper(self.engine)
+        #: Optional :class:`~repro.obs.tracer.EventTracer`; every hook
+        #: below is behind an ``is not None`` guard so default-off runs
+        #: pay one attribute load per transaction event.
+        self.tracer = None
         self._active: Dict[Owner, ActiveTx] = {}
         self._token_counter = itertools.count(1)
         for node in cluster.nodes:
@@ -102,6 +106,9 @@ class ProtocolBase:
             ctx = TxContext(self, node_id, self.cluster.next_txid(), slot)
             pessimistic = (attempts >= self.config.livelock.squash_threshold
                            and bool(footprint))
+            if self.tracer is not None:
+                self.tracer.txn_begin(self.engine.now, node_id, slot,
+                                      ctx.txid, attempts, pessimistic)
             if self.squashable and not pessimistic:
                 self._register(ctx)
             try:
@@ -144,10 +151,24 @@ class ProtocolBase:
             return False
         del self._active[owner]
         active.ctx.note_squash(reason)
+        if self.tracer is not None:
+            self.tracer.squash_delivered(self.engine.now, active.ctx.node_id,
+                                         active.ctx.slot, owner, reason)
         active.process.interrupt(SquashCause(owner, reason))
         self.metrics.counters.add("squash_delivered")
         self.metrics.counters.add(f"squash_reason_{reason}")
         return True
+
+    @property
+    def inflight(self) -> int:
+        """Squashable transaction attempts currently registered."""
+        return len(self._active)
+
+    def trace_point(self, ctx: TxContext, name: str, **args) -> None:
+        """Emit a protocol diagnostic event for ``ctx`` (no-op untraced)."""
+        if self.tracer is not None:
+            self.tracer.protocol_point(self.engine.now, name, ctx.node_id,
+                                       slot=ctx.slot, txid=ctx.txid, **args)
 
     @staticmethod
     def request_stream(spec) -> "RequestStream":
@@ -217,6 +238,9 @@ class ProtocolBase:
 
     def _abort_attempt(self, ctx: TxContext, reason: str, attempts: int):
         ctx.finish(TxStatus.SQUASHED)
+        if self.tracer is not None:
+            self.tracer.txn_squash(self.engine.now, ctx.node_id, ctx.slot,
+                                   ctx.txid, reason, ctx.phase_durations)
         yield from self._cleanup_after_squash(ctx)
         self.metrics.meter.abort()
         self.metrics.counters.add("aborts")
@@ -232,6 +256,9 @@ class ProtocolBase:
 
     def _record_commit(self, ctx: TxContext, first_started: float,
                        attempts: int, pessimistic: bool) -> None:
+        if self.tracer is not None:
+            self.tracer.txn_commit(self.engine.now, ctx.node_id, ctx.slot,
+                                   ctx.txid, attempts, ctx.phase_durations)
         self.metrics.meter.commit()
         self.metrics.latency.record(self.engine.now - first_started)
         for phase, duration in ctx.phase_durations.items():

@@ -197,6 +197,8 @@ class BaselineProtocol(ProtocolBase):
             if locked:
                 # Poll for the lock holder to finish (a CPU spin).
                 self.metrics.counters.add("baseline_lock_polls")
+                self.trace_point(ctx, "lock_poll",
+                                 record=descriptor.record_id)
                 yield ctx.charge_cpu_ns(LOCK_POLL_NS,
                                         CATEGORY_CONFLICT_DETECTION)
                 continue
@@ -215,6 +217,8 @@ class BaselineProtocol(ProtocolBase):
                                     atomicity_category)
             if not consistent:
                 self.metrics.counters.add("baseline_torn_reads")
+                self.trace_point(ctx, "torn_read",
+                                 record=descriptor.record_id)
                 continue
             return version, values
         raise SquashedError("read_retries_exhausted")

@@ -144,6 +144,8 @@ class HadesProtocol(ProtocolBase):
         ctx.local_write_buffer[line] = value
         if victim is not None:
             self.metrics.counters.add("llc_speculative_evictions")
+            self.trace_point(ctx, "llc_speculative_eviction", line=line,
+                             victim=victim)
             self._squash_for_eviction(ctx, victim)
 
     def _squash_for_eviction(self, ctx: TxContext, victim_txid: int) -> None:
@@ -375,6 +377,10 @@ class HadesProtocol(ProtocolBase):
     def _send_squash(self, from_node: int, victim: Owner, reason: str) -> None:
         """Deliver a squash to ``victim`` (locally or over the fabric)."""
         self.metrics.counters.add("squash_requests")
+        if self.tracer is not None:
+            self.tracer.protocol_point(self.engine.now, "squash_request",
+                                       from_node, victim=list(victim),
+                                       reason=reason)
         if victim[0] == from_node:
             self.squash(victim, reason)
         else:

@@ -164,6 +164,8 @@ class HadesHybridProtocol(HadesProtocol):
             values = ctx.node.memory.read_lines(descriptor.lines)
             if not consistent:
                 self.metrics.counters.add("hybrid_torn_reads")
+                self.trace_point(ctx, "torn_read",
+                                 record=descriptor.record_id)
                 yield LOCK_POLL_NS
                 continue
             yield ctx.charge_cpu(cost.read_set_insert_cycles,
@@ -304,6 +306,8 @@ class HadesHybridProtocol(HadesProtocol):
             meta = ctx.node.memory.metadata(entry.descriptor.address)
             if meta.version != entry.version:
                 self.metrics.counters.add("hybrid_local_validation_failures")
+                self.trace_point(ctx, "local_validation_failure",
+                                 record=entry.descriptor.record_id)
                 raise SquashedError("local_validation")
 
     # ------------------------------------------------------------------

@@ -62,6 +62,9 @@ class TxContext:
         self.core = self.node.core_for_slot(slot)
         self.owner: Owner = (node_id, txid)
         self.status = TxStatus.RUNNING
+        #: Copied from the protocol so the per-attempt hot path checks a
+        #: local attribute instead of chasing ``protocol.tracer``.
+        self.tracer = protocol.tracer
         #: Set (synchronously) by the protocol when a squash targets this
         #: attempt; checked at commit decision points.
         self.squashed = False
@@ -89,6 +92,10 @@ class TxContext:
             elapsed = now - self._phase_started_at
             self.phase_durations[self._phase] = (
                 self.phase_durations.get(self._phase, 0.0) + elapsed)
+            if self.tracer is not None:
+                self.tracer.txn_phase(self._phase_started_at, elapsed,
+                                      self.node_id, self.slot, self.txid,
+                                      self._phase)
         self._phase = phase
         self._phase_started_at = now
 

@@ -216,3 +216,8 @@ class Nic:
     @property
     def local_tx_count(self) -> int:
         return len(self._local)
+
+    def iter_remote_states(self) -> Iterable[RemoteTxState]:
+        """Module-4a states of in-progress remote transactions (read-only
+        view for occupancy/fill-ratio diagnostics)."""
+        return self._remote.values()

@@ -36,6 +36,12 @@ class Fabric:
         self._egress_free_at: Dict[int, float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional :class:`~repro.obs.tracer.EventTracer` — records
+        #: every send as a span.  None by default (zero overhead).
+        self.tracer = None
+        #: Optional :class:`~repro.obs.metrics.MessageStats` — per-type
+        #: aggregation for ``repro profile``.  None by default.
+        self.stats = None
 
     def register(self, node_id: int, handler: Handler) -> None:
         """Install ``handler`` for messages delivered to ``node_id``."""
@@ -66,6 +72,16 @@ class Fabric:
         )
         self.messages_sent += 1
         self.bytes_sent += size
+        if self.tracer is not None or self.stats is not None:
+            msg_type = type(message).__name__
+            queue_ns = egress_start - now
+            wire_ns = egress_done - egress_start
+            if self.tracer is not None:
+                self.tracer.message_send(now, msg_type, src, dst, size,
+                                         queue_ns, wire_ns, delivery_delay)
+            if self.stats is not None:
+                self.stats.record(msg_type, size, queue_ns, wire_ns,
+                                  delivery_delay)
         delivered = self.engine.event()
         self.engine.schedule(delivery_delay, self._deliver, src, dst, message,
                              delivered)

@@ -1,0 +1,38 @@
+"""Observability: event tracing, time-series metrics, bounded histograms.
+
+The package has four modules:
+
+* :mod:`repro.obs.tracer` — structured event tracer (JSONL and Chrome
+  ``trace_event`` output; open the latter in Perfetto).
+* :mod:`repro.obs.metrics` — :class:`TimeSeriesSampler` (periodic gauge
+  rows → CSV) and :class:`MessageStats` (per-message-type fabric totals).
+* :mod:`repro.obs.histogram` — :class:`LogHistogram`, the bounded-memory
+  replacement for ``LatencyRecorder`` on long runs.
+* :mod:`repro.obs.profile` — ``repro profile``'s attribution report.
+  **Not** imported here: it pulls in the runner, and ``sim.stats``
+  imports this package for :class:`LogHistogram` — importing the
+  profiler at package level would close an import cycle.  Import it
+  directly (``from repro.obs.profile import profile_experiment``).
+
+See ``docs/OBSERVABILITY.md`` for the event schema and usage.
+"""
+
+from repro.obs.histogram import LogHistogram
+from repro.obs.metrics import (
+    MessageStats,
+    Sample,
+    TimeSeriesSampler,
+    save_samples_csv,
+)
+from repro.obs.tracer import EventTracer, load_jsonl, validate_jsonl
+
+__all__ = [
+    "EventTracer",
+    "LogHistogram",
+    "MessageStats",
+    "Sample",
+    "TimeSeriesSampler",
+    "load_jsonl",
+    "save_samples_csv",
+    "validate_jsonl",
+]

@@ -1,0 +1,128 @@
+"""Log-bucketed latency histogram (HDR-histogram style).
+
+:class:`~repro.sim.stats.LatencyRecorder` keeps every sample in a Python
+list — exact, but unbounded: a long simulated run records one float per
+committed transaction forever.  :class:`LogHistogram` replaces it on
+long runs with bounded memory: values are bucketed into octaves
+(powers of two) each split into ``2**subbucket_bits`` linear
+sub-buckets, so the worst-case relative quantization error is
+``1 / 2**(subbucket_bits + 1)`` (&lt; 0.4 % at the default 7 bits) while
+the storage is a small sparse dict of bucket counts regardless of how
+many samples are recorded.
+
+The API mirrors ``LatencyRecorder`` (``record`` / ``count`` / ``mean`` /
+``percentile`` / ``p95``) so :class:`~repro.sim.stats.RunMetrics` can
+swap one for the other (``RunMetrics(bounded_latency=True)``).  The mean
+is tracked exactly (running sum); only percentiles are quantized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class LogHistogram:
+    """Bounded-memory recorder of non-negative values (nanoseconds)."""
+
+    def __init__(self, subbucket_bits: int = 7):
+        if not 1 <= subbucket_bits <= 16:
+            raise ValueError(f"subbucket_bits out of range: {subbucket_bits}")
+        self._sub_bits = subbucket_bits
+        self._sub_count = 1 << subbucket_bits
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency: {value}")
+        index = self._index_of(int(value))
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self._total += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def _index_of(self, value: int) -> int:
+        """Bucket index: identity below one octave, log-linear above."""
+        if value < self._sub_count:
+            return value
+        msb = value.bit_length() - 1
+        shift = msb - self._sub_bits
+        return ((shift + 1) << self._sub_bits) + ((value >> shift)
+                                                 - self._sub_count)
+
+    def _value_of(self, index: int) -> float:
+        """Representative (midpoint) value of a bucket."""
+        if index < self._sub_count:
+            return float(index)
+        shift = (index >> self._sub_bits) - 1
+        low = ((index & (self._sub_count - 1)) + self._sub_count) << shift
+        return low + (1 << shift) / 2.0
+
+    # -- LatencyRecorder-compatible queries -----------------------------
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of occupied buckets — the memory bound."""
+        return len(self._counts)
+
+    def mean(self) -> float:
+        if self._total == 0:
+            return 0.0
+        return self._sum / self._total
+
+    def min(self) -> float:
+        return 0.0 if self._total == 0 else self._min
+
+    def max(self) -> float:
+        return self._max
+
+    def percentile(self, fraction: float) -> float:
+        """Quantized percentile (same rank convention as the exact path)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        if self._total == 0:
+            return 0.0
+        position = fraction * (self._total - 1)
+        rank = int(position) + (1 if position > int(position) else 0)
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen > rank:
+                return min(max(self._value_of(index), self._min), self._max)
+        return self._max
+
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    # -- introspection --------------------------------------------------
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Sorted (representative value, count) pairs — for reports."""
+        return [(self._value_of(index), self._counts[index])
+                for index in sorted(self._counts)]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self._total,
+            "sum": self._sum,
+            "min": self.min(),
+            "max": self._max,
+            "subbucket_bits": self._sub_bits,
+            "buckets": {str(index): count
+                        for index, count in sorted(self._counts.items())},
+        }

@@ -1,0 +1,191 @@
+"""Time-series sampling and per-message-type aggregation.
+
+Two collectors feed ``repro run --metrics`` and ``repro profile``:
+
+* :class:`TimeSeriesSampler` — a simulation process that wakes every
+  ``interval_ns`` of *simulated* time and appends one :class:`Sample`
+  row: cumulative commit/abort counts, windowed throughput and abort
+  rate, in-flight (squashable) transactions, NIC remote-transaction and
+  directory locking-buffer occupancy, and the mean Bloom-filter fill
+  ratio across all in-progress remote transactions.  Rows export to CSV
+  (``save_csv``) for plotting throughput/abort-rate over time — the view
+  that makes warm-up transients and livelock episodes visible where
+  end-of-run aggregates hide them.
+
+* :class:`MessageStats` — per-message-type totals (count, bytes, and
+  the queueing / wire / total delivery time the fabric computed for each
+  send).  Attached to :class:`~repro.net.fabric.Fabric` via its
+  ``stats`` hook; the profile report turns this into the
+  per-message-type attribution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+NANOSECONDS_PER_SECOND = 1e9
+
+#: Column order of ``TimeSeriesSampler.save_csv`` (documented in
+#: docs/OBSERVABILITY.md — keep the two in sync).
+SAMPLE_COLUMNS = (
+    "t_ns",
+    "committed",
+    "aborted",
+    "throughput_tps",
+    "abort_rate",
+    "inflight_txns",
+    "nic_remote_tx",
+    "lock_buffers_in_use",
+    "bf_fill_ratio",
+)
+
+
+@dataclass
+class Sample:
+    """One row of the time series (see :data:`SAMPLE_COLUMNS`)."""
+
+    t_ns: float
+    committed: int
+    aborted: int
+    throughput_tps: float
+    abort_rate: float
+    inflight_txns: int
+    nic_remote_tx: int
+    lock_buffers_in_use: int
+    bf_fill_ratio: float
+
+    def as_row(self) -> List[object]:
+        return [getattr(self, column) for column in SAMPLE_COLUMNS]
+
+
+class TimeSeriesSampler:
+    """Samples cluster-wide gauges every ``interval_ns`` simulated ns."""
+
+    def __init__(self, interval_ns: float):
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive: {interval_ns}")
+        self.interval_ns = interval_ns
+        self.samples: List[Sample] = []
+
+    def run(self, engine, protocol, metrics, cluster):
+        """Sampling process body — pass to ``engine.process``.
+
+        Runs forever; rely on the engine's bounded ``run(until=...)`` to
+        stop it (the runner only installs it for finite experiments).
+        """
+        last_committed = 0
+        last_aborted = 0
+        while True:
+            yield self.interval_ns
+            committed = metrics.meter.committed
+            aborted = metrics.meter.aborted
+            window_commits = committed - last_committed
+            window_attempts = window_commits + (aborted - last_aborted)
+            throughput = (window_commits * NANOSECONDS_PER_SECOND
+                          / self.interval_ns)
+            abort_rate = ((aborted - last_aborted) / window_attempts
+                          if window_attempts else 0.0)
+            self.samples.append(Sample(
+                t_ns=engine.now,
+                committed=committed,
+                aborted=aborted,
+                throughput_tps=throughput,
+                abort_rate=abort_rate,
+                inflight_txns=protocol.inflight,
+                nic_remote_tx=sum(node.nic.remote_tx_count
+                                  for node in cluster.nodes),
+                lock_buffers_in_use=sum(node.directory.active_locks
+                                        for node in cluster.nodes),
+                bf_fill_ratio=_mean_bf_fill(cluster),
+            ))
+            last_committed = committed
+            last_aborted = aborted
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def save_csv(self, path: str) -> None:
+        save_samples_csv(self.samples, path)
+
+
+def save_samples_csv(samples: List[Sample], path: str) -> None:
+    """Write sample rows as CSV with the :data:`SAMPLE_COLUMNS` header."""
+    with open(path, "w") as handle:
+        handle.write(",".join(SAMPLE_COLUMNS) + "\n")
+        for sample in samples:
+            handle.write(",".join(_format_cell(value)
+                                  for value in sample.as_row()) + "\n")
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _mean_bf_fill(cluster) -> float:
+    """Mean fill ratio over every in-progress remote tx's BF pair."""
+    total = 0.0
+    filters = 0
+    for node in cluster.nodes:
+        for state in node.nic.iter_remote_states():
+            for bf in (state.read_bf, state.write_bf):
+                total += bf.set_bit_count() / bf.bits
+                filters += 1
+    if filters == 0:
+        return 0.0
+    return total / filters
+
+
+@dataclass
+class MessageTypeStats:
+    """Aggregate totals for one message type."""
+
+    count: int = 0
+    bytes: int = 0
+    queue_ns: float = 0.0
+    wire_ns: float = 0.0
+    delivery_ns: float = 0.0
+
+
+class MessageStats:
+    """Per-message-type aggregation hook for the fabric."""
+
+    def __init__(self) -> None:
+        self._by_type: Dict[str, MessageTypeStats] = {}
+
+    def record(self, msg_type: str, size_bytes: int, queue_ns: float,
+               wire_ns: float, delivery_ns: float) -> None:
+        stats = self._by_type.get(msg_type)
+        if stats is None:
+            stats = self._by_type[msg_type] = MessageTypeStats()
+        stats.count += 1
+        stats.bytes += size_bytes
+        stats.queue_ns += queue_ns
+        stats.wire_ns += wire_ns
+        stats.delivery_ns += delivery_ns
+
+    def __len__(self) -> int:
+        return len(self._by_type)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(stats.count for stats in self._by_type.values())
+
+    def by_type(self) -> Dict[str, MessageTypeStats]:
+        return dict(self._by_type)
+
+    def rows(self) -> List[tuple]:
+        """(type, count, bytes, mean queue, mean wire, total delivery)
+        sorted by descending total delivery time — report order."""
+        out = []
+        for name, stats in self._by_type.items():
+            out.append((name, stats.count, stats.bytes,
+                        stats.queue_ns / stats.count,
+                        stats.wire_ns / stats.count,
+                        stats.delivery_ns))
+        out.sort(key=lambda row: -row[5])
+        return out

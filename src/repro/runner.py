@@ -15,11 +15,13 @@ space-shared environment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.core import PROTOCOLS
+from repro.obs.metrics import MessageStats, Sample, TimeSeriesSampler
+from repro.obs.tracer import EventTracer
 from repro.sim.engine import Engine
 from repro.sim.random import DeterministicRandom
 from repro.sim.stats import RunMetrics
@@ -40,6 +42,10 @@ class ExperimentResult:
     metrics: RunMetrics
     #: Per-workload metrics when running a mix (keyed by workload name).
     per_workload: Dict[str, RunMetrics] = field(default_factory=dict)
+    #: Time-series rows when ``sample_interval_ns`` was set; else None.
+    samples: Optional[List[Sample]] = None
+    #: Per-message-type fabric totals when a collector was passed in.
+    message_stats: Optional[MessageStats] = None
 
     @property
     def throughput(self) -> float:
@@ -71,8 +77,21 @@ def run_experiment(
     warmup_ns: float = 0.0,
     seed: int = 42,
     llc_sets: Optional[int] = None,
+    tracer: Optional[EventTracer] = None,
+    message_stats: Optional[MessageStats] = None,
+    sample_interval_ns: Optional[float] = None,
+    bounded_latency: bool = False,
 ) -> ExperimentResult:
-    """Run one (protocol, workload[s], cluster) combination."""
+    """Run one (protocol, workload[s], cluster) combination.
+
+    Observability is opt-in and off by default: pass an
+    :class:`~repro.obs.tracer.EventTracer` to record structured events,
+    a :class:`~repro.obs.metrics.MessageStats` for per-message-type
+    fabric totals, ``sample_interval_ns`` to collect a time series of
+    cluster gauges (sampling starts after the warm-up), and
+    ``bounded_latency=True`` to record latencies into a bounded
+    histogram instead of an unbounded list.
+    """
     if isinstance(workloads, Workload):
         workloads = [workloads]
     else:
@@ -83,9 +102,16 @@ def run_experiment(
 
     engine = Engine()
     cluster = Cluster(engine, config, llc_sets=llc_sets)
-    metrics = RunMetrics()
+    metrics = RunMetrics(bounded_latency=bounded_latency)
     proto = build_protocol(protocol, cluster, metrics=metrics, seed=seed)
-    per_workload = {workload.name: RunMetrics() for workload in workloads}
+    per_workload = {workload.name: RunMetrics(bounded_latency=bounded_latency)
+                    for workload in workloads}
+    if tracer is not None:
+        engine.tracer = tracer
+        cluster.fabric.tracer = tracer
+        proto.tracer = tracer
+    if message_stats is not None:
+        cluster.fabric.stats = message_stats
 
     for workload in workloads:
         workload.populate(cluster)
@@ -107,6 +133,13 @@ def run_experiment(
         _reset_metrics(metrics)
         for workload_metrics in per_workload.values():
             _reset_metrics(workload_metrics)
+    sampler = None
+    if sample_interval_ns is not None:
+        # Installed after the warm-up so the series starts at the same
+        # point the aggregates measure from.
+        sampler = TimeSeriesSampler(sample_interval_ns)
+        engine.process(sampler.run(engine, proto, metrics, cluster),
+                       name="sampler")
     engine.run(until=warmup_ns + duration_ns)
 
     metrics.elapsed_ns = duration_ns
@@ -116,7 +149,9 @@ def run_experiment(
                      else "+".join(w.name for w in workloads))
     return ExperimentResult(protocol=protocol, workload=workload_name,
                             config=config, metrics=metrics,
-                            per_workload=per_workload)
+                            per_workload=per_workload,
+                            samples=sampler.samples if sampler else None,
+                            message_stats=message_stats)
 
 
 def _client_driver(protocol, workload: Workload, node_id: int, slot: int,
@@ -134,7 +169,7 @@ def _client_driver(protocol, workload: Workload, node_id: int, slot: int,
 
 def _reset_metrics(metrics: RunMetrics) -> None:
     """Discard warm-up numbers in place (the protocol holds the ref)."""
-    fresh = RunMetrics()
+    fresh = RunMetrics(bounded_latency=metrics.bounded_latency)
     metrics.meter = fresh.meter
     metrics.latency = fresh.latency
     metrics.phases = fresh.phases

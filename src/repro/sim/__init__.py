@@ -17,7 +17,13 @@ interrupted (used to model transaction squashes).
 from repro.sim.engine import Engine, Process
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.random import DeterministicRandom, ZipfianGenerator
-from repro.sim.stats import Counter, LatencyRecorder, PhaseBreakdown, ThroughputMeter
+from repro.sim.stats import (
+    Counter,
+    LatencyRecorder,
+    PhaseBreakdown,
+    RunMetrics,
+    ThroughputMeter,
+)
 
 __all__ = [
     "AllOf",
@@ -30,6 +36,7 @@ __all__ = [
     "LatencyRecorder",
     "PhaseBreakdown",
     "Process",
+    "RunMetrics",
     "ThroughputMeter",
     "Timeout",
     "ZipfianGenerator",

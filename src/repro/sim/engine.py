@@ -43,11 +43,18 @@ class Engine:
         #: running inside a process discover its own Process handle
         #: (used to register transactions for squash interrupts).
         self.current_process: Optional["Process"] = None
+        #: Optional :class:`~repro.obs.tracer.EventTracer`; None (the
+        #: default) keeps every hook to a single attribute check.
+        self.tracer = None
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` ``delay`` nanoseconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past: delay={delay}")
+        if self.tracer is not None and self.tracer.capture_schedules:
+            self.tracer.engine_schedule(self.now, self.now + delay,
+                                        getattr(callback, "__qualname__",
+                                                repr(callback)))
         heapq.heappush(
             self._queue, (self.now + delay, next(self._sequence), callback, args)
         )
@@ -101,6 +108,8 @@ class Process(CompletionEvent):
         self._waiting_on: Optional[Event] = None
         self._alive = True
         engine._active += 1
+        if engine.tracer is not None:
+            engine.tracer.process_start(engine.now, self.name)
         engine.schedule(0.0, self._resume, None, None)
 
     @property
@@ -172,6 +181,14 @@ class Process(CompletionEvent):
     def _finish(self, value: Any, exception: Optional[BaseException]) -> None:
         self._alive = False
         self.engine._active -= 1
+        if self.engine.tracer is not None:
+            if exception is None:
+                outcome = "returned"
+            elif isinstance(exception, Interrupt):
+                outcome = "interrupted"
+            else:
+                outcome = type(exception).__name__
+            self.engine.tracer.process_end(self.engine.now, self.name, outcome)
         if exception is not None and not isinstance(exception, Interrupt):
             had_waiters = bool(self._callbacks)
             self.fail(exception)

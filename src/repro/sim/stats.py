@@ -10,8 +10,9 @@ filter false positives — Section VIII-C).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.obs.histogram import LogHistogram
 from repro.sim.random import percentile
 
 NANOSECONDS_PER_SECOND = 1e9
@@ -31,6 +32,17 @@ class Counter:
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self._counts)
+
+    def top(self, n: int) -> List[Tuple[str, int]]:
+        """The ``n`` largest counters as (name, count), descending.
+
+        Ties break alphabetically so report output is deterministic.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        ordered = sorted(self._counts.items(),
+                         key=lambda item: (-item[1], item[0]))
+        return ordered[:n]
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """Safe ratio of two counters (0 when the denominator is 0)."""
@@ -132,9 +144,14 @@ class ThroughputMeter:
         self.aborted += 1
 
     def throughput(self, elapsed_ns: float) -> float:
-        """Committed transactions per second over ``elapsed_ns``."""
+        """Committed transactions per second over ``elapsed_ns``.
+
+        Zero (or negative) elapsed time means the run made no measurable
+        progress; report 0.0 rather than crashing the report — callers
+        check ``RunMetrics.summary()``'s ``no_progress`` flag.
+        """
         if elapsed_ns <= 0:
-            raise ValueError(f"elapsed time must be positive: {elapsed_ns}")
+            return 0.0
         return self.committed * NANOSECONDS_PER_SECOND / elapsed_ns
 
     @property
@@ -153,11 +170,18 @@ class RunMetrics:
     ``latency`` only records *committed* transactions (the paper reports
     transaction latency for completed transactions); squashed attempts
     show up in the meter's abort counts and in ``counters``.
+
+    ``bounded_latency=True`` swaps the exact (but unbounded, one float
+    per commit) :class:`LatencyRecorder` for a
+    :class:`~repro.obs.histogram.LogHistogram` — same query API, bounded
+    memory, < 0.4 % percentile quantization.  Use it for long runs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bounded_latency: bool = False) -> None:
+        self.bounded_latency = bounded_latency
         self.meter = ThroughputMeter()
-        self.latency = LatencyRecorder()
+        self.latency = (LogHistogram() if bounded_latency
+                        else LatencyRecorder())
         self.phases = PhaseBreakdown()
         #: Fig. 3 overhead categories (Table I rows + "other").
         self.overheads = PhaseBreakdown()
@@ -168,15 +192,20 @@ class RunMetrics:
         return self.meter.throughput(self.elapsed_ns)
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict of headline numbers for reports and tests."""
-        result = {
+        """Flat dict of headline numbers for reports and tests.
+
+        ``no_progress`` is 1.0 when the run has nothing to report a rate
+        over (no commits, or no elapsed time) — reports print the zeros
+        but can flag the run instead of crashing on it.
+        """
+        no_progress = self.meter.committed == 0 or self.elapsed_ns <= 0
+        return {
             "committed": float(self.meter.committed),
             "aborted": float(self.meter.aborted),
             "abort_rate": self.meter.abort_rate(),
             "elapsed_ns": self.elapsed_ns,
             "mean_latency_ns": self.latency.mean(),
             "p95_latency_ns": self.latency.p95(),
+            "throughput_tps": self.throughput(),
+            "no_progress": 1.0 if no_progress else 0.0,
         }
-        if self.elapsed_ns > 0:
-            result["throughput_tps"] = self.throughput()
-        return result

@@ -70,7 +70,7 @@ def record_trace(workload: Workload, config: Optional[ClusterConfig] = None,
     scratch = Cluster(Engine(), config, llc_sets=64)
     workload.populate(scratch)
     records = [(record_id, descriptor.data_bytes, descriptor.home_node)
-               for record_id, descriptor in sorted(scratch._records.items())]
+               for record_id, descriptor in scratch.iter_records()]
     trace = Trace(workload_name=workload.name,
                   config={"nodes": config.nodes,
                           "cores_per_node": config.cores_per_node,

@@ -53,12 +53,25 @@ FIG14_PAIRS: List[List[str]] = [
 _YCSB_STORES = {"HT": "ht", "Map": "map", "BTree": "btree",
                 "B+Tree": "bplustree"}
 
+#: Case-insensitive conveniences for the CLI: common benchmark names
+#: map onto their figure labels ("ycsb" = YCSB-A over the hash table).
+WORKLOAD_ALIASES = {
+    "ycsb": "HT-wA",
+    "ycsb-a": "HT-wA",
+    "ycsb-b": "HT-wB",
+    "tpcc": "TPC-C",
+    "tpc-c": "TPC-C",
+    "tatp": "TATP",
+    "smallbank": "Smallbank",
+}
+
 
 def make_workload(name: str, record_id_base: int = 0, scale: float = 1.0,
                   locality: Optional[float] = None, seed: int = 23) -> Workload:
-    """Build a workload from its figure label."""
+    """Build a workload from its figure label (or a CLI alias)."""
     if scale <= 0:
         raise ValueError(f"scale must be positive: {scale}")
+    name = WORKLOAD_ALIASES.get(name.lower(), name)
     if name == "TPC-C":
         # The warehouse count is structural (terminals bind to home
         # districts), not a population: scaling it down would manufacture

@@ -149,6 +149,15 @@ class TestCluster:
         with pytest.raises(ValueError):
             cluster.allocate_record(1, 64)
 
+    def test_iter_records_sorted_public_view(self):
+        cluster = self.make_cluster()
+        for record_id in (7, 3, 5):
+            cluster.allocate_record(record_id, 64)
+        pairs = list(cluster.iter_records())
+        assert [record_id for record_id, _ in pairs] == [3, 5, 7]
+        for record_id, descriptor in pairs:
+            assert cluster.record(record_id) is descriptor
+
     def test_unknown_record_raises(self):
         with pytest.raises(KeyError):
             self.make_cluster().record(99)

@@ -1,0 +1,119 @@
+"""LogHistogram: accuracy vs. the exact recorder, bounded memory."""
+
+import pytest
+
+from repro.obs.histogram import LogHistogram
+from repro.sim.random import DeterministicRandom
+from repro.sim.stats import LatencyRecorder
+
+
+def test_rejects_negative_values():
+    with pytest.raises(ValueError):
+        LogHistogram().record(-1.0)
+
+
+def test_rejects_bad_subbucket_bits():
+    with pytest.raises(ValueError):
+        LogHistogram(subbucket_bits=0)
+    with pytest.raises(ValueError):
+        LogHistogram(subbucket_bits=17)
+
+
+def test_empty_histogram_reports_zeros():
+    hist = LogHistogram()
+    assert hist.count == 0
+    assert hist.mean() == 0.0
+    assert hist.percentile(0.5) == 0.0
+    assert hist.p95() == 0.0
+
+
+def test_small_values_are_exact():
+    # Below one octave the buckets are unit-width: recorded values come
+    # back exactly.  (The exact recorder interpolates between samples,
+    # the histogram picks the ceiling-rank sample, so compare against
+    # the sample list, not the interpolated quantile.)
+    samples = [3, 17, 42, 99, 100, 101, 120]
+    hist = LogHistogram()
+    exact = LatencyRecorder()
+    for value in samples:
+        hist.record(float(value))
+        exact.record(float(value))
+    assert hist.mean() == exact.mean()
+    assert hist.min() == 3.0
+    assert hist.max() == 120.0
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert hist.percentile(fraction) in [float(v) for v in samples]
+    assert hist.percentile(0.5) == exact.percentile(0.5) == 99.0
+
+
+def test_mean_is_exact_at_any_scale():
+    hist = LogHistogram()
+    exact = LatencyRecorder()
+    rng = DeterministicRandom("hist-mean")
+    for _ in range(5000):
+        value = rng.uniform(10.0, 5_000_000.0)
+        hist.record(value)
+        exact.record(value)
+    assert hist.mean() == pytest.approx(exact.mean(), rel=1e-12)
+
+
+def test_percentiles_within_quantization_vs_exact_recorder():
+    """Acceptance bound: every percentile within 1% of the exact value.
+
+    The design bound is 1 / 2**(subbucket_bits + 1) < 0.4% at the
+    default 7 bits — assert the looser 1% the issue specifies.
+    """
+    hist = LogHistogram()
+    exact = LatencyRecorder()
+    rng = DeterministicRandom("hist-acc")
+    # Latency-like mixture: a body around tens of microseconds and a
+    # heavy tail into milliseconds, spanning many octaves.
+    for _ in range(20000):
+        if rng.uniform(0.0, 1.0) < 0.9:
+            value = rng.uniform(5_000.0, 80_000.0)
+        else:
+            value = rng.uniform(80_000.0, 5_000_000.0)
+        hist.record(value)
+        exact.record(value)
+    for fraction in (0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999):
+        assert hist.percentile(fraction) == pytest.approx(
+            exact.percentile(fraction), rel=0.01), f"p{fraction}"
+    assert hist.p95() == pytest.approx(exact.p95(), rel=0.01)
+
+
+def test_memory_is_bounded_by_buckets_not_samples():
+    hist = LogHistogram()
+    rng = DeterministicRandom("hist-mem")
+    for _ in range(50000):
+        hist.record(rng.uniform(0.0, 10_000_000.0))
+    assert hist.count == 50000
+    # 10M ns spans ~24 octaves x 128 sub-buckets as the ceiling; the
+    # point is it does not scale with the 50k samples.
+    assert hist.bucket_count < 24 * 128
+    assert hist.bucket_count < hist.count / 10
+
+
+def test_percentile_clamped_to_observed_range():
+    hist = LogHistogram()
+    hist.record(1_000_000.0)
+    assert hist.percentile(0.0) == 1_000_000.0
+    assert hist.percentile(1.0) == 1_000_000.0
+
+
+def test_percentile_rejects_bad_fraction():
+    hist = LogHistogram()
+    hist.record(5.0)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+
+
+def test_as_dict_round_numbers():
+    hist = LogHistogram()
+    for value in (1.0, 2.0, 300.0):
+        hist.record(value)
+    dump = hist.as_dict()
+    assert dump["count"] == 3
+    assert dump["sum"] == pytest.approx(303.0)
+    assert dump["min"] == 1.0
+    assert dump["max"] == 300.0
+    assert sum(dump["buckets"].values()) == 3

@@ -1,0 +1,67 @@
+"""repro profile: attribution report and its acceptance bound."""
+
+import pytest
+
+from repro.obs.profile import format_profile, profile_experiment
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def hades_report():
+    return profile_experiment("hades", make_workload("HT-wA", scale=0.05),
+                              duration_ns=100_000.0, seed=5, llc_sets=512)
+
+
+class TestProfileReport:
+    def test_phase_totals_agree_with_breakdown_within_1pct(self, hades_report):
+        assert hades_report.committed > 0
+        assert hades_report.phase_agreement <= 0.01
+
+    def test_phase_totals_cover_protocol_phases(self, hades_report):
+        # HADES transactions have execution + validation (no commit
+        # phase — that work lives on the NIC).
+        assert set(hades_report.phase_totals) == {"execution", "validation"}
+        assert all(total > 0 for total in hades_report.phase_totals.values())
+
+    def test_message_rows_populated(self, hades_report):
+        assert hades_report.message_rows
+        names = [row[0] for row in hades_report.message_rows]
+        assert "RdmaReadRequest" in names
+        deliveries = [row[5] for row in hades_report.message_rows]
+        assert deliveries == sorted(deliveries, reverse=True)
+
+    def test_baseline_has_commit_phase(self):
+        report = profile_experiment("baseline",
+                                    make_workload("HT-wA", scale=0.05),
+                                    duration_ns=100_000.0, seed=5,
+                                    llc_sets=512)
+        assert "commit" in report.phase_totals
+        assert report.phase_agreement <= 0.01
+
+
+class TestFormatting:
+    def test_format_profile_renders_tables(self, hades_report):
+        text = format_profile(hades_report)
+        assert "phase attribution" in text
+        assert "message attribution" in text
+        assert "execution" in text
+        assert "worst deviation" in text
+
+    def test_empty_report_renders_placeholders(self):
+        report = profile_experiment("hades",
+                                    make_workload("HT-wA", scale=0.05),
+                                    duration_ns=10.0, seed=5, llc_sets=512)
+        text = format_profile(report)
+        assert "(no committed transactions)" in text
+
+
+class TestCli:
+    def test_profile_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["profile", "--protocol", "hades", "--workload", "ycsb",
+                     "--scale", "0.05", "--duration-us", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase attribution" in out
+        assert "message attribution" in out

@@ -24,6 +24,19 @@ def test_counter_accumulates():
     assert counter.as_dict() == {"squash": 3}
 
 
+def test_counter_top_orders_and_breaks_ties():
+    counter = Counter()
+    counter.add("b", 5)
+    counter.add("a", 5)
+    counter.add("c", 9)
+    counter.add("d", 1)
+    assert counter.top(3) == [("c", 9), ("a", 5), ("b", 5)]
+    assert counter.top(0) == []
+    assert counter.top(10) == [("c", 9), ("a", 5), ("b", 5), ("d", 1)]
+    with pytest.raises(ValueError):
+        counter.top(-1)
+
+
 def test_counter_ratio_safe_on_zero_denominator():
     counter = Counter()
     counter.add("hits", 5)
@@ -93,9 +106,11 @@ def test_throughput_meter():
     assert meter.abort_rate() == pytest.approx(1 / 11)
 
 
-def test_throughput_meter_rejects_zero_elapsed():
-    with pytest.raises(ValueError):
-        ThroughputMeter().throughput(0.0)
+def test_throughput_meter_zero_elapsed_reports_zero():
+    meter = ThroughputMeter()
+    meter.commit()
+    assert meter.throughput(0.0) == 0.0
+    assert meter.throughput(-1.0) == 0.0
 
 
 def test_abort_rate_zero_when_no_attempts():
@@ -111,8 +126,10 @@ def test_run_metrics_summary():
     assert summary["committed"] == 1.0
     assert summary["mean_latency_ns"] == 500.0
     assert summary["throughput_tps"] == pytest.approx(1e3)
+    assert summary["no_progress"] == 0.0
 
 
 def test_run_metrics_summary_without_elapsed():
     summary = RunMetrics().summary()
-    assert "throughput_tps" not in summary
+    assert summary["throughput_tps"] == 0.0
+    assert summary["no_progress"] == 1.0

@@ -60,6 +60,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "baseline" in out and "hades" in out
 
+    def test_run_with_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_jsonl
+
+        jsonl = str(tmp_path / "t.jsonl")
+        chrome = str(tmp_path / "t.json")
+        csv = str(tmp_path / "m.csv")
+        code = main(["run", "--protocol", "hades", "--workload", "ycsb",
+                     "--scale", "0.05", "--duration-us", "60",
+                     "--trace", jsonl, "--metrics", csv])
+        assert code == 0
+        assert validate_jsonl(jsonl) > 0
+        header = open(csv).readline()
+        assert header.startswith("t_ns,committed")
+        code = main(["run", "--protocol", "hades", "--workload", "ycsb",
+                     "--scale", "0.05", "--duration-us", "60",
+                     "--trace", chrome])
+        assert code == 0
+        doc = json.load(open(chrome))
+        assert doc["traceEvents"]
+        capsys.readouterr()
+
+    def test_run_histogram_latency_flag(self, capsys):
+        code = main(["run", "--protocol", "baseline", "--workload", "ycsb",
+                     "--scale", "0.05", "--duration-us", "60",
+                     "--histogram-latency"])
+        assert code == 0
+        assert "throughput (txn/s)" in capsys.readouterr().out
+
+    def test_workload_aliases_accepted(self):
+        from repro.workloads import make_workload
+
+        assert make_workload("ycsb", scale=0.01).name == "HT-wA"
+        assert make_workload("YCSB-B", scale=0.01).name == "HT-wB"
+        assert make_workload("tpcc", scale=0.01).name == "TPC-C"
+
     def test_figures_sec06(self, capsys):
         assert main(["figures", "sec06"]) == 0
         out = capsys.readouterr().out
