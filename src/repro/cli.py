@@ -63,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--histogram-latency", action="store_true",
                        help="record latencies into a bounded log-bucketed "
                             "histogram instead of an exact list")
+    run_p.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault-injection spec, e.g. "
+                            "'drop=0.02,jitter=300,persist=0.05,"
+                            "stall=1:10000:30000' (see docs/FAULTS.md)")
+    run_p.add_argument("--fault-seed", type=int, default=None,
+                       help="seed of the fault injector's random stream "
+                            "(overrides a seed= key in --faults)")
 
     prof_p = sub.add_parser("profile",
                             help="per-phase / per-message time attribution")
@@ -74,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--shape", choices=sorted(CLUSTER_SHAPES),
                         default="default")
     prof_p.add_argument("--seed", type=int, default=42)
+    prof_p.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault-injection spec (see docs/FAULTS.md)")
+    prof_p.add_argument("--fault-seed", type=int, default=None,
+                        help="seed of the fault injector's random stream")
 
     cmp_p = sub.add_parser("compare", help="all protocols on one workload")
     cmp_p.add_argument("--workload", default="HT-wA")
@@ -104,13 +115,15 @@ def cmd_run(args) -> int:
                              locality=args.locality)
     tracer = EventTracer() if args.trace else None
     sample_interval_ns = (args.sample_us * 1000.0 if args.metrics else None)
+    fault_plan = _parse_fault_plan(args)
     reset_energy_counters()
     result = run_experiment(args.protocol, workload, config=config,
                             duration_ns=args.duration_us * 1000.0,
                             seed=args.seed, llc_sets=2048,
                             tracer=tracer,
                             sample_interval_ns=sample_interval_ns,
-                            bounded_latency=args.histogram_latency)
+                            bounded_latency=args.histogram_latency,
+                            fault_plan=fault_plan)
     energy = energy_report(config, args.duration_us * 1000.0,
                            result.metrics.meter.committed)
     summary = result.metrics.summary()
@@ -132,6 +145,14 @@ def cmd_run(args) -> int:
         print()
         print(format_table(["counter", "count"], [list(item) for item in top],
                            title="top counters"))
+    if result.fault_summary is not None:
+        fault_rows = [[key, value]
+                      for key, value in result.fault_summary.items()]
+        fault_rows.append(["request_timeouts",
+                           result.metrics.counters.get("request_timeouts")])
+        print()
+        print(format_table(["fault", "count"], fault_rows,
+                           title="fault injection"))
     if tracer is not None:
         tracer.save(args.trace)
         print(f"\ntrace: {len(tracer)} events -> {args.trace}")
@@ -151,9 +172,19 @@ def cmd_profile(args) -> int:
     workload = make_workload(args.workload, scale=args.scale)
     report = profile_experiment(args.protocol, workload, config=config,
                                 duration_ns=args.duration_us * 1000.0,
-                                seed=args.seed, llc_sets=2048)
+                                seed=args.seed, llc_sets=2048,
+                                fault_plan=_parse_fault_plan(args))
     print(format_profile(report))
     return 0
+
+
+def _parse_fault_plan(args):
+    """``--faults``/``--fault-seed`` -> FaultPlan (None when absent)."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.config import FaultPlan
+
+    return FaultPlan.parse(args.faults, seed=args.fault_seed)
 
 
 def cmd_compare(args) -> int:

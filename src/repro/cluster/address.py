@@ -71,7 +71,6 @@ def partially_covered_lines(address: int, size: int) -> List[int]:
     if address % LINE_BYTES != 0:
         partial.append(first)
     end = address + size
-    if end % LINE_BYTES != 0 and (last not in partial or first != last):
-        if last not in partial:
-            partial.append(last)
+    if end % LINE_BYTES != 0 and last not in partial:
+        partial.append(last)
     return partial

@@ -21,14 +21,18 @@ class Cluster:
     """The modeled machine: N nodes connected by the RDMA fabric."""
 
     def __init__(self, engine: Engine, config: ClusterConfig,
-                 llc_sets: Optional[int] = None):
+                 llc_sets: Optional[int] = None,
+                 fabric: Optional[Fabric] = None):
         self.engine = engine
         self.config = config
         self.nodes: List[Node] = [
             Node(node_id, config, llc_sets=llc_sets, engine=engine)
             for node_id in range(config.nodes)
         ]
-        self.fabric = Fabric(engine, config.network)
+        # A prebuilt fabric (e.g. a FaultyFabric) may be supplied; by
+        # default the cluster owns a fault-free one.
+        self.fabric = fabric if fabric is not None else Fabric(
+            engine, config.network)
         self._records: Dict[int, RecordDescriptor] = {}
         self._next_txid = 0
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 #: Cache-line size used throughout (bytes).
 CACHE_LINE_BYTES = 64
@@ -198,6 +198,163 @@ class LivelockParams:
     squash_threshold: int = 5
     backoff_base_ns: float = 500.0
     backoff_cap_ns: float = 16000.0
+
+
+@dataclass(frozen=True)
+class NicStallWindow:
+    """One NIC stall: messages touching ``node`` in [start, end) are
+    held until the window ends (models a paused/overloaded SmartNIC)."""
+
+    node: int
+    start_ns: float
+    end_ns: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"negative node id: {self.node}")
+        if not self.start_ns < self.end_ns:
+            raise ValueError(
+                f"empty stall window: [{self.start_ns}, {self.end_ns})")
+
+
+@dataclass(frozen=True)
+class NodeCrashWindow:
+    """One crash/restart: ``node`` loses connectivity in [start, end).
+
+    The crash is partition-style — node state (memory, directory,
+    replica stores) survives; only the fabric is affected.  Unreliable
+    messages to or from the node are dropped, reliable ones (modeling
+    RDMA RC retransmission) are held until the restart at ``end_ns``.
+    """
+
+    node: int
+    start_ns: float
+    end_ns: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"negative node id: {self.node}")
+        if not self.start_ns < self.end_ns:
+            raise ValueError(
+                f"empty crash window: [{self.start_ns}, {self.end_ns})")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault-injection schedule (see docs/FAULTS.md).
+
+    Consumed by :class:`~repro.faults.injector.FaultInjector`; every
+    probabilistic decision is drawn from one deterministic stream seeded
+    with :attr:`seed`, so a (plan, workload, seed) triple replays the
+    exact same faults.
+    """
+
+    #: Seed of the injector's private random stream.
+    seed: int = 0
+    #: Probability an *unreliable* message is silently dropped.
+    drop_probability: float = 0.0
+    #: Uniform extra delivery delay in [0, jitter) ns per message.
+    delay_jitter_ns: float = 0.0
+    #: Probability one replica ``persist_temporary`` reports failure.
+    replica_persist_fail_rate: float = 0.0
+    #: NIC stall windows (messages held until the window ends).
+    nic_stalls: Tuple[NicStallWindow, ...] = ()
+    #: Node crash/restart windows (partition-style connectivity loss).
+    crashes: Tuple[NodeCrashWindow, ...] = ()
+    #: Request timeout override; None derives one from the network RT.
+    request_timeout_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1): {self.drop_probability}")
+        if self.delay_jitter_ns < 0.0:
+            raise ValueError(f"negative jitter: {self.delay_jitter_ns}")
+        if not 0.0 <= self.replica_persist_fail_rate <= 1.0:
+            raise ValueError(f"persist fail rate must be in [0, 1]: "
+                             f"{self.replica_persist_fail_rate}")
+        if (self.request_timeout_ns is not None
+                and self.request_timeout_ns <= 0.0):
+            raise ValueError(
+                f"timeout must be positive: {self.request_timeout_ns}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault source is active."""
+        return bool(self.drop_probability or self.delay_jitter_ns
+                    or self.replica_persist_fail_rate
+                    or self.nic_stalls or self.crashes)
+
+    def effective_timeout_ns(self, network: "NetworkParams") -> float:
+        """Request timeout to arm on the reply helper.
+
+        Explicit :attr:`request_timeout_ns` wins; otherwise long enough
+        that a jittered-but-delivered round trip never times out.
+        """
+        if self.request_timeout_ns is not None:
+            return self.request_timeout_ns
+        return 4.0 * network.rt_latency_ns + 4.0 * self.delay_jitter_ns
+
+    @classmethod
+    def parse(cls, spec: str, seed: Optional[int] = None) -> "FaultPlan":
+        """Build a plan from a ``--faults`` CLI spec string.
+
+        Comma-separated ``key=value`` pairs: ``drop`` (probability),
+        ``jitter`` (ns), ``persist`` (replica persist failure rate),
+        ``timeout`` (ns), ``seed`` (int), and repeatable
+        ``stall=NODE:START:END`` / ``crash=NODE:START:END`` windows
+        (several windows join with ``+``).  ``seed`` passed as an
+        argument (the ``--fault-seed`` flag) overrides a ``seed`` key.
+        Example: ``drop=0.02,jitter=300,persist=0.05,stall=1:10000:30000``.
+        """
+        kwargs: Dict[str, object] = {}
+        stalls = []
+        crashes = []
+        spec = spec.strip()
+        if spec and spec.lower() not in ("none", "off"):
+            for part in spec.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                if "=" not in part:
+                    raise ValueError(f"bad fault spec item {part!r} "
+                                     "(expected key=value)")
+                key, value = part.split("=", 1)
+                key = key.strip().lower()
+                value = value.strip()
+                if key == "drop":
+                    kwargs["drop_probability"] = float(value)
+                elif key == "jitter":
+                    kwargs["delay_jitter_ns"] = float(value)
+                elif key in ("persist", "persist_fail"):
+                    kwargs["replica_persist_fail_rate"] = float(value)
+                elif key == "timeout":
+                    kwargs["request_timeout_ns"] = float(value)
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key in ("stall", "crash"):
+                    for window in value.split("+"):
+                        fields = window.split(":")
+                        if len(fields) != 3:
+                            raise ValueError(
+                                f"bad {key} window {window!r} "
+                                "(expected NODE:START:END)")
+                        node, start, end = fields
+                        target = stalls if key == "stall" else crashes
+                        wcls = (NicStallWindow if key == "stall"
+                                else NodeCrashWindow)
+                        target.append(wcls(node=int(node),
+                                           start_ns=float(start),
+                                           end_ns=float(end)))
+                else:
+                    raise ValueError(f"unknown fault spec key {key!r}")
+        if stalls:
+            kwargs["nic_stalls"] = tuple(stalls)
+        if crashes:
+            kwargs["crashes"] = tuple(crashes)
+        if seed is not None:
+            kwargs["seed"] = seed
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)

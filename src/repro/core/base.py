@@ -58,6 +58,11 @@ class ProtocolBase:
         self.metrics = metrics if metrics is not None else RunMetrics()
         self.rng = DeterministicRandom(seed)
         self.replies = RequestReplyHelper(self.engine)
+        self.replies.on_timeout = self._note_request_timeout
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; the
+        #: runner attaches one when a fault plan is active (protocols
+        #: consult it for injected replica-persist failures).
+        self.faults = None
         #: Optional :class:`~repro.obs.tracer.EventTracer`; every hook
         #: below is behind an ``is not None`` guard so default-off runs
         #: pay one attribute load per transaction event.
@@ -278,6 +283,13 @@ class ProtocolBase:
 
     def next_token(self) -> int:
         return next(self._token_counter)
+
+    def _note_request_timeout(self, token) -> None:
+        """Reply-helper callback: a request expired without a reply."""
+        self.metrics.counters.add("request_timeouts")
+        if self.tracer is not None:
+            self.tracer.fault(self.engine.now, "request_timeout",
+                              token=repr(token))
 
     def send(self, src: int, dst: int, message: Message) -> Event:
         """Fire-and-forget message."""

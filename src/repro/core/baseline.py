@@ -44,6 +44,7 @@ from repro.core.txn import (
     PHASE_VALIDATION,
     TxContext,
 )
+from repro.net.fabric import TIMED_OUT
 from repro.net.messages import (
     BatchedLockRequest,
     BatchedUnlockRequest,
@@ -243,6 +244,8 @@ class BaselineProtocol(ProtocolBase):
                                   token=token)
         reply = self.request(ctx.node_id, descriptor.home_node, message, token)
         payload = yield reply
+        if payload is TIMED_OUT:
+            raise SquashedError("request_timeout")
         return payload  # (version, locked, consistent, values)
 
     # -- validation phase -------------------------------------------------
@@ -292,15 +295,23 @@ class BaselineProtocol(ProtocolBase):
             if not all(results):
                 # Failed nodes released their own locks; release the
                 # rest explicitly (local CAS + batched remote unlocks).
+                # A timed-out node may hold the locks with only the
+                # reply lost, so it gets a defensive unlock too (the
+                # unlock is owner-keyed and idempotent).
                 for held in locked_local:
                     held.unlock(ctx.owner)
-                succeeded = [node_id for (node_id, _m, _t), ok
-                             in zip(messages, results) if ok]
-                for node_id in succeeded:
+                timed_out = any(ok is TIMED_OUT for ok in results)
+                to_unlock = [node_id for (node_id, _m, _t), ok
+                             in zip(messages, results)
+                             if ok or ok is TIMED_OUT]
+                for node_id in to_unlock:
                     addresses = [e.descriptor.address for e in by_node[node_id]]
                     self.send(ctx.node_id, node_id,
                               BatchedUnlockRequest(ctx.owner,
                                                    record_addresses=addresses))
+                if timed_out:
+                    self.metrics.counters.add("lock_timeouts")
+                    raise SquashedError("lock_timeout")
                 raise SquashedError("lock_conflict_remote")
         ctx.baseline_locked = (locked_local, by_node)
 
@@ -335,6 +346,10 @@ class BaselineProtocol(ProtocolBase):
                                      token=token),
                                  token))
             results = yield self.request_all(ctx.node_id, messages)
+            if any(payload is TIMED_OUT for payload in results):
+                self.metrics.counters.add("validation_timeouts")
+                self._release_validation_locks(ctx)
+                raise SquashedError("validation_timeout")
             for (node_id, _m, _t), payload in zip(messages, results):
                 entries = by_node[node_id]
                 for entry, (version, locked_by_other) in zip(entries, payload):
@@ -439,12 +454,18 @@ class BaselineProtocol(ProtocolBase):
             yield ctx.charge_cpu(cost.request_work_cycles, CATEGORY_OTHER)
             descriptor = self.descriptor(request.record_id)
             if request.record_id not in read_set:
-                version, locked_flag, _consistent, values = (
-                    yield from (self._local_record_read(ctx, descriptor,
-                                                        CATEGORY_OTHER)
-                                if descriptor.home_node == ctx.node_id else
-                                self._remote_record_read(ctx, descriptor,
-                                                         CATEGORY_OTHER)))
+                try:
+                    version, locked_flag, _consistent, values = (
+                        yield from (self._local_record_read(ctx, descriptor,
+                                                            CATEGORY_OTHER)
+                                    if descriptor.home_node == ctx.node_id else
+                                    self._remote_record_read(ctx, descriptor,
+                                                             CATEGORY_OTHER)))
+                except SquashedError:
+                    # Baseline cleanup does not release locks; a read
+                    # timeout mid-pessimistic-run must do it here.
+                    self._release_pessimistic_locks(ctx, locked)
+                    raise
                 read_set[request.record_id] = ReadSetEntry(descriptor, version,
                                                            values)
             if request.is_write:
@@ -520,7 +541,15 @@ class BaselineProtocol(ProtocolBase):
                 granted = yield self.request(ctx.node_id,
                                              descriptor.home_node, message,
                                              token)
-                if granted:
+                if granted is TIMED_OUT:
+                    # The CAS may have succeeded with only the grant
+                    # lost: release defensively before retrying.
+                    self.metrics.counters.add("pessimistic_lock_timeouts")
+                    self.send(ctx.node_id, descriptor.home_node,
+                              BatchedUnlockRequest(
+                                  ctx.owner,
+                                  record_addresses=[descriptor.address]))
+                elif granted:
                     return
             yield LOCK_POLL_NS
 
@@ -618,8 +647,14 @@ class BaselineProtocol(ProtocolBase):
 
     def _serve_batched_unlock(self, node,
                               message: BatchedUnlockRequest) -> None:
+        # Idempotent by owner: defensive unlocks after a request timeout
+        # may target records the owner never actually locked (or locks
+        # another transaction has since acquired) — skip those instead
+        # of tripping RecordMetadata's non-owner assertion.
         for address in message.record_addresses:
-            node.memory.metadata(address).unlock(message.owner)
+            meta = node.memory.metadata(address)
+            if meta.locked and meta.lock_owner == message.owner:
+                meta.unlock(message.owner)
 
     # ------------------------------------------------------------------
     # helpers

@@ -33,6 +33,7 @@ from repro.core.api import Owner, Request, SquashedError
 from repro.core.base import ProtocolBase
 from repro.core.txn import PHASE_VALIDATION, TxContext
 from repro.hardware.directory import snapshot_filters
+from repro.net.fabric import TIMED_OUT
 from repro.net.messages import (
     AbortCleanupMessage,
     AckMessage,
@@ -204,6 +205,10 @@ class HadesProtocol(ProtocolBase):
             token = (ctx.owner, "rread", self.next_token())
             message = RdmaReadRequest(ctx.owner, lines=fetch_lines, token=token)
             fetched = yield self.request(ctx.node_id, home, message, token)
+            if fetched is TIMED_OUT:
+                # Request or reply lost; retry like a conflict (cleanup
+                # still reaches the home node: involvement noted above).
+                raise SquashedError("request_timeout")
             ctx.remote_cache.update(fetched)
             values.update(fetched)
         return values
@@ -237,6 +242,8 @@ class HadesProtocol(ProtocolBase):
                     ctx.owner, all_lines=node_lines,
                     partial_lines=partial_here, token=token)
                 fetched = yield self.request(ctx.node_id, home, message, token)
+                if fetched is TIMED_OUT:
+                    raise SquashedError("request_timeout")
                 ctx.remote_cache.update(fetched)
             # Buffer every written line locally (Module 4b); fully
             # overwritten lines never touch the network until commit.
@@ -292,6 +299,12 @@ class HadesProtocol(ProtocolBase):
             acks = yield self.request_all(ctx.node_id, messages)
             if ctx.squashed:
                 raise SquashedError("squashed_during_commit")
+            if any(ack is TIMED_OUT for ack in acks):
+                # A lost Ack aborts the transaction (Section V); the
+                # cleanup's AbortCleanup releases any remote locks the
+                # Intend-to-commit did install.
+                self.metrics.counters.add("ack_timeouts")
+                raise SquashedError("ack_timeout")
             if not all(acks):
                 self.metrics.counters.add("dirlock_failures_remote")
                 raise SquashedError("dirlock_remote")
@@ -444,6 +457,12 @@ class HadesProtocol(ProtocolBase):
                 writes = sorted(lock_lines[node_id])
                 granted = yield from self._try_directory_lock(ctx, node_id,
                                                               [], writes)
+                if granted is TIMED_OUT:
+                    # The grant may have landed with only the reply
+                    # lost: release defensively before retrying (the
+                    # remote unlock is owner-keyed and tolerant).
+                    self.metrics.counters.add("dirlock_timeouts")
+                    self._release_directory_lock(ctx, node_id)
                 if not granted:
                     success = False
                     break
@@ -500,6 +519,9 @@ class HadesProtocol(ProtocolBase):
                     ctx.node_id, home,
                     RdmaReadRequest(ctx.owner, lines=fetch, token=token),
                     token)
+                if fetched is TIMED_OUT:
+                    # Cleanup releases every directory lock held so far.
+                    raise SquashedError("request_timeout")
                 ctx.remote_cache.update(fetched)
                 values.update(fetched)
             ctx.read_results.append(values)
@@ -558,7 +580,9 @@ class HadesProtocol(ProtocolBase):
             DirectoryLockRequest(ctx.owner, read_lines=reads,
                                  write_lines=writes, token=token),
             token)
-        return bool(granted)
+        # Returned raw: TIMED_OUT is falsy but callers distinguish it
+        # from a denial (a lost grant needs a defensive release).
+        return granted
 
     def _release_directory_lock(self, ctx: TxContext, node_id: int) -> None:
         if node_id == ctx.node_id:

@@ -42,6 +42,7 @@ from repro.core.txn import (
     TxContext,
 )
 from repro.hardware.directory import snapshot_filters
+from repro.net.fabric import TIMED_OUT
 from repro.net.messages import IntendToCommitMessage, ValidationMessage
 
 
@@ -262,6 +263,9 @@ class HadesHybridProtocol(HadesProtocol):
                                CATEGORY_CONFLICT_DETECTION)
             if ctx.squashed:
                 raise SquashedError("squashed_during_commit")
+            if any(ack is TIMED_OUT for ack in acks):
+                self.metrics.counters.add("ack_timeouts")
+                raise SquashedError("ack_timeout")
             if not all(acks):
                 self.metrics.counters.add("dirlock_failures_remote")
                 raise SquashedError("dirlock_remote")

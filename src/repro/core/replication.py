@@ -24,18 +24,20 @@ lives on node ``(h + k) mod N``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
 from repro.cluster.address import node_of_line
 from repro.core.api import Owner, SquashedError
 from repro.core.hades import HadesProtocol
 from repro.core.txn import TxContext
+from repro.net.fabric import TIMED_OUT
 from repro.net.messages import (
     ADDRESS_BYTES,
     HEADER_BYTES,
     LINE_BYTES,
     AckMessage,
     Message,
+    Token,
 )
 
 
@@ -45,7 +47,9 @@ class ReplicaUpdateMessage(Message):
     in temporary durable storage."""
 
     updates: Dict[int, object] = field(default_factory=dict)
-    token: int = 0
+    #: Correlation token — callers pass ``(owner, "replica", node)``
+    #: tuples, matching the reply helper's token typing.
+    token: Token = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + (ADDRESS_BYTES + LINE_BYTES) * len(self.updates)
@@ -62,12 +66,18 @@ class ReplicaCommitMessage(Message):
     messages from *different* coordinators are not FIFO-ordered).
     """
 
+    # Losing a promote would strand a temporary copy forever; the NIC
+    # retries it like any one-way RC write.
+    reliable: ClassVar[bool] = True
+
     stamp: float = 0.0
 
 
 @dataclass
 class ReplicaAbortMessage(Message):
     """Abort: discard the temporary copy."""
+
+    reliable: ClassVar[bool] = True
 
 
 class ReplicaStore:
@@ -159,6 +169,39 @@ class HadesReplicatedProtocol(HadesProtocol):
                 per_node.setdefault(replica, {})[line] = value
         return per_node
 
+    # -- persist plumbing ---------------------------------------------------
+
+    def _persist_replica(self, replica_node: int, owner: Owner,
+                         updates: Dict[int, object]) -> bool:
+        """Persist one replica update; False = durable-write failure.
+
+        Single funnel for every persist site (local fast path, remote
+        handler) so both the ``fail_next`` test hook and injected
+        fault-plan failures apply uniformly.
+        """
+        if self.faults is not None and self.faults.replica_persist_fails(
+                replica_node, owner, self.engine.now):
+            return False
+        return self.stores[replica_node].persist_temporary(owner, updates)
+
+    def _check_replica_outcomes(self, ctx: TxContext, outcomes) -> None:
+        """Ack outcomes of phase-1 replica updates; raise on any failure."""
+        failures = timeouts = 0
+        for outcome in outcomes:
+            if outcome is TIMED_OUT:
+                timeouts += 1
+            elif not outcome:
+                failures += 1
+        if failures:
+            self.metrics.counters.add("replica_persist_failures", failures)
+        if timeouts:
+            self.metrics.counters.add("replica_update_timeouts", timeouts)
+        if failures or timeouts:
+            # Cleanup discards every temporary copy (ReplicaAbort to all
+            # of ctx.replicated_nodes), so nothing is ever promoted.
+            raise SquashedError("replica_failure" if failures
+                                else "replica_timeout")
+
     # -- commit integration -----------------------------------------------
 
     def _commit(self, ctx: TxContext):
@@ -175,8 +218,8 @@ class HadesReplicatedProtocol(HadesProtocol):
             if replica_node == ctx.node_id:
                 # Local replica: persist directly (charged below).
                 yield ctx.charge_cpu_ns(self.persist_ns)
-                if not self.stores[replica_node].persist_temporary(
-                        ctx.owner, updates):
+                if not self._persist_replica(replica_node, ctx.owner,
+                                             updates):
                     self.metrics.counters.add("replica_persist_failures")
                     raise SquashedError("replica_failure")
                 continue
@@ -190,9 +233,7 @@ class HadesReplicatedProtocol(HadesProtocol):
             outcomes = yield AllOf(self.engine, events)
             if ctx.squashed:
                 raise SquashedError("squashed_during_commit")
-            if not all(outcomes):
-                self.metrics.counters.add("replica_persist_failures")
-                raise SquashedError("replica_failure")
+            self._check_replica_outcomes(ctx, outcomes)
 
         yield from super()._commit(ctx)
 
@@ -222,10 +263,16 @@ class HadesReplicatedProtocol(HadesProtocol):
             return
         ctx.replicated_nodes = sorted(per_node)
         events = []
+        local_failed = False
         for replica_node, updates in per_node.items():
             if replica_node == ctx.node_id:
                 yield ctx.charge_cpu_ns(self.persist_ns)
-                self.stores[replica_node].persist_temporary(ctx.owner, updates)
+                if not self._persist_replica(replica_node, ctx.owner,
+                                             updates):
+                    # Don't raise yet: remote updates already in flight
+                    # must still be awaited (and then discarded).
+                    self.metrics.counters.add("replica_persist_failures")
+                    local_failed = True
                 continue
             token = (ctx.owner, "replica", replica_node)
             events.append(self.request(
@@ -234,7 +281,17 @@ class HadesReplicatedProtocol(HadesProtocol):
                 token))
         if events:
             from repro.sim.events import AllOf
-            yield AllOf(self.engine, events)
+            outcomes = yield AllOf(self.engine, events)
+            # A failed or missing Ack must abort the attempt — promoting
+            # regardless would silently commit an unreplicated write
+            # (the durability bug this hook used to have; contrast with
+            # the optimistic ``_commit``).  Pessimistic locks keep the
+            # attempt unsquashable, but SquashedError still unwinds it:
+            # cleanup discards the temporary copies and releases every
+            # directory lock, and the driver retries pessimistically.
+            self._check_replica_outcomes(ctx, outcomes)
+        if local_failed:
+            raise SquashedError("replica_failure")
         stamp = self.engine.now
         for replica_node in ctx.replicated_nodes:
             if replica_node == ctx.node_id:
@@ -270,8 +327,8 @@ class HadesReplicatedProtocol(HadesProtocol):
     def _serve_replica_update(self, node_id: int, src: int,
                               message: ReplicaUpdateMessage):
         """Persist to temporary durable storage, then Ack (Section V)."""
-        store = self.stores[node_id]
-        success = store.persist_temporary(message.owner, message.updates)
+        success = self._persist_replica(node_id, message.owner,
+                                        message.updates)
         yield self.persist_ns  # durable-media write latency
         self.send(node_id, src, AckMessage(message.owner, success=success,
                                            token=message.token))

@@ -1,0 +1,28 @@
+"""Deterministic, seeded fault injection for the simulated cluster.
+
+The subsystem has three parts (see docs/FAULTS.md):
+
+* :class:`~repro.config.FaultPlan` — the declarative schedule (drop
+  probability, delay jitter, NIC stall windows, crash/restart windows,
+  replica-persist failure rate), parseable from the ``--faults`` CLI
+  spec string.
+* :class:`~repro.faults.injector.FaultInjector` — draws every
+  probabilistic decision from one private seeded stream and decides a
+  fate for each message (:meth:`~repro.faults.injector.FaultInjector.
+  message_fate`) and each replica persist.
+* :class:`~repro.faults.fabric.FaultyFabric` — a
+  :class:`~repro.net.fabric.Fabric` with an injector pre-attached (the
+  runner attaches an injector to an existing fabric instead; both spell
+  the same hooks).
+
+Recovery relies on request timeouts: the runner arms
+:attr:`~repro.net.fabric.RequestReplyHelper.default_timeout_ns` so a
+dropped request or reply resolves its waiting event with
+:data:`~repro.net.fabric.TIMED_OUT`, and protocols squash-and-retry
+exactly like a conflict.
+"""
+
+from repro.faults.fabric import FaultyFabric
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultInjector", "FaultyFabric"]

@@ -1,0 +1,23 @@
+"""A fabric with fault injection pre-attached.
+
+:class:`~repro.net.fabric.Fabric` already exposes the injection hook
+(its ``faults`` attribute); this wrapper just bundles construction for
+callers that build their cluster around an explicitly faulty network —
+the runner instead attaches an injector to the cluster's own fabric.
+"""
+
+from __future__ import annotations
+
+from repro.config import NetworkParams
+from repro.faults.injector import FaultInjector
+from repro.net.fabric import Fabric
+from repro.sim.engine import Engine
+
+
+class FaultyFabric(Fabric):
+    """Fabric whose sends are filtered through a :class:`FaultInjector`."""
+
+    def __init__(self, engine: Engine, params: NetworkParams,
+                 injector: FaultInjector):
+        super().__init__(engine, params)
+        self.faults = injector

@@ -142,6 +142,10 @@ class SplitWriteBloomFilter:
         self.crc_section.insert(key)
         position = self._index_position(key)
         self._index_array[position >> 3] |= 1 << (position & 7)
+        # The WrBF2 index-array update is a BF write access of its own
+        # (WrBF1's was counted by crc_section.insert) — the Table III
+        # energy model charges both sections.
+        BloomFilter.total_write_ops += 1
         self.inserted_count += 1
 
     def insert_all(self, keys: Iterable[int]) -> None:
@@ -149,9 +153,16 @@ class SplitWriteBloomFilter:
             self.insert(key)
 
     def might_contain(self, key: int) -> bool:
-        """Membership requires a hit in both WrBF1 and WrBF2."""
+        """Membership requires a hit in both WrBF1 and WrBF2.
+
+        The hardware probes both sections in parallel, so a probe costs
+        one read access per section regardless of the outcome — a WrBF2
+        miss does not save WrBF1's (already issued) access.
+        """
+        BloomFilter.total_read_ops += 1  # WrBF2 index-array probe
         position = self._index_position(key)
         if not self._index_array[position >> 3] & (1 << (position & 7)):
+            BloomFilter.total_read_ops += 1  # parallel WrBF1 probe
             return False
         return self.crc_section.might_contain(key)
 
@@ -195,7 +206,7 @@ class SplitWriteBloomFilter:
         return self.crc_section.storage_bytes() + len(self._index_array)
 
 
-def make_core_read_filter(bloom_params, llc_sets: int = 4096) -> BloomFilter:
+def make_core_read_filter(bloom_params) -> BloomFilter:
     """Core-side read BF per Table III (1024 bits)."""
     return BloomFilter(bloom_params.core_read_bits, bloom_params.core_read_hashes)
 

@@ -11,12 +11,23 @@ Delivery time of a message from node ``src`` to node ``dst``:
 Handlers registered per node receive ``(src, message)``; a handler may
 be a plain callable or return a generator, which the fabric spawns as a
 process (long-running handling such as Intend-to-commit processing).
+
+Fault injection hooks in via the :attr:`Fabric.faults` attribute: when a
+:class:`~repro.faults.injector.FaultInjector` is attached, every send
+asks it for a fate (drop, or extra delay from jitter / NIC stalls /
+crash windows) before scheduling delivery.  Dropped messages count in
+:attr:`Fabric.dropped_messages` and — when a
+:class:`~repro.obs.metrics.MessageStats` is attached — in the per-type
+drop column.  Injected delays never reorder messages between one
+``(src, dst)`` pair: protocol cleanup correctness relies on per-pair
+FIFO delivery, so delayed sends establish a delivery-time floor that
+later sends on the same pair cannot undercut.
 """
 
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Tuple
 
 from repro.config import NetworkParams
 from repro.net.messages import Message
@@ -24,6 +35,35 @@ from repro.sim.engine import Engine
 from repro.sim.events import Event
 
 Handler = Callable[[int, Message], Any]
+
+#: Minimum spacing the FIFO floor enforces between two same-pair
+#: deliveries.  Strictly-after matters, not just not-before: generator
+#: handlers run their first block via a zero-delay process resume, so a
+#: message delivered at the *same* timestamp as its predecessor could
+#: have its handler run before the predecessor's deferred body —
+#: exactly the reordering the FIFO guarantee exists to rule out.
+_FIFO_SPACING_NS = 1e-3
+
+
+class _TimedOut:
+    """Falsy singleton a timed-out request resolves with.
+
+    Falsiness makes the common ``if not all(acks)`` failure paths treat
+    a missing Ack like a failed one; sites that use the reply as *data*
+    must check ``payload is TIMED_OUT`` before unpacking.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+
+#: Singleton outcome delivered to a waiter whose reply never arrived.
+TIMED_OUT = _TimedOut()
 
 
 class Fabric:
@@ -42,6 +82,16 @@ class Fabric:
         #: Optional :class:`~repro.obs.metrics.MessageStats` — per-type
         #: aggregation for ``repro profile``.  None by default.
         self.stats = None
+        #: Optional :class:`~repro.faults.injector.FaultInjector` — when
+        #: attached, decides a fate for every send.  None by default
+        #: (the fault-free fast path is unchanged).
+        self.faults = None
+        #: Messages the fault injector dropped (never delivered).
+        self.dropped_messages = 0
+        #: Per-(src, dst) floor on delivery times, maintained only while
+        #: faults are active: injected delays must not let a later send
+        #: overtake an earlier one on the same pair (FIFO guarantee).
+        self._pair_floor: Dict[Tuple[int, int], float] = {}
 
     def register(self, node_id: int, handler: Handler) -> None:
         """Install ``handler`` for messages delivered to ``node_id``."""
@@ -72,6 +122,27 @@ class Fabric:
         )
         self.messages_sent += 1
         self.bytes_sent += size
+        delivered = self.engine.event()
+        if self.faults is not None:
+            drop_reason, extra_ns = self.faults.message_fate(
+                src, dst, message, now)
+            if drop_reason is not None:
+                # The NIC still serialized the message (egress charged
+                # above); it just never arrives.  The returned event
+                # never fires — waiters recover via request timeouts.
+                self.dropped_messages += 1
+                if self.stats is not None:
+                    self.stats.record_drop(type(message).__name__, size)
+                return delivered
+            if extra_ns > 0.0:
+                delivery_delay += extra_ns
+            # Preserve per-pair FIFO under injected delays.
+            delivery_at = now + delivery_delay
+            floor = self._pair_floor.get((src, dst))
+            if floor is not None and delivery_at <= floor:
+                delivery_at = floor + _FIFO_SPACING_NS
+                delivery_delay = delivery_at - now
+            self._pair_floor[(src, dst)] = delivery_at
         if self.tracer is not None or self.stats is not None:
             msg_type = type(message).__name__
             queue_ns = egress_start - now
@@ -82,7 +153,6 @@ class Fabric:
             if self.stats is not None:
                 self.stats.record(msg_type, size, queue_ns, wire_ns,
                                   delivery_delay)
-        delivered = self.engine.event()
         self.engine.schedule(delivery_delay, self._deliver, src, dst, message,
                              delivered)
         return delivered
@@ -106,18 +176,51 @@ class RequestReplyHelper:
     Protocols often need "send request, wait for the matching reply".
     The helper hands out reply events keyed by an arbitrary token; the
     destination's handler resolves them via :meth:`resolve`.
+
+    With :attr:`default_timeout_ns` set (the fault-injection runner does
+    this), every expected reply races a timer: if no reply arrives in
+    time, the waiting event fires with :data:`TIMED_OUT` instead of
+    hanging the simulation, and a reply that shows up later is dropped
+    like any other late reply.  Timers are identity-checked against the
+    pending table, so a resolved/abandoned/re-expected token never gets
+    expired by a stale timer.
     """
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine,
+                 default_timeout_ns: float = None):
         self.engine = engine
         self._pending: Dict[Any, Event] = {}
+        #: When set, every :meth:`expect` without an explicit timeout
+        #: arms a timer for this many simulated ns.  None = wait forever
+        #: (the fault-free default).
+        self.default_timeout_ns = default_timeout_ns
+        #: Requests that expired without a reply.
+        self.timeout_count = 0
+        #: Optional ``callback(token)`` invoked when a request expires —
+        #: the protocol layer uses it for counters and trace events.
+        self.on_timeout = None
 
-    def expect(self, token: Any) -> Event:
+    def expect(self, token: Any, timeout_ns: float = None) -> Event:
         if token in self._pending:
             raise ValueError(f"duplicate outstanding request token {token!r}")
         event = self.engine.event()
         self._pending[token] = event
+        if timeout_ns is None:
+            timeout_ns = self.default_timeout_ns
+        if timeout_ns is not None:
+            self.engine.schedule(timeout_ns, self._expire, token, event)
         return event
+
+    def _expire(self, token: Any, event: Event) -> None:
+        # Identity check: only expire if this exact request is still the
+        # pending one (not resolved, abandoned, or a reused token).
+        if self._pending.get(token) is not event:
+            return
+        self._pending.pop(token)
+        self.timeout_count += 1
+        if self.on_timeout is not None:
+            self.on_timeout(token)
+        event.succeed(TIMED_OUT)
 
     def resolve(self, token: Any, value: Any = None) -> None:
         event = self._pending.pop(token, None)

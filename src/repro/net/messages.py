@@ -14,7 +14,7 @@ payload bytes for carried data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, ClassVar, Dict, List, Tuple
 
 #: Fixed per-message wire overhead (headers, routing, CRC).
 HEADER_BYTES = 64
@@ -25,10 +25,24 @@ LINE_BYTES = 64
 
 Owner = Tuple[int, int]  # (origin node id, transaction id)
 
+#: Request/reply correlation token.  Matches the ``Any`` typing of
+#: :class:`~repro.net.fabric.RequestReplyHelper` — protocols use tuples
+#: like ``(owner, "read", node)``, tests use plain ints.
+Token = Any
+
 
 @dataclass
 class Message:
     """Base class: every message knows its origin transaction."""
+
+    #: Reliable messages are never dropped by fault injection, only
+    #: delayed — they model one-way RDMA RC operations the NIC retries
+    #: in hardware until acknowledged.  Request/reply pairs are
+    #: unreliable (droppable) because the requester recovers through a
+    #: timeout; one-way state-clearing or commit-completing messages
+    #: have no such recovery path, so losing them would leak locks or
+    #: diverge memory, not exercise the protocol's fault handling.
+    reliable: ClassVar[bool] = False
 
     owner: Owner
 
@@ -47,7 +61,7 @@ class Message:
 class ReplyMessage(Message):
     """Generic reply correlated to a request by ``token``."""
 
-    token: int = 0
+    token: Token = 0
     payload: object = None
     #: Wire size of the payload (data lines, version vectors, ...).
     payload_bytes: int = 0
@@ -61,7 +75,7 @@ class RdmaReadRequest(Message):
     """One-sided RDMA read of a set of cache lines."""
 
     lines: List[int] = field(default_factory=list)
-    token: int = 0
+    token: Token = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + ADDRESS_BYTES * len(self.lines)
@@ -81,6 +95,8 @@ class RdmaReadResponse(Message):
 class RdmaWriteRequest(Message):
     """One-sided RDMA write carrying line values (Baseline commit)."""
 
+    reliable: ClassVar[bool] = True
+
     values: Dict[int, object] = field(default_factory=dict)
 
     def size_bytes(self) -> int:
@@ -97,7 +113,7 @@ class RemoteWriteAccessRequest(Message):
 
     all_lines: List[int] = field(default_factory=list)
     partial_lines: List[int] = field(default_factory=list)
-    token: int = 0
+    token: Token = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + ADDRESS_BYTES * len(self.all_lines)
@@ -113,7 +129,7 @@ class BatchedLockRequest(Message):
 
     record_addresses: List[int] = field(default_factory=list)
     expected_versions: List[int] = field(default_factory=list)
-    token: int = 0
+    token: Token = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + ADDRESS_BYTES * len(self.record_addresses)
@@ -126,7 +142,7 @@ class BatchedValidateRequest(Message):
     record_addresses: List[int] = field(default_factory=list)
     #: Version each record had when first read (for re-validation).
     expected_versions: List[int] = field(default_factory=list)
-    token: int = 0
+    token: Token = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + ADDRESS_BYTES * len(self.record_addresses)
@@ -135,6 +151,8 @@ class BatchedValidateRequest(Message):
 @dataclass
 class BatchedUnlockRequest(Message):
     """Baseline commit: batched unlocks (sent without stalling)."""
+
+    reliable: ClassVar[bool] = True
 
     record_addresses: List[int] = field(default_factory=list)
 
@@ -150,7 +168,7 @@ class IntendToCommitMessage(Message):
     """Commit Step 3: the written addresses homed at the destination."""
 
     written_lines: List[int] = field(default_factory=list)
-    token: int = 0
+    token: Token = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + ADDRESS_BYTES * len(self.written_lines)
@@ -161,12 +179,14 @@ class AckMessage(Message):
     """Remote node's Ack: the committer cannot be squashed there anymore."""
 
     success: bool = True
-    token: int = 0
+    token: Token = 0
 
 
 @dataclass
 class ValidationMessage(Message):
     """Commit Step 5: clear remote state and push the buffered updates."""
+
+    reliable: ClassVar[bool] = True
 
     updates: Dict[int, object] = field(default_factory=dict)
 
@@ -183,6 +203,8 @@ class SquashMessage(Message):
     remote state the destination must clear).
     """
 
+    reliable: ClassVar[bool] = True
+
     victim: Owner = (0, 0)
     reason: str = "conflict"
 
@@ -190,6 +212,8 @@ class SquashMessage(Message):
 @dataclass
 class AbortCleanupMessage(Message):
     """Squashed transaction tells remote NICs to drop its BFs/locks."""
+
+    reliable: ClassVar[bool] = True
 
 
 @dataclass
@@ -202,7 +226,7 @@ class DirectoryLockRequest(Message):
 
     read_lines: List[int] = field(default_factory=list)
     write_lines: List[int] = field(default_factory=list)
-    token: int = 0
+    token: Token = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + ADDRESS_BYTES * (len(self.read_lines)

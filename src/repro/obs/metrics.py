@@ -149,6 +149,9 @@ class MessageTypeStats:
     queue_ns: float = 0.0
     wire_ns: float = 0.0
     delivery_ns: float = 0.0
+    #: Sends the fault injector dropped (counted in ``count``/``bytes``
+    #: too — the NIC did serialize them — but never delivered).
+    dropped: int = 0
 
 
 class MessageStats:
@@ -157,16 +160,27 @@ class MessageStats:
     def __init__(self) -> None:
         self._by_type: Dict[str, MessageTypeStats] = {}
 
-    def record(self, msg_type: str, size_bytes: int, queue_ns: float,
-               wire_ns: float, delivery_ns: float) -> None:
+    def _get(self, msg_type: str) -> MessageTypeStats:
         stats = self._by_type.get(msg_type)
         if stats is None:
             stats = self._by_type[msg_type] = MessageTypeStats()
+        return stats
+
+    def record(self, msg_type: str, size_bytes: int, queue_ns: float,
+               wire_ns: float, delivery_ns: float) -> None:
+        stats = self._get(msg_type)
         stats.count += 1
         stats.bytes += size_bytes
         stats.queue_ns += queue_ns
         stats.wire_ns += wire_ns
         stats.delivery_ns += delivery_ns
+
+    def record_drop(self, msg_type: str, size_bytes: int) -> None:
+        """One send the fault injector dropped before delivery."""
+        stats = self._get(msg_type)
+        stats.count += 1
+        stats.bytes += size_bytes
+        stats.dropped += 1
 
     def __len__(self) -> int:
         return len(self._by_type)
@@ -175,17 +189,25 @@ class MessageStats:
     def total_messages(self) -> int:
         return sum(stats.count for stats in self._by_type.values())
 
+    @property
+    def total_dropped(self) -> int:
+        return sum(stats.dropped for stats in self._by_type.values())
+
     def by_type(self) -> Dict[str, MessageTypeStats]:
         return dict(self._by_type)
 
     def rows(self) -> List[tuple]:
-        """(type, count, bytes, mean queue, mean wire, total delivery)
-        sorted by descending total delivery time — report order."""
+        """(type, count, bytes, mean queue, mean wire, total delivery,
+        dropped) sorted by descending total delivery time — report
+        order.  Means are over delivered sends; an all-dropped type
+        reports zero queue/wire time."""
         out = []
         for name, stats in self._by_type.items():
+            delivered = stats.count - stats.dropped
             out.append((name, stats.count, stats.bytes,
-                        stats.queue_ns / stats.count,
-                        stats.wire_ns / stats.count,
-                        stats.delivery_ns))
+                        stats.queue_ns / delivered if delivered else 0.0,
+                        stats.wire_ns / delivered if delivered else 0.0,
+                        stats.delivery_ns,
+                        stats.dropped))
         out.sort(key=lambda row: -row[5])
         return out

@@ -40,9 +40,12 @@ class ProfileReport:
     phase_totals: Dict[str, float]
     #: phase -> total ns from the PhaseBreakdown collector (cross-check).
     breakdown_totals: Dict[str, float]
-    #: (type, count, bytes, mean queue ns, mean wire ns, total delivery ns).
+    #: (type, count, bytes, mean queue ns, mean wire ns, total delivery
+    #: ns, dropped).
     message_rows: List[Tuple] = field(default_factory=list)
     committed: int = 0
+    #: Injected-fault totals when the run had a fault plan; else None.
+    fault_summary: Optional[Dict[str, int]] = None
 
     @property
     def phase_agreement(self) -> float:
@@ -67,6 +70,7 @@ def profile_experiment(
     duration_ns: float = 500_000.0,
     seed: int = 42,
     llc_sets: Optional[int] = None,
+    fault_plan=None,
 ) -> ProfileReport:
     """Run one experiment with tracing on and fold the attribution."""
     tracer = EventTracer()
@@ -74,13 +78,15 @@ def profile_experiment(
     result = run_experiment(protocol, workloads, config=config,
                             duration_ns=duration_ns, seed=seed,
                             llc_sets=llc_sets, tracer=tracer,
-                            message_stats=message_stats)
+                            message_stats=message_stats,
+                            fault_plan=fault_plan)
     return ProfileReport(
         result=result,
         phase_totals=tracer.committed_phase_totals(),
         breakdown_totals=result.metrics.phases.as_dict(),
         message_rows=message_stats.rows(),
         committed=result.metrics.meter.committed,
+        fault_summary=result.fault_summary,
     )
 
 
@@ -114,18 +120,34 @@ def format_profile(report: ProfileReport) -> str:
 
     message_rows: List[List] = []
     total_delivery = sum(row[5] for row in report.message_rows)
-    for name, count, size, queue, wire, delivery in report.message_rows:
+    for name, count, size, queue, wire, delivery, dropped \
+            in report.message_rows:
         share = delivery / total_delivery if total_delivery else 0.0
         message_rows.append([name, count, size, queue, wire,
-                             delivery / 1000.0, format_percent(share)])
+                             delivery / 1000.0, dropped,
+                             format_percent(share)])
     if not message_rows:
-        message_rows.append(["(no messages)", 0, 0, 0.0, 0.0, 0.0,
+        message_rows.append(["(no messages)", 0, 0, 0.0, 0.0, 0.0, 0,
                              format_percent(0.0)])
     out.append(format_table(
         ["message", "count", "bytes", "queue (ns)", "wire (ns)",
-         "delivery (us)", "share"], message_rows,
+         "delivery (us)", "dropped", "share"], message_rows,
         title="message attribution (total delivery time)"))
     out.append("")
+    if report.fault_summary is not None:
+        counters = report.result.metrics.counters
+        fault_rows = [[key, value]
+                      for key, value in report.fault_summary.items()]
+        for counter in ("request_timeouts", "ack_timeouts",
+                        "lock_timeouts", "validation_timeouts",
+                        "abort_reason_request_timeout",
+                        "abort_reason_ack_timeout"):
+            count = counters.get(counter)
+            if count:
+                fault_rows.append([counter, count])
+        out.append(format_table(["fault", "count"], fault_rows,
+                                title="fault injection"))
+        out.append("")
     out.append(f"phase totals vs PhaseBreakdown: worst deviation "
                f"{format_percent(report.phase_agreement)}")
     return "\n".join(out)

@@ -25,7 +25,7 @@ field   meaning
 ======  ======================================================
 ``ts``  simulated time of the event, **nanoseconds** (float)
 ``ph``  ``"X"`` (span with ``dur``) or ``"i"`` (instant)
-``cat`` ``engine`` | ``net`` | ``txn`` | ``proto``
+``cat`` ``engine`` | ``net`` | ``txn`` | ``proto`` | ``fault``
 ``name`` event name (``message``, ``txn_commit``, phase name, ...)
 ``pid``  node id (``ENGINE_PID`` for engine-internal events)
 ``tid``  transaction slot, or ``NET_TID_BASE + dst`` for messages
@@ -46,7 +46,7 @@ ENGINE_PID = 999
 NET_TID_BASE = 1000
 
 _VALID_PHASES = ("X", "i")
-_VALID_CATEGORIES = ("engine", "net", "txn", "proto")
+_VALID_CATEGORIES = ("engine", "net", "txn", "proto", "fault")
 
 
 class EventTracer:
@@ -127,6 +127,20 @@ class EventTracer:
                        **args) -> None:
         """Protocol-specific conflict/diagnostic point (cat ``proto``)."""
         self.instant(ts, "proto", name, pid=node, tid=slot, **args)
+
+    # -- fault-injection hooks ------------------------------------------
+
+    def fault(self, ts: float, name: str, node: int = ENGINE_PID,
+              **args) -> None:
+        """One injected fault or fault-recovery event (cat ``fault``):
+        ``message_drop``, ``replica_persist_failure``,
+        ``request_timeout``, ...  Deterministic under a fixed fault
+        seed, so two same-seed runs emit identical fault streams."""
+        self.instant(ts, "fault", name, pid=node, **args)
+
+    def fault_events(self) -> List[dict]:
+        """Every category-``fault`` event, in emission order."""
+        return [event for event in self.events if event["cat"] == "fault"]
 
     # -- aggregation ----------------------------------------------------
 

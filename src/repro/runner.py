@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, FaultPlan
 from repro.core import PROTOCOLS
 from repro.obs.metrics import MessageStats, Sample, TimeSeriesSampler
 from repro.obs.tracer import EventTracer
@@ -46,6 +46,8 @@ class ExperimentResult:
     samples: Optional[List[Sample]] = None
     #: Per-message-type fabric totals when a collector was passed in.
     message_stats: Optional[MessageStats] = None
+    #: Injected-fault totals when a fault plan was active; else None.
+    fault_summary: Optional[Dict[str, int]] = None
 
     @property
     def throughput(self) -> float:
@@ -81,6 +83,7 @@ def run_experiment(
     message_stats: Optional[MessageStats] = None,
     sample_interval_ns: Optional[float] = None,
     bounded_latency: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Run one (protocol, workload[s], cluster) combination.
 
@@ -91,6 +94,11 @@ def run_experiment(
     cluster gauges (sampling starts after the warm-up), and
     ``bounded_latency=True`` to record latencies into a bounded
     histogram instead of an unbounded list.
+
+    A ``fault_plan`` (see docs/FAULTS.md) attaches a seeded
+    :class:`~repro.faults.injector.FaultInjector` to the fabric and the
+    protocol and arms the request-timeout recovery path; the result's
+    :attr:`~ExperimentResult.fault_summary` reports what was injected.
     """
     if isinstance(workloads, Workload):
         workloads = [workloads]
@@ -112,6 +120,17 @@ def run_experiment(
         proto.tracer = tracer
     if message_stats is not None:
         cluster.fabric.stats = message_stats
+    injector = None
+    if fault_plan is not None and fault_plan.enabled:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(fault_plan, tracer=tracer)
+        cluster.fabric.faults = injector
+        proto.faults = injector
+        # Arm timeout recovery: a dropped request/reply resolves with
+        # TIMED_OUT and the protocol squash-and-retries.
+        proto.replies.default_timeout_ns = fault_plan.effective_timeout_ns(
+            config.network)
 
     for workload in workloads:
         workload.populate(cluster)
@@ -151,7 +170,9 @@ def run_experiment(
                             config=config, metrics=metrics,
                             per_workload=per_workload,
                             samples=sampler.samples if sampler else None,
-                            message_stats=message_stats)
+                            message_stats=message_stats,
+                            fault_summary=(injector.summary()
+                                           if injector is not None else None))
 
 
 def _client_driver(protocol, workload: Workload, node_id: int, slot: int,

@@ -134,6 +134,13 @@ class Process(CompletionEvent):
     # -- internals ---------------------------------------------------
 
     def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            # Stale wake: the process was interrupted after this event
+            # already captured its callbacks (same-timestamp race) and
+            # has moved on to a different wait — or none at all.
+            # Delivering the stale value to the wrong yield point would
+            # corrupt the generator's control flow.
+            return
         self._waiting_on = None
         exception = getattr(event, "exception", None)
         if exception is not None:

@@ -77,6 +77,24 @@ def test_partially_covered_lines_both_edges():
     assert 0 in partial and 2 in partial
 
 
+def test_partially_covered_lines_sub_line_write_not_duplicated():
+    # Both ragged edges fall in the same line: report it once, not twice.
+    assert partially_covered_lines(8, 16) == [0]
+    assert partially_covered_lines(5 * LINE_BYTES + 1, LINE_BYTES - 2) == [5]
+
+
+def test_partially_covered_lines_sub_line_at_boundaries():
+    # Aligned start, ragged end.
+    assert partially_covered_lines(0, 8) == [0]
+    # Ragged start, end exactly on the next line boundary.
+    assert partially_covered_lines(LINE_BYTES - 8, 8) == [0]
+
+
+def test_partially_covered_lines_aligned_away_from_origin():
+    assert partially_covered_lines(3 * LINE_BYTES, LINE_BYTES) == []
+    assert partially_covered_lines(3 * LINE_BYTES + 4, 4) == [3]
+
+
 @given(st.integers(min_value=0, max_value=1000),
        st.integers(min_value=0, max_value=(1 << 40) - 1))
 @settings(max_examples=100, deadline=None)
@@ -93,6 +111,8 @@ def test_partial_lines_subset_of_covered(address, size):
     covered = lines_covering(address, size)
     partial = partially_covered_lines(address, size)
     assert set(partial) <= set(covered)
-    # Interior lines are never partial.
+    # Interior lines are never partial, and no line is listed twice —
+    # even when a sub-line write's two ragged edges share one line.
+    assert len(partial) == len(set(partial)) <= 2
     for line in partial:
         assert line == covered[0] or line == covered[-1]

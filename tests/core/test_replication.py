@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, LivelockParams
 from repro.core import read, write
 from repro.core.api import TxStatus
 from repro.core.replication import HadesReplicatedProtocol, ReplicaStore
@@ -11,9 +11,13 @@ from repro.sim.engine import Engine
 
 
 class ReplicationHarness:
-    def __init__(self, replicas=1, nodes=3, persist_ns=500.0):
+    def __init__(self, replicas=1, nodes=3, persist_ns=500.0,
+                 squash_threshold=None):
         self.engine = Engine()
-        self.config = ClusterConfig(nodes=nodes, cores_per_node=2)
+        livelock = (LivelockParams(squash_threshold=squash_threshold)
+                    if squash_threshold is not None else LivelockParams())
+        self.config = ClusterConfig(nodes=nodes, cores_per_node=2,
+                                    livelock=livelock)
         self.cluster = Cluster(self.engine, self.config, llc_sets=256)
         self.protocol = HadesReplicatedProtocol(self.cluster, seed=3,
                                                 replicas=replicas,
@@ -126,6 +130,54 @@ class TestReplicatedCommit:
         assert all(not store.temporary
                    for store in harness.protocol.stores.values())
 
+    def test_pessimistic_local_persist_failure_aborts_then_retries(self):
+        """Regression: ``_pre_pessimistic_publish`` used to ignore the
+        ``persist_temporary`` return value, silently committing a write
+        whose replica copy was never made durable."""
+        harness = ReplicationHarness(replicas=1, squash_threshold=0)
+        descriptor = harness.add_record(1, home=1)
+        line = descriptor.lines[0]
+        replica_node = harness.protocol.replica_nodes_of_line(line)[0]
+        harness.protocol.stores[replica_node].fail_next = 1
+        # Run *from* the replica node so the failing persist is the
+        # local fast path inside the pessimistic publish.
+        ctx = harness.run([write(1, value="pess-local")],
+                          node_id=replica_node)
+        assert ctx.status is TxStatus.COMMITTED
+        counters = harness.protocol.metrics.counters
+        assert counters.get("pessimistic_commits") >= 1
+        assert counters.get("replica_persist_failures") == 1
+        assert counters.get("abort_reason_replica_failure") == 1
+        assert (harness.protocol.replica_value(replica_node, line)
+                == "pess-local")
+        checked, mismatched = harness.protocol.verify_replicas()
+        assert checked >= 1 and mismatched == 0
+        assert all(not store.temporary
+                   for store in harness.protocol.stores.values())
+
+    def test_pessimistic_remote_nack_aborts_then_retries(self):
+        """Regression: the same hook also ignored the AllOf Ack
+        outcomes of remote replica updates — a failed (or missing) Ack
+        must unwind the attempt, not be promoted over."""
+        harness = ReplicationHarness(replicas=1, squash_threshold=0)
+        descriptor = harness.add_record(1, home=1)
+        line = descriptor.lines[0]
+        replica_node = harness.protocol.replica_nodes_of_line(line)[0]
+        harness.protocol.stores[replica_node].fail_next = 1
+        other = next(n for n in range(3) if n != replica_node)
+        ctx = harness.run([write(1, value="pess-remote")], node_id=other)
+        assert ctx.status is TxStatus.COMMITTED
+        counters = harness.protocol.metrics.counters
+        assert counters.get("pessimistic_commits") >= 1
+        assert counters.get("replica_persist_failures") == 1
+        assert counters.get("abort_reason_replica_failure") == 1
+        assert (harness.protocol.replica_value(replica_node, line)
+                == "pess-remote")
+        checked, mismatched = harness.protocol.verify_replicas()
+        assert checked >= 1 and mismatched == 0
+        assert all(not store.temporary
+                   for store in harness.protocol.stores.values())
+
     def test_replication_adds_latency(self):
         plain = ReplicationHarness(replicas=1, persist_ns=0.0)
         slow = ReplicationHarness(replicas=1, persist_ns=5000.0)
@@ -134,6 +186,13 @@ class TestReplicatedCommit:
         fast_ctx = plain.run([write(1, value="a")], node_id=0)
         slow_ctx = slow.run([write(1, value="a")], node_id=0)
         assert slow_ctx.latency_ns > fast_ctx.latency_ns
+
+    def test_replica_update_token_accepts_tuple_tokens(self):
+        from repro.core.replication import ReplicaUpdateMessage
+        token = ((0, 1), "replica", 2)
+        message = ReplicaUpdateMessage((0, 1), updates={8: "v"}, token=token)
+        assert message.token == token
+        assert ReplicaUpdateMessage((0, 1)).token == 0
 
     def test_serializability_preserved_with_replication(self):
         harness = ReplicationHarness(replicas=1)

@@ -1,0 +1,103 @@
+"""FaultPlan construction, validation, and ``--faults`` spec parsing."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    FaultPlan,
+    NicStallWindow,
+    NodeCrashWindow,
+)
+
+
+class TestParse:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "drop=0.02,jitter=300,persist=0.05,timeout=50000,seed=9,"
+            "stall=1:10000:30000,crash=2:40000:60000")
+        assert plan.drop_probability == 0.02
+        assert plan.delay_jitter_ns == 300.0
+        assert plan.replica_persist_fail_rate == 0.05
+        assert plan.request_timeout_ns == 50000.0
+        assert plan.seed == 9
+        assert plan.nic_stalls == (NicStallWindow(1, 10000.0, 30000.0),)
+        assert plan.crashes == (NodeCrashWindow(2, 40000.0, 60000.0),)
+        assert plan.enabled
+
+    def test_persist_fail_alias(self):
+        assert (FaultPlan.parse("persist_fail=0.2").replica_persist_fail_rate
+                == 0.2)
+
+    def test_multiple_windows_join_with_plus(self):
+        plan = FaultPlan.parse("stall=0:10:20+1:30:40")
+        assert plan.nic_stalls == (NicStallWindow(0, 10.0, 20.0),
+                                   NicStallWindow(1, 30.0, 40.0))
+
+    @pytest.mark.parametrize("spec", ["", "   ", "none", "off", "OFF"])
+    def test_disabled_spellings(self, spec):
+        plan = FaultPlan.parse(spec)
+        assert not plan.enabled
+
+    def test_seed_argument_overrides_seed_key(self):
+        assert FaultPlan.parse("drop=0.1,seed=3", seed=99).seed == 99
+        assert FaultPlan.parse("drop=0.1,seed=3").seed == 3
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        plan = FaultPlan.parse(" drop = 0.1 , , jitter = 5 ")
+        assert plan.drop_probability == 0.1
+        assert plan.delay_jitter_ns == 5.0
+
+    @pytest.mark.parametrize("spec", [
+        "drop",                 # missing '='
+        "latency=5",            # unknown key
+        "stall=1:10",           # malformed window
+        "crash=1:10:20:30",     # malformed window
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(drop_probability=1.0),
+        dict(drop_probability=-0.1),
+        dict(delay_jitter_ns=-1.0),
+        dict(replica_persist_fail_rate=1.5),
+        dict(request_timeout_ns=0.0),
+    ])
+    def test_bad_plan_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    @pytest.mark.parametrize("window_cls", [NicStallWindow, NodeCrashWindow])
+    def test_bad_windows_rejected(self, window_cls):
+        with pytest.raises(ValueError):
+            window_cls(node=-1, start_ns=0.0, end_ns=10.0)
+        with pytest.raises(ValueError):
+            window_cls(node=0, start_ns=10.0, end_ns=10.0)
+
+    def test_enabled_requires_some_fault_source(self):
+        assert not FaultPlan().enabled
+        # A bare timeout override injects nothing by itself.
+        assert not FaultPlan(request_timeout_ns=100.0).enabled
+        assert FaultPlan(drop_probability=0.1).enabled
+        assert FaultPlan(delay_jitter_ns=10.0).enabled
+        assert FaultPlan(replica_persist_fail_rate=0.1).enabled
+        assert FaultPlan(nic_stalls=(NicStallWindow(0, 0.0, 1.0),)).enabled
+        assert FaultPlan(crashes=(NodeCrashWindow(0, 0.0, 1.0),)).enabled
+
+
+class TestEffectiveTimeout:
+    def test_explicit_timeout_wins(self):
+        network = ClusterConfig().network
+        plan = FaultPlan(request_timeout_ns=1234.0, delay_jitter_ns=500.0)
+        assert plan.effective_timeout_ns(network) == 1234.0
+
+    def test_derived_timeout_covers_jittered_round_trip(self):
+        network = ClusterConfig().network
+        plan = FaultPlan(delay_jitter_ns=100.0)
+        derived = plan.effective_timeout_ns(network)
+        assert derived == pytest.approx(4.0 * network.rt_latency_ns + 400.0)
+        # Long enough that a delivered-but-jittered round trip survives.
+        assert derived > network.rt_latency_ns + 2 * plan.delay_jitter_ns

@@ -123,6 +123,34 @@ def test_split_filter_validates_llc_sets():
         SplitWriteBloomFilter(llc_sets=0)
 
 
+def test_split_filter_insert_counts_both_sections():
+    """Regression: WrBF2 index-array updates are BF write accesses too.
+
+    The Table III energy model charges one write per section; only
+    counting WrBF1's (via ``crc_section.insert``) under-reported split
+    write-BF energy by half."""
+    BloomFilter.reset_stats()
+    bf = SplitWriteBloomFilter(llc_sets=4096)
+    bf.insert(64)
+    assert BloomFilter.total_write_ops == 2  # WrBF1 + WrBF2
+    bf.insert_all([128, 192])
+    assert BloomFilter.total_write_ops == 6
+    BloomFilter.reset_stats()
+
+
+def test_split_filter_probe_counts_both_sections_even_on_miss():
+    """The hardware probes WrBF1 and WrBF2 in parallel: a probe costs
+    one read per section regardless of the outcome."""
+    bf = SplitWriteBloomFilter(crc_bits=512, index_bits=8, llc_sets=8)
+    bf.insert(0)
+    BloomFilter.reset_stats()
+    assert bf.might_contain(0)  # WrBF2 hit, then WrBF1 confirms
+    assert BloomFilter.total_read_ops == 2
+    assert not bf.might_contain(64)  # WrBF2 miss; WrBF1 already issued
+    assert BloomFilter.total_read_ops == 4
+    BloomFilter.reset_stats()
+
+
 def test_factory_sizes_match_table_iii():
     params = BloomParams()
     read_bf = make_core_read_filter(params)

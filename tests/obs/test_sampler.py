@@ -106,9 +106,10 @@ class TestMessageStats:
                                 message_stats=stats)
         assert result.message_stats is stats
         assert stats.total_messages > 0
-        for _, count, size, queue, wire, delivery in stats.rows():
+        for _, count, size, queue, wire, delivery, dropped in stats.rows():
             assert count > 0 and size > 0
             assert queue >= 0.0 and wire > 0.0 and delivery > 0.0
+            assert dropped == 0  # no fault plan attached
 
 
 class TestBoundedLatency:
