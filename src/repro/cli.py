@@ -70,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fault-seed", type=int, default=None,
                        help="seed of the fault injector's random stream "
                             "(overrides a seed= key in --faults)")
+    _add_recovery_arguments(run_p)
 
     prof_p = sub.add_parser("profile",
                             help="per-phase / per-message time attribution")
@@ -85,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault-injection spec (see docs/FAULTS.md)")
     prof_p.add_argument("--fault-seed", type=int, default=None,
                         help="seed of the fault injector's random stream")
+    _add_recovery_arguments(prof_p)
 
     cmp_p = sub.add_parser("compare", help="all protocols on one workload")
     cmp_p.add_argument("--workload", default="HT-wA")
@@ -110,7 +112,7 @@ def cmd_run(args) -> int:
     from repro.hardware.energy import energy_report, reset_energy_counters
     from repro.obs import EventTracer
 
-    config = make_cluster_config(args.shape)
+    config = _apply_recovery(args, make_cluster_config(args.shape))
     workload = make_workload(args.workload, scale=args.scale,
                              locality=args.locality)
     tracer = EventTracer() if args.trace else None
@@ -153,6 +155,11 @@ def cmd_run(args) -> int:
         print()
         print(format_table(["fault", "count"], fault_rows,
                            title="fault injection"))
+    if result.recovery_summary is not None:
+        print()
+        print(format_table(["recovery", "value"],
+                           _recovery_rows(result.recovery_summary),
+                           title="crash recovery"))
     if tracer is not None:
         tracer.save(args.trace)
         print(f"\ntrace: {len(tracer)} events -> {args.trace}")
@@ -168,7 +175,7 @@ def cmd_run(args) -> int:
 def cmd_profile(args) -> int:
     from repro.obs.profile import format_profile, profile_experiment
 
-    config = make_cluster_config(args.shape)
+    config = _apply_recovery(args, make_cluster_config(args.shape))
     workload = make_workload(args.workload, scale=args.scale)
     report = profile_experiment(args.protocol, workload, config=config,
                                 duration_ns=args.duration_us * 1000.0,
@@ -185,6 +192,48 @@ def _parse_fault_plan(args):
     from repro.config import FaultPlan
 
     return FaultPlan.parse(args.faults, seed=args.fault_seed)
+
+
+def _add_recovery_arguments(parser) -> None:
+    parser.add_argument("--leases", action="store_true",
+                        help="enable lease-based crash recovery for "
+                             "crash= windows in --faults "
+                             "(see docs/RECOVERY.md)")
+    parser.add_argument("--lease-ns", type=float, default=None,
+                        help="lease duration before a silent peer is "
+                             "suspected (default 10000)")
+    parser.add_argument("--heartbeat-ns", type=float, default=None,
+                        help="interval between heartbeats (default 2000)")
+
+
+def _apply_recovery(args, config):
+    """Fold ``--leases``/--lease-ns/--heartbeat-ns into the config."""
+    if not getattr(args, "leases", None):
+        return config
+    from dataclasses import replace
+
+    from repro.config import RecoveryParams
+
+    defaults = RecoveryParams()
+    params = RecoveryParams(
+        enabled=True,
+        heartbeat_interval_ns=(args.heartbeat_ns
+                               if args.heartbeat_ns is not None
+                               else defaults.heartbeat_interval_ns),
+        lease_ns=(args.lease_ns if args.lease_ns is not None
+                  else defaults.lease_ns))
+    return replace(config, recovery=params)
+
+
+def _recovery_rows(summary):
+    """Recovery summary dict -> printable [key, value] rows."""
+    rows = []
+    for key, value in summary.items():
+        if key.endswith("_ns"):
+            rows.append([key.replace("_ns", " (us)"), value / 1000.0])
+        else:
+            rows.append([key, int(value)])
+    return rows
 
 
 def cmd_compare(args) -> int:

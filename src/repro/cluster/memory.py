@@ -62,6 +62,11 @@ class NodeMemory:
             self._metadata[address] = RecordMetadata(descriptor.line_count)
         return descriptor
 
+    def iter_metadata(self):
+        """(address, metadata) pairs of every allocated record, in
+        address order — used by crash scrubbing and leak checks."""
+        return sorted(self._metadata.items())
+
     def metadata(self, record_address: int) -> RecordMetadata:
         meta = self._metadata.get(record_address)
         if meta is None:

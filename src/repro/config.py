@@ -219,12 +219,18 @@ class NicStallWindow:
 
 @dataclass(frozen=True)
 class NodeCrashWindow:
-    """One crash/restart: ``node`` loses connectivity in [start, end).
+    """One crash/restart: ``node`` is down in [start, end).
 
-    The crash is partition-style — node state (memory, directory,
-    replica stores) survives; only the fabric is affected.  Unreliable
-    messages to or from the node are dropped, reliable ones (modeling
-    RDMA RC retransmission) are held until the restart at ``end_ns``.
+    At the fabric, unreliable messages to or from the node are dropped;
+    reliable messages *to* it (modeling RDMA RC retransmission at the
+    live sender) are held until the restart at ``end_ns``, while sends
+    originating *inside* the window are dropped — a crashed sender
+    cannot retransmit.  Durable state (memory, replica stores) survives
+    the crash.  Volatile state (directory Locking Buffers, WrTX_ID
+    tags, NIC/core Bloom filters, in-flight attempts) survives only
+    when recovery is disabled; with :class:`RecoveryParams` enabled it
+    is wiped at ``start_ns`` and the cluster runs the lease/epoch/scrub
+    recovery protocol of docs/RECOVERY.md.
     """
 
     node: int
@@ -237,6 +243,44 @@ class NodeCrashWindow:
         if not self.start_ns < self.end_ns:
             raise ValueError(
                 f"empty crash window: [{self.start_ns}, {self.end_ns})")
+
+
+@dataclass(frozen=True)
+class RecoveryParams:
+    """Lease-based crash recovery (docs/RECOVERY.md).
+
+    Disabled by default: crash windows then behave as pure partitions
+    (the PR-2 model).  With ``enabled=True`` every node runs a lease
+    manager process that heartbeats its peers; a peer whose lease
+    expires is declared suspect, the configuration coordinator bumps
+    the cluster epoch, survivors scrub the dead node's locks and
+    temporary copies, and (for the replicated protocol) accesses homed
+    on the dead node fail over to its ``(h + k) mod N`` replica.
+    """
+
+    enabled: bool = False
+    #: Interval between heartbeats a node sends to each peer.
+    heartbeat_interval_ns: float = 2000.0
+    #: Lease duration: a peer is suspect when no heartbeat arrived for
+    #: this long.  Must comfortably exceed the heartbeat interval plus
+    #: one-way latency plus worst-case jitter.
+    lease_ns: float = 10000.0
+    #: Delay after a restarted node rejoins before it refreshes its
+    #: replica store from the (possibly promoted) home copies.
+    rejoin_sync_delay_ns: float = 8000.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_ns <= 0.0:
+            raise ValueError(
+                f"heartbeat interval must be positive: "
+                f"{self.heartbeat_interval_ns}")
+        if self.lease_ns <= self.heartbeat_interval_ns:
+            raise ValueError(
+                f"lease ({self.lease_ns} ns) must exceed the heartbeat "
+                f"interval ({self.heartbeat_interval_ns} ns)")
+        if self.rejoin_sync_delay_ns < 0.0:
+            raise ValueError(
+                f"negative rejoin sync delay: {self.rejoin_sync_delay_ns}")
 
 
 @dataclass(frozen=True)
@@ -377,6 +421,9 @@ class ClusterConfig:
     hw: HardwareLatencies = field(default_factory=HardwareLatencies)
     cost: CostModel = field(default_factory=CostModel)
     livelock: LivelockParams = field(default_factory=LivelockParams)
+    #: Lease-based crash recovery; disabled by default (crash windows
+    #: stay partition-style without it).  See docs/RECOVERY.md.
+    recovery: RecoveryParams = field(default_factory=RecoveryParams)
     #: Average number of distinct remote nodes per transaction (D in
     #: Section VI) — used only by the hardware cost calculator.
     remote_nodes_per_txn: float = 4.0

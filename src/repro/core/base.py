@@ -67,6 +67,15 @@ class ProtocolBase:
         #: below is behind an ``is not None`` guard so default-off runs
         #: pay one attribute load per transaction event.
         self.tracer = None
+        #: Optional :class:`~repro.recovery.manager.RecoveryManager`;
+        #: when attached, clients on a crashed node park instead of
+        #: executing, and a ``node_crash`` interrupt resolves via the
+        #: recovery outcome rules instead of the plain retry path.
+        self.recovery = None
+        #: (node, slot) -> the sim process currently running an attempt
+        #: there — the kill list for a node crash.  Parked or backing-off
+        #: slots are deliberately absent (nothing of theirs to kill).
+        self._executing: Dict[Tuple[int, int], object] = {}
         self._active: Dict[Owner, ActiveTx] = {}
         self._token_counter = itertools.count(1)
         for node in cluster.nodes:
@@ -108,6 +117,12 @@ class ProtocolBase:
         first_started = self.engine.now
         attempts = 0
         while True:
+            if self.recovery is not None:
+                # A crashed node executes nothing: park until restart
+                # *and* readmission.  The span from here to attempt
+                # start has no other yields, so a slot cannot begin an
+                # attempt on a down node.
+                yield from self.recovery.wait_while_blocked(node_id)
             ctx = TxContext(self, node_id, self.cluster.next_txid(), slot)
             pessimistic = (attempts >= self.config.livelock.squash_threshold
                            and bool(footprint))
@@ -116,6 +131,7 @@ class ProtocolBase:
                                       ctx.txid, attempts, pessimistic)
             if self.squashable and not pessimistic:
                 self._register(ctx)
+            self._executing[(node_id, slot)] = self.engine.current_process
             try:
                 ctx.begin_phase(PHASE_EXECUTION)
                 if pessimistic:
@@ -124,6 +140,7 @@ class ProtocolBase:
                 else:
                     yield from self._attempt(ctx, requests)
             except SquashedError as error:
+                self._executing.pop((node_id, slot), None)
                 self._unregister(ctx)
                 footprint_set |= ctx.touched_records
                 footprint = sorted(footprint_set)
@@ -132,14 +149,24 @@ class ProtocolBase:
                 attempts += 1
                 continue
             except Interrupt as interrupt:
+                self._executing.pop((node_id, slot), None)
                 self._unregister(ctx)
                 footprint_set |= ctx.touched_records
                 footprint = sorted(footprint_set)
                 cause = interrupt.cause
                 reason = cause.reason if isinstance(cause, SquashCause) else "interrupt"
+                if reason == "node_crash" and self.recovery is not None:
+                    outcome = yield from self._resolve_crashed_attempt(ctx)
+                    if outcome:
+                        self._record_commit(ctx, first_started, attempts,
+                                            pessimistic)
+                        return ctx
+                    attempts += 1
+                    continue
                 yield from self._abort_attempt(ctx, reason, attempts)
                 attempts += 1
                 continue
+            self._executing.pop((node_id, slot), None)
             self._unregister(ctx)
             ctx.finish(TxStatus.COMMITTED)
             self._record_commit(ctx, first_started, attempts, pessimistic)
@@ -240,6 +267,37 @@ class ProtocolBase:
             yield self.engine.timeout(0.0)
         except Interrupt:
             pass
+
+    def _resolve_crashed_attempt(self, ctx: TxContext):
+        """Settle an attempt whose node crashed mid-flight.
+
+        The crash wiped the node's volatile state, so there is nothing
+        local to clean up, and the node is dead — it must not send
+        cleanup messages either.  The attempt parks until the node is
+        readmitted, then settles:
+
+        * If the attempt had already published (``ctx.applied``), or the
+          survivors' scrub resolved it as committed (every replica Ack
+          was durably recorded — see RecoveryManager), the transaction
+          *committed*: re-running it would double-apply.
+        * Otherwise it aborted with the crash and the driver retries it,
+          modeling the restarted application re-submitting its request.
+
+        Returns True when the attempt committed.
+        """
+        yield from self.recovery.wait_while_blocked(ctx.node_id)
+        if getattr(ctx, "applied", False) or \
+                self.recovery.consume_resolved_commit(ctx.owner):
+            ctx.finish(TxStatus.COMMITTED)
+            return True
+        ctx.finish(TxStatus.SQUASHED)
+        if self.tracer is not None:
+            self.tracer.txn_squash(self.engine.now, ctx.node_id, ctx.slot,
+                                   ctx.txid, "node_crash", ctx.phase_durations)
+        self.metrics.meter.abort()
+        self.metrics.counters.add("aborts")
+        self.metrics.counters.add("abort_reason_node_crash")
+        return False
 
     def _abort_attempt(self, ctx: TxContext, reason: str, attempts: int):
         ctx.finish(TxStatus.SQUASHED)

@@ -380,13 +380,14 @@ class BaselineProtocol(ProtocolBase):
     def _commit(self, ctx: TxContext, write_set: Dict[int, WriteSetEntry]):
         cost = self.config.cost
         local, by_node = self._split_by_home(ctx, write_set.values())
+        # Charge every CPU cost up front, then publish in one yield-free
+        # region: a node crash lands only at suspension points, so the
+        # installs + sends below are all-or-nothing (docs/RECOVERY.md).
         for entry in local:
-            meta = ctx.node.memory.metadata(entry.descriptor.address)
             yield ctx.charge_cpu(cost.update_version_cycles,
                                  CATEGORY_UPDATE_VERSION)
-            # Read the buffered record out of the Write Set (second copy)
-            # and write it to its final location.
-            meta.begin_write()
+            # Reading the buffered record out of the Write Set (second
+            # copy) and writing it to its final location.
             yield ctx.charge_cpu_ns(
                 self.config.copy_ns(entry.descriptor.data_bytes),
                 CATEGORY_MANAGE_SETS)
@@ -394,10 +395,8 @@ class BaselineProtocol(ProtocolBase):
                         * len(entry.pending))
             if write_ns:
                 yield ctx.charge_cpu_ns(write_ns, CATEGORY_OTHER)
-            ctx.node.memory.write_lines(entry.pending)
-            meta.complete_write()
             yield ctx.charge_cpu(cost.cas_cycles, CATEGORY_CONFLICT_DETECTION)
-            meta.unlock(ctx.owner)
+        remote_batches: List[Tuple[int, Dict[int, object], List[int]]] = []
         for node_id, entries in by_node.items():
             yield ctx.charge_cpu(cost.batch_message_cycles,
                                  CATEGORY_MANAGE_SETS)
@@ -411,6 +410,14 @@ class BaselineProtocol(ProtocolBase):
                     CATEGORY_MANAGE_SETS)
                 values.update(entry.pending)
                 addresses.append(entry.descriptor.address)
+            remote_batches.append((node_id, values, addresses))
+        for entry in local:
+            meta = ctx.node.memory.metadata(entry.descriptor.address)
+            meta.begin_write()
+            ctx.node.memory.write_lines(entry.pending)
+            meta.complete_write()
+            meta.unlock(ctx.owner)
+        for node_id, values, addresses in remote_batches:
             # Optimizations 2 + 3: writes and unlocks are sent without
             # serialization and without stalling for completion.
             self.send(ctx.node_id, node_id,
@@ -419,6 +426,7 @@ class BaselineProtocol(ProtocolBase):
                       BatchedUnlockRequest(ctx.owner,
                                            record_addresses=addresses))
         ctx.baseline_locked = None
+        ctx.applied = True
 
     # ------------------------------------------------------------------
     # pessimistic fallback (livelock avoidance, Section VI)
@@ -509,6 +517,9 @@ class BaselineProtocol(ProtocolBase):
             self.send(ctx.node_id, node_id,
                       BatchedUnlockRequest(ctx.owner,
                                            record_addresses=addresses))
+        # The publish above (installs + sends + unlocks) has no
+        # suspension points — crash-atomic like the optimistic commit.
+        ctx.applied = True
 
     def _release_pessimistic_locks(self, ctx: TxContext, locked) -> None:
         remote_by_node: Dict[int, List[int]] = {}

@@ -197,14 +197,17 @@ class HadesProtocol(ProtocolBase):
         read BF of that node's NIC (Table II, Remote Read)."""
         values: Dict[int, object] = {}
         for home, fetch_lines in remote_by_node.items():
+            # With recovery active, accesses homed on a dead node may be
+            # rerouted to a surviving replica (identity otherwise).
+            target = self._route_home(ctx, home)
             # Note the involvement *before* the request leaves: if this
             # transaction is squashed while the read is in flight, the
             # cleanup's AbortCleanup must still reach the home node to
             # clear the RemoteReadBF the request will have registered.
-            ctx.node.nic.note_involved_node(ctx.txid, home)
+            ctx.node.nic.note_involved_node(ctx.txid, target)
             token = (ctx.owner, "rread", self.next_token())
             message = RdmaReadRequest(ctx.owner, lines=fetch_lines, token=token)
-            fetched = yield self.request(ctx.node_id, home, message, token)
+            fetched = yield self.request(ctx.node_id, target, message, token)
             if fetched is TIMED_OUT:
                 # Request or reply lost; retry like a conflict (cleanup
                 # still reaches the home node: involvement noted above).
@@ -232,7 +235,8 @@ class HadesProtocol(ProtocolBase):
                             partial: Set[int], value: object):
         """Remote write path shared with HADES-H (Table II, Remote Write)."""
         for home, node_lines in remote_by_node.items():
-            ctx.node.nic.note_involved_node(ctx.txid, home)
+            target = self._route_home(ctx, home)
+            ctx.node.nic.note_involved_node(ctx.txid, target)
             partial_here = [line for line in node_lines if line in partial
                             and line not in ctx.remote_cache]
             if partial_here:
@@ -241,14 +245,17 @@ class HadesProtocol(ProtocolBase):
                 message = RemoteWriteAccessRequest(
                     ctx.owner, all_lines=node_lines,
                     partial_lines=partial_here, token=token)
-                fetched = yield self.request(ctx.node_id, home, message, token)
+                fetched = yield self.request(ctx.node_id, target, message,
+                                             token)
                 if fetched is TIMED_OUT:
                     raise SquashedError("request_timeout")
                 ctx.remote_cache.update(fetched)
             # Buffer every written line locally (Module 4b); fully
             # overwritten lines never touch the network until commit.
+            # Buffered under the *routed* target so commit-time messages
+            # (Intend-to-commit, Validation) follow the same path.
             for line in node_lines:
-                ctx.node.nic.buffer_remote_write(ctx.txid, home, line, value)
+                ctx.node.nic.buffer_remote_write(ctx.txid, target, line, value)
                 ctx.remote_cache[line] = value
             yield ctx.charge_cpu_ns(
                 self.config.cycles_to_ns(self.config.hw.bloom_op_cycles))
@@ -311,6 +318,9 @@ class HadesProtocol(ProtocolBase):
         if ctx.squashed:
             raise SquashedError("squashed_during_commit")
         ctx.unsquashable = True
+        # Extension hook (replication): make the write set durable on
+        # every replica before anything publishes.
+        yield from self._pre_apply(ctx)
 
         # Step 4: clear local speculative state; apply the write buffer.
         yield ctx.charge_cpu(hw.find_llc_tags_cycles)
@@ -332,12 +342,34 @@ class HadesProtocol(ProtocolBase):
         node.release_local_tx(ctx.txid)
         node.nic.clear_local(ctx.txid)
         ctx.private_filter.clear()
+        # Steps 4-6 run without suspension points, so a node crash can
+        # never interleave with a half-published commit; once this flag
+        # is set the whole publish happened.
+        ctx.applied = True
 
     def _after_local_apply(self, ctx: TxContext) -> None:
         """Hook: HADES-H bumps record versions for its software readers.
 
         Pure HADES has no versions (Table I row 2), so this is a no-op.
         """
+
+    def _pre_apply(self, ctx: TxContext):
+        """Hook: runs once the attempt is unsquashable (all Acks in) and
+        before any write publishes.  The replication extension persists
+        replica temporaries here, making "all replica copies durable"
+        the crash-recovery commit point.  No-op by default.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _route_home(self, ctx: TxContext, home: int) -> int:
+        """Hook: the node a remote access to ``home`` is sent to.
+
+        Identity by default; the replicated protocol reroutes accesses
+        homed on a node its membership view believes dead to a surviving
+        replica (docs/RECOVERY.md).
+        """
+        return home
 
     def context_switch(self, node_id: int, slot: int) -> None:
         """Model an OS context switch on a transaction slot (Section VI).
@@ -546,6 +578,9 @@ class HadesProtocol(ProtocolBase):
         ctx.pessimistic_locked_nodes = []
         ctx.node.release_local_tx(ctx.txid)
         ctx.node.nic.clear_local(ctx.txid)
+        # The publish above has no suspension points after the pre-hook's
+        # last yield — crash-atomic, like the optimistic commit.
+        ctx.applied = True
 
     def _pre_pessimistic_publish(self, ctx: TxContext,
                                  buffered_remote: Dict[int, Dict[int, object]]):

@@ -272,20 +272,27 @@ class HadesHybridProtocol(HadesProtocol):
         if ctx.squashed:
             raise SquashedError("squashed_during_commit")
         ctx.unsquashable = True
+        # Extension hook (replication): make the write set durable
+        # before anything publishes.
+        yield from self._pre_apply(ctx)
 
         # Local Validation (software): re-read every local record in the
         # Read and Write sets and compare versions.
         yield from self._local_validation(ctx)
 
         # Merge local updates while the partial lock blocks readers.
+        # Charge all the CPU work first, then install in one yield-free
+        # region: a node crash lands only at suspension points, so the
+        # publish below is all-or-nothing (docs/RECOVERY.md).
         for entry in ctx.write_set.values():
-            meta = node.memory.metadata(entry.descriptor.address)
             yield ctx.charge_cpu(cost.update_version_cycles,
                                  CATEGORY_UPDATE_VERSION)
-            meta.begin_write()
             yield ctx.charge_cpu_ns(
                 self.config.copy_ns(entry.descriptor.data_bytes),
                 CATEGORY_MANAGE_SETS)
+        for entry in ctx.write_set.values():
+            meta = node.memory.metadata(entry.descriptor.address)
+            meta.begin_write()
             node.memory.write_lines(entry.pending)
             meta.complete_write()
 
@@ -297,6 +304,7 @@ class HadesHybridProtocol(HadesProtocol):
         node.directory.unlock(ctx.owner)
         ctx.holding_local_dirlock = False
         node.nic.clear_local(ctx.txid)
+        ctx.applied = True
 
     def _local_validation(self, ctx: TxContext):
         """Re-read local record versions; squash on any change."""

@@ -16,10 +16,12 @@ from typing import Dict, Optional, Tuple
 from repro.config import FaultPlan
 from repro.net.messages import Message
 from repro.sim.random import DeterministicRandom
+from repro.sim.stats import Counter
 
 #: Drop reasons the injector reports (and counts by).
 DROP_RANDOM = "drop"
 DROP_CRASH = "crash"
+DROP_CRASH_SENDER = "crash_sender"
 
 
 class FaultInjector:
@@ -34,8 +36,11 @@ class FaultInjector:
         self.dropped = 0
         self.delayed = 0
         self.persist_failures = 0
-        #: Drop counts by reason ("drop" = random loss, "crash").
-        self.drops_by_reason: Dict[str, int] = {}
+        #: Drop counts by reason ("drop" = random loss, "crash" = dead
+        #: destination, "crash_sender" = dead source).  An obs-layer
+        #: :class:`~repro.sim.stats.Counter`, so fault tables can reuse
+        #: ``Counter.top(n)`` formatting.
+        self.drops_by_reason = Counter()
 
     # -- messages ------------------------------------------------------
 
@@ -43,10 +48,13 @@ class FaultInjector:
                      now: float) -> Tuple[Optional[str], float]:
         """(drop reason or None, extra delivery delay in ns).
 
-        Reliable messages (``Message.reliable``) are never dropped —
-        they model hardware-retried one-way RDMA ops — only delayed:
-        by jitter, by NIC stalls, and across crash windows until the
-        crashed node restarts.
+        Reliable messages (``Message.reliable``) model hardware-retried
+        one-way RDMA ops: they are never randomly dropped, only delayed
+        — by jitter, by NIC stalls, and (when the *destination* is
+        inside a crash window) held by RC retransmission until the
+        restart.  A send originating inside the *sender's own* crash
+        window is dropped even when reliable: the retransmitting NIC
+        crashed with the message, so there is nothing left to retry.
         """
         plan = self.plan
         extra = 0.0
@@ -54,8 +62,13 @@ class FaultInjector:
             extra += self.rng.random() * plan.delay_jitter_ns
         reliable = type(message).reliable
         for window in plan.crashes:
-            if window.node in (src, dst) and \
-                    window.start_ns <= now < window.end_ns:
+            if not window.start_ns <= now < window.end_ns:
+                continue
+            if window.node == src:
+                # A crashed sender cannot retransmit; even reliable
+                # traffic dies with its NIC.
+                return self._drop(DROP_CRASH_SENDER, src, dst, message, now)
+            if window.node == dst:
                 if not reliable:
                     return self._drop(DROP_CRASH, src, dst, message, now)
                 # Held by RC retransmission until the restart.
@@ -74,7 +87,7 @@ class FaultInjector:
     def _drop(self, reason: str, src: int, dst: int, message: Message,
               now: float) -> Tuple[str, float]:
         self.dropped += 1
-        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        self.drops_by_reason.add(reason)
         if self.tracer is not None:
             self.tracer.fault(now, "message_drop", reason=reason,
                               msg=type(message).__name__, src=src, dst=dst,
@@ -103,6 +116,6 @@ class FaultInjector:
             "messages_delayed": self.delayed,
             "replica_persist_failures": self.persist_failures,
         }
-        for reason, count in sorted(self.drops_by_reason.items()):
+        for reason, count in sorted(self.drops_by_reason.as_dict().items()):
             out[f"drops_{reason}"] = count
         return out

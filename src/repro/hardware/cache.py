@@ -171,6 +171,13 @@ class LlcModel:
     def speculative_line_count(self, txid: int) -> int:
         return len(self._speculative_lines.get(txid, ()))
 
+    def wipe_tags(self) -> int:
+        """Node crash: drop every transaction's speculative lines."""
+        wiped = 0
+        for txid in sorted(self._speculative_lines):
+            wiped += self.invalidate_tags(txid)
+        return wiped
+
     def contains(self, line: int) -> bool:
         return line in self._sets[self.set_index(line)]
 

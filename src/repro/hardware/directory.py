@@ -146,6 +146,19 @@ class Directory:
     def lock_owners(self) -> List[Tuple[int, int]]:
         return [buffer.owner for buffer in self._buffers]
 
+    def writer_tags(self) -> Dict[int, int]:
+        """line -> txid for every live WrTX_ID tag (leak checks)."""
+        return dict(self._writer_tags)
+
+    def wipe(self) -> int:
+        """Node crash: directory SRAM is volatile — every Locking Buffer
+        and WrTX_ID tag is lost.  Returns the number of entries dropped."""
+        dropped = len(self._buffers) + len(self._writer_tags)
+        self._buffers.clear()
+        self._writer_tags.clear()
+        self._lines_by_tx.clear()
+        return dropped
+
 
 def snapshot_filters(
     read_lines: Iterable[int],

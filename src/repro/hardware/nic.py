@@ -207,6 +207,18 @@ class Nic:
         """Commit finished or squash: drop Module 4b state."""
         self._local.pop(txid, None)
 
+    def local_txids(self) -> List[int]:
+        """Txids with live Module 4b state (leak checks, crash wipes)."""
+        return list(self._local)
+
+    def wipe(self) -> int:
+        """Node crash: NIC SRAM is volatile — every Module 4a BF pair and
+        Module 4b entry is lost.  Returns the number of entries dropped."""
+        dropped = len(self._remote) + len(self._local)
+        self._remote.clear()
+        self._local.clear()
+        return dropped
+
     # -- accounting ----------------------------------------------------
 
     @property

@@ -86,6 +86,12 @@ class Fabric:
         #: attached, decides a fate for every send.  None by default
         #: (the fault-free fast path is unchanged).
         self.faults = None
+        #: Optional :class:`~repro.recovery.manager.RecoveryManager` —
+        #: when attached, every send is stamped with the sender's current
+        #: epoch and every delivery passes the receiver's membership view
+        #: first (recovery-plane messages are consumed there; zombie
+        #: traffic is rejected at the NIC).  None by default.
+        self.recovery = None
         #: Messages the fault injector dropped (never delivered).
         self.dropped_messages = 0
         #: Per-(src, dst) floor on delivery times, maintained only while
@@ -112,6 +118,8 @@ class Fabric:
             raise KeyError(f"no handler registered for node {dst}")
         size = message.size_bytes()
         now = self.engine.now
+        if self.recovery is not None:
+            self.recovery.on_send(src, message)
         egress_start = max(now, self._egress_free_at.get(src, 0.0))
         egress_done = egress_start + self.params.transfer_ns(size)
         self._egress_free_at[src] = egress_done
@@ -159,6 +167,12 @@ class Fabric:
 
     def _deliver(self, src: int, dst: int, message: Message,
                  delivered: Event) -> None:
+        if self.recovery is not None and not self.recovery.on_deliver(
+                src, dst, message):
+            # Consumed by the recovery plane, or rejected by the
+            # receiver's membership view.  The delivery event never
+            # fires; waiters recover via request timeouts.
+            return
         handler = self._handlers[dst]
         result = handler(src, message)
         if inspect.isgenerator(result):

@@ -46,6 +46,8 @@ class ProfileReport:
     committed: int = 0
     #: Injected-fault totals when the run had a fault plan; else None.
     fault_summary: Optional[Dict[str, int]] = None
+    #: Recovery-plane totals when crash recovery was enabled; else None.
+    recovery_summary: Optional[Dict[str, float]] = None
 
     @property
     def phase_agreement(self) -> float:
@@ -87,6 +89,7 @@ def profile_experiment(
         message_rows=message_stats.rows(),
         committed=result.metrics.meter.committed,
         fault_summary=result.fault_summary,
+        recovery_summary=result.recovery_summary,
     )
 
 
@@ -147,6 +150,17 @@ def format_profile(report: ProfileReport) -> str:
                 fault_rows.append([counter, count])
         out.append(format_table(["fault", "count"], fault_rows,
                                 title="fault injection"))
+        out.append("")
+    if report.recovery_summary is not None:
+        recovery_rows = []
+        for key, value in report.recovery_summary.items():
+            if key.endswith("_ns"):
+                recovery_rows.append([key.replace("_ns", " (us)"),
+                                      value / 1000.0])
+            else:
+                recovery_rows.append([key, int(value)])
+        out.append(format_table(["recovery", "value"], recovery_rows,
+                                title="crash recovery"))
         out.append("")
     out.append(f"phase totals vs PhaseBreakdown: worst deviation "
                f"{format_percent(report.phase_agreement)}")

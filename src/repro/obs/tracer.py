@@ -25,7 +25,7 @@ field   meaning
 ======  ======================================================
 ``ts``  simulated time of the event, **nanoseconds** (float)
 ``ph``  ``"X"`` (span with ``dur``) or ``"i"`` (instant)
-``cat`` ``engine`` | ``net`` | ``txn`` | ``proto`` | ``fault``
+``cat`` ``engine`` | ``net`` | ``txn`` | ``proto`` | ``fault`` | ``recovery``
 ``name`` event name (``message``, ``txn_commit``, phase name, ...)
 ``pid``  node id (``ENGINE_PID`` for engine-internal events)
 ``tid``  transaction slot, or ``NET_TID_BASE + dst`` for messages
@@ -46,7 +46,7 @@ ENGINE_PID = 999
 NET_TID_BASE = 1000
 
 _VALID_PHASES = ("X", "i")
-_VALID_CATEGORIES = ("engine", "net", "txn", "proto", "fault")
+_VALID_CATEGORIES = ("engine", "net", "txn", "proto", "fault", "recovery")
 
 
 class EventTracer:
@@ -141,6 +141,23 @@ class EventTracer:
     def fault_events(self) -> List[dict]:
         """Every category-``fault`` event, in emission order."""
         return [event for event in self.events if event["cat"] == "fault"]
+
+    # -- recovery hooks -------------------------------------------------
+
+    def recovery(self, ts: float, name: str, node: int = ENGINE_PID,
+                 **args) -> None:
+        """One recovery-protocol event (cat ``recovery``): ``suspect``,
+        ``epoch_bump``, ``node_crash``, ``node_restart``, ``scrub``,
+        ``resolve_commit``, ``resolve_abort``, ``failover_read``,
+        ``stale_epoch_reject``, ``rejoin``, ``reconcile``, ...
+        Deterministic under a fixed fault seed, so two same-seed runs
+        emit identical recovery streams (the smoke gate diffs them)."""
+        self.instant(ts, "recovery", name, pid=node, **args)
+
+    def recovery_events(self) -> List[dict]:
+        """Every category-``recovery`` event, in emission order."""
+        return [event for event in self.events
+                if event["cat"] == "recovery"]
 
     # -- aggregation ----------------------------------------------------
 

@@ -1,0 +1,23 @@
+"""Crash recovery: leases, epoch reconfiguration, scrubbing, failover.
+
+The package turns the fault injector's crash windows into *failures the
+cluster itself must detect and survive*, modeled after FaRM's recovery
+design (leases + configuration manager + epoch-stamped messages):
+
+* :mod:`repro.recovery.epoch` — per-node membership views: the cluster
+  epoch, the set of nodes believed dead, and the minimum epoch accepted
+  per sender (zombie fencing).
+* :mod:`repro.recovery.messages` — heartbeats, suspicions, rejoin
+  requests, and epoch announcements carried over the normal fabric.
+* :mod:`repro.recovery.scrub` — post-crash state scrubbing: wiping a
+  crashed node's volatile hardware state, and releasing the residue a
+  dead coordinator left on survivors.
+* :mod:`repro.recovery.manager` — the :class:`RecoveryManager` that
+  ties it together and hooks into the fabric and the protocol driver.
+* ``python -m repro.recovery.smoke`` — the end-to-end recovery gate.
+"""
+
+from repro.recovery.epoch import NodeView
+from repro.recovery.manager import RecoveryManager
+
+__all__ = ["NodeView", "RecoveryManager"]

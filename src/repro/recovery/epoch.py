@@ -1,0 +1,54 @@
+"""Per-node membership views and epoch bookkeeping.
+
+Every node keeps its own :class:`NodeView`: the newest cluster epoch it
+has heard, which nodes that epoch declared dead, and — for nodes that
+crashed and rejoined — the minimum epoch it will accept from them.  The
+view is what the node's NIC consults on every delivery (see
+:meth:`repro.recovery.manager.RecoveryManager.on_deliver`): traffic from
+a sender the view believes dead, or stamped with a fenced-off epoch, is
+rejected at the NIC so zombie messages cannot corrupt state.
+
+Views are deliberately *per node*: during a reconfiguration different
+nodes hold different epochs for a few microseconds, exactly like a real
+cluster between the coordinator's announcement and its arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+@dataclass
+class NodeView:
+    """One node's belief about cluster membership."""
+
+    node_id: int
+    #: Newest configuration epoch this node has adopted.
+    epoch: int = 0
+    #: Nodes the adopted epoch declared dead.
+    dead: Set[int] = field(default_factory=set)
+    #: sender -> minimum epoch accepted from it.  Set when a sender
+    #: rejoins: anything it stamped before its readmission epoch is a
+    #: pre-crash zombie and must be fenced.
+    min_epoch: Dict[int, int] = field(default_factory=dict)
+
+    def considers_dead(self, node: int) -> bool:
+        return node in self.dead
+
+    def accepts(self, src: int, sent_epoch: int) -> bool:
+        """Whether a (non-recovery) message from ``src`` passes the NIC.
+
+        Newer epochs are always accepted — the sender may simply have
+        adopted an announcement this node has not seen yet.
+        """
+        if src in self.dead:
+            return False
+        return sent_epoch >= self.min_epoch.get(src, 0)
+
+    def adopt(self, epoch: int, dead: Set[int]) -> Set[int]:
+        """Adopt a newer configuration; returns the *newly* dead nodes."""
+        newly_dead = set(dead) - self.dead
+        self.epoch = epoch
+        self.dead = set(dead)
+        return newly_dead

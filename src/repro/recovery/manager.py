@@ -1,0 +1,638 @@
+"""The crash-recovery control plane.
+
+:class:`RecoveryManager` turns the fault injector's crash windows —
+which without it are pure connectivity partitions — into *detected*
+failures with modeled recovery (docs/RECOVERY.md):
+
+* **Leases.**  Every node runs a heartbeat process over the normal
+  fabric.  A peer whose lease expires is suspected and reported to the
+  configuration coordinator (the lowest-numbered node the reporter
+  believes alive).
+
+* **Epochs.**  The coordinator bumps the cluster epoch on a death or a
+  rejoin and broadcasts the new configuration.  Every fabric send is
+  stamped with the sender's epoch (:meth:`on_send`); every delivery is
+  filtered through the receiver's :class:`~repro.recovery.epoch.NodeView`
+  (:meth:`on_deliver`), so zombie traffic from a dead or fenced-off
+  sender is rejected at the NIC.
+
+* **Scrubbing.**  The crash itself wipes the dying node's volatile
+  state (:func:`~repro.recovery.scrub.wipe_volatile_state`); each
+  survivor releases the dead node's directory locks, NIC entries, and
+  record locks when it adopts the death announcement
+  (:func:`~repro.recovery.scrub.scrub_dead_residue`).
+
+* **Outcome resolution.**  For the replicated protocol, the coordinator
+  resolves each of the dead node's in-flight transactions from the
+  durable replica logs: *committed* iff a replica already promoted it,
+  or every line of its manifest has a durable temporary copy on every
+  placement replica; *aborted* otherwise.  Resolved commits are applied
+  to home memories and replica stores, and the driver reports the
+  transaction committed instead of retrying it
+  (:meth:`consume_resolved_commit`).
+
+* **Failover + rejoin.**  While a node is dead, the replicated protocol
+  routes its reads and writes to surviving replicas (``_route_home``);
+  failover installs are journaled per (holder, dead home).  On restart
+  the node asks the coordinator to readmit it; the coordinator drains
+  the journals into the rejoined node's memory, refreshes its replica
+  store, and announces a rejoin epoch.  Holders push any journal
+  entries accrued after the central drain (:class:`ReconcilePushMessage`)
+  so no failover write is lost in the announcement gap.
+
+Determinism: everything here is driven by the simulation clock and
+sorted iteration — two runs with the same fault seed emit identical
+recovery event streams (the smoke gate diffs them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.address import node_of_line
+from repro.core.api import Owner, SquashCause
+from repro.recovery.epoch import NodeView
+from repro.recovery.messages import (
+    EpochAnnounceMessage,
+    HeartbeatMessage,
+    RejoinRequestMessage,
+    ReconcilePushMessage,
+    SuspectMessage,
+)
+from repro.recovery.scrub import scrub_dead_residue, wipe_volatile_state
+
+
+class RecoveryManager:
+    """Per-cluster lease/epoch/scrub recovery plane.
+
+    Wire it up with :meth:`install` after the protocol and fault
+    injector are built; the manager hooks the fabric (epoch stamping +
+    delivery filtering), the protocol (crash parking + failover
+    routing), and schedules the crash/restart transitions of every
+    :class:`~repro.config.NodeCrashWindow` in the plan.
+    """
+
+    def __init__(self, protocol, plan, params, tracer=None):
+        self.protocol = protocol
+        self.cluster = protocol.cluster
+        self.engine = protocol.engine
+        self.fabric = protocol.cluster.fabric
+        self.plan = plan
+        self.params = params
+        self.tracer = tracer
+        n_nodes = self.cluster.config.nodes
+        #: Per-node membership views (deliberately divergent during a
+        #: reconfiguration, like a real cluster).
+        self.views: Dict[int, NodeView] = {
+            n: NodeView(n) for n in range(n_nodes)
+        }
+        #: Nodes currently inside a crash window (not executing).
+        self.down: Set[int] = set()
+        #: Restarted nodes waiting for their rejoin epoch.  Their NIC
+        #: rejects new (unreliable) conversations until readmission, but
+        #: accepts reliable deliveries — held pre-crash commit traffic
+        #: must still land.
+        self.awaiting: Set[int] = set()
+        #: observer -> (peer -> last heartbeat arrival).
+        self._last_heard: Dict[int, Dict[int, float]] = {
+            n: {p: 0.0 for p in range(n_nodes) if p != n}
+            for n in range(n_nodes)
+        }
+        #: observer -> peers it already reported (suspicion dedup).
+        self._suspected: Dict[int, Set[int]] = {n: set() for n in range(n_nodes)}
+        #: Dead-coordinator transactions resolved as committed; the
+        #: parked driver attempt consumes its entry and reports COMMIT.
+        self._resolved_commits: Set[Owner] = set()
+        self._crash_times: Dict[int, float] = {}
+        self._detected: Set[int] = set()
+        self._detect_latencies: List[float] = []
+        self._recover_times: List[float] = []
+        self._stopped = False
+        self.counters: Dict[str, int] = {
+            "suspicions_raised": 0,
+            "epochs_bumped": 0,
+            "resolved_commit": 0,
+            "resolved_abort": 0,
+            "failover_reads": 0,
+            "failover_writes": 0,
+            "failover_routes": 0,
+            "stale_epoch_rejects": 0,
+            "locks_scrubbed": 0,
+            "volatile_wiped": 0,
+            "aborted_by_recovery": 0,
+            "replica_skips": 0,
+            "reconciled_lines": 0,
+            "replica_refresh_lines": 0,
+        }
+        crashes = getattr(plan, "crashes", ()) or ()
+        #: Heartbeat processes self-terminate once no crash window (plus
+        #: rejoin slack) can still need them, so a bare ``engine.run()``
+        #: drains; SuspectMessages/announces are plain events and need
+        #: no resident process.
+        self._horizon_ns = max(
+            (w.end_ns for w in crashes), default=0.0
+        ) + params.rejoin_sync_delay_ns + 4.0 * params.lease_ns
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Hook the fabric and protocol, schedule crash transitions, and
+        start the per-node heartbeat processes."""
+        self.fabric.recovery = self
+        self.protocol.recovery = self
+        self._seed_replica_stores()
+        now = self.engine.now
+        for window in getattr(self.plan, "crashes", ()) or ():
+            self.engine.schedule(max(0.0, window.start_ns - now),
+                                 self._on_crash, window.node)
+            self.engine.schedule(max(0.0, window.end_ns - now),
+                                 self._on_restart, window.node)
+        baseline = now
+        for n in range(self.cluster.config.nodes):
+            for p in self._last_heard[n]:
+                self._last_heard[n][p] = baseline
+            self.engine.process(self._heartbeat_loop(n),
+                                name=f"heartbeat-{n}")
+
+    def stop(self) -> None:
+        """Terminate the heartbeat processes at their next wakeup."""
+        self._stopped = True
+
+    def _seed_replica_stores(self) -> None:
+        """Pre-fill replica permanent copies with the initial dataset.
+
+        Without recovery, replica stores fill lazily as writes promote;
+        failover *reads* need the unwritten lines present too.
+        """
+        stores = getattr(self.protocol, "stores", None)
+        if stores is None:
+            return
+        for _record_id, descriptor in self.cluster.iter_records():
+            home = self.cluster.node(descriptor.home_node)
+            for line in descriptor.lines:
+                value = home.memory.read_line(line)
+                for replica in self.protocol.replica_nodes_of_line(line):
+                    stores[replica].permanent.setdefault(line, value)
+
+    # ------------------------------------------------------------------
+    # fabric hooks
+    # ------------------------------------------------------------------
+
+    def on_send(self, src: int, message) -> None:
+        """Stamp every outgoing message with the sender's epoch."""
+        message.sent_epoch = self.views[src].epoch
+
+    def on_deliver(self, src: int, dst: int, message) -> bool:
+        """Membership filter run before the protocol handler.
+
+        Returns False when the message was consumed by the recovery
+        plane or rejected by the receiver's view (the fabric then never
+        fires the delivery; waiters recover via request timeouts).
+        """
+        if isinstance(message, HeartbeatMessage):
+            if dst not in self.down and not self.views[dst].considers_dead(src):
+                self._last_heard[dst][src] = self.engine.now
+            return False
+        if isinstance(message, SuspectMessage):
+            if dst not in self.down and dst not in self.awaiting:
+                self._declare_dead(dst, message.dead)
+            return False
+        if isinstance(message, RejoinRequestMessage):
+            if dst not in self.down and dst not in self.awaiting:
+                self._declare_rejoin(dst, src)
+            return False
+        if isinstance(message, EpochAnnounceMessage):
+            if dst not in self.down:
+                self._apply_announce(dst, message)
+            return False
+        if isinstance(message, ReconcilePushMessage):
+            if dst not in self.down:
+                self._apply_reconcile_push(dst, message)
+            return False
+        view = self.views[dst]
+        sent_epoch = getattr(message, "sent_epoch", 0)
+        if not view.accepts(src, sent_epoch):
+            self.counters["stale_epoch_rejects"] += 1
+            self._trace("nic_reject", dst, src=src,
+                        sent_epoch=sent_epoch, epoch=view.epoch,
+                        reason=("dead_sender" if view.considers_dead(src)
+                                else "stale_epoch"),
+                        type=type(message).__name__)
+            return False
+        if dst in self.awaiting and not getattr(message, "reliable", False):
+            # No *new* conversations before readmission: the rejoined
+            # memory image is not reconciled yet.  Reliable deliveries
+            # (held pre-crash commit traffic) must land regardless.
+            self.counters["stale_epoch_rejects"] += 1
+            self._trace("nic_reject", dst, src=src, reason="awaiting_rejoin",
+                        type=type(message).__name__)
+            return False
+        return dst not in self.down
+
+    # ------------------------------------------------------------------
+    # protocol hooks
+    # ------------------------------------------------------------------
+
+    def wait_while_blocked(self, node_id: int):
+        """Park a driver slot while its node is down or awaiting rejoin."""
+        while node_id in self.down or node_id in self.awaiting:
+            yield self.params.heartbeat_interval_ns
+
+    def consume_resolved_commit(self, owner: Owner) -> bool:
+        """True once if recovery resolved ``owner`` as committed."""
+        if owner in self._resolved_commits:
+            self._resolved_commits.discard(owner)
+            return True
+        return False
+
+    def note_failover_route(self, requester: int, home: int,
+                            target: int) -> None:
+        self.counters["failover_routes"] += 1
+        self._trace("failover_route", requester, home=home, target=target)
+
+    def note_failover_read(self, node_id: int, lines: int) -> None:
+        self.counters["failover_reads"] += lines
+        self._trace("failover_read", node_id, lines=lines)
+
+    def note_failover_write(self, node_id: int, lines: int) -> None:
+        self.counters["failover_writes"] += lines
+        self._trace("failover_write", node_id, lines=lines)
+
+    def note_replica_skip(self) -> None:
+        self.counters["replica_skips"] += 1
+
+    def push_reconcile(self, holder: int, home: int,
+                       entries: List[Tuple[int, object]]) -> None:
+        """Forward failover installs to a home the holder believes
+        alive (late failover writes landing after the rejoin)."""
+        self.fabric.send(holder, home,
+                         ReconcilePushMessage((holder, 0), home=home,
+                                              entries=list(entries)))
+
+    # ------------------------------------------------------------------
+    # crash / restart transitions
+    # ------------------------------------------------------------------
+
+    def _on_crash(self, node_id: int) -> None:
+        self.down.add(node_id)
+        self.awaiting.add(node_id)
+        self._crash_times[node_id] = self.engine.now
+        wiped = wipe_volatile_state(self.cluster.node(node_id))
+        self.counters["volatile_wiped"] += wiped
+        aborted = 0
+        for (owner_node, slot), process in sorted(
+                self.protocol._executing.items()):
+            if owner_node == node_id:
+                process.interrupt(SquashCause((node_id, -1), "node_crash"))
+                aborted += 1
+        self.counters["aborted_by_recovery"] += aborted
+        self._trace("node_crash", node_id, wiped=wiped, aborted=aborted)
+
+    def _on_restart(self, node_id: int) -> None:
+        self.down.discard(node_id)  # still in ``awaiting``
+        now = self.engine.now
+        for p in self._last_heard[node_id]:
+            self._last_heard[node_id][p] = now
+        self._suspected[node_id] = set()
+        self._trace("node_restart", node_id)
+        self.engine.schedule(self.params.rejoin_sync_delay_ns,
+                             self._send_rejoin, node_id)
+
+    def _send_rejoin(self, node_id: int) -> None:
+        if self._stopped or node_id in self.down:
+            return
+        coordinator = self._coordinator_for(node_id, exclude=node_id)
+        if coordinator is None:
+            return
+        self._trace("rejoin_request", node_id, coordinator=coordinator)
+        self.fabric.send(node_id, coordinator,
+                         RejoinRequestMessage((node_id, 0)))
+
+    def _coordinator_for(self, observer: int,
+                         exclude: int) -> Optional[int]:
+        """Lowest node the observer believes alive, excluding one."""
+        view = self.views[observer]
+        for candidate in range(self.cluster.config.nodes):
+            if candidate == exclude or view.considers_dead(candidate):
+                continue
+            if candidate in self.down or candidate in self.awaiting:
+                # The observer cannot see these sets; but a message to a
+                # down coordinator would only be held until its restart,
+                # so skipping it here models the reporter timing out and
+                # re-picking — without simulating the retry chatter.
+                continue
+            return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # leases
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self, node_id: int):
+        interval = self.params.heartbeat_interval_ns
+        n_nodes = self.cluster.config.nodes
+        # Phase-offset starts so the fleet's heartbeats interleave
+        # instead of bursting on the same timestamp.
+        yield interval * (node_id + 1) / n_nodes
+        while not self._stopped and self.engine.now < self._horizon_ns:
+            if node_id in self.down or node_id in self.awaiting:
+                yield interval
+                continue
+            view = self.views[node_id]
+            for peer in range(n_nodes):
+                if peer == node_id or view.considers_dead(peer):
+                    continue
+                self.fabric.send(node_id, peer,
+                                 HeartbeatMessage((node_id, 0)))
+            self._check_leases(node_id)
+            yield interval
+
+    def _check_leases(self, node_id: int) -> None:
+        now = self.engine.now
+        view = self.views[node_id]
+        for peer in sorted(self._last_heard[node_id]):
+            if peer == node_id or view.considers_dead(peer):
+                continue
+            if peer in self._suspected[node_id]:
+                continue
+            if now - self._last_heard[node_id][peer] < self.params.lease_ns:
+                continue
+            self._suspected[node_id].add(peer)
+            self.counters["suspicions_raised"] += 1
+            if peer in self._crash_times and peer not in self._detected:
+                self._detected.add(peer)
+                self._detect_latencies.append(now - self._crash_times[peer])
+            self._trace("suspect", node_id, peer=peer)
+            coordinator = self._coordinator_for(node_id, exclude=peer)
+            if coordinator is None:
+                continue
+            if coordinator == node_id:
+                self._declare_dead(node_id, peer)
+            else:
+                self.fabric.send(node_id, coordinator,
+                                 SuspectMessage((node_id, 0), dead=peer))
+
+    # ------------------------------------------------------------------
+    # reconfiguration
+    # ------------------------------------------------------------------
+
+    def _declare_dead(self, coordinator: int, dead: int) -> None:
+        view = self.views[coordinator]
+        if dead == coordinator or view.considers_dead(dead):
+            return
+        # Re-validate against the coordinator's own lease table: a stale
+        # suspicion (e.g. held in-flight across the suspect's own
+        # crash+rejoin) must not kill a node that is heartbeating fine.
+        if (self.engine.now - self._last_heard[coordinator].get(
+                dead, 0.0)) < self.params.lease_ns:
+            return
+        epoch = view.epoch + 1
+        self.counters["epochs_bumped"] += 1
+        self._trace("epoch_bump", coordinator, epoch=epoch, dead=dead)
+        # Resolve the dead coordinator's in-flight transactions *before*
+        # any survivor can reacquire their locks (scrub follows the
+        # announcement), so resolution installs are ordered before any
+        # post-crash write to the same lines.
+        self._resolve_inflight(dead)
+        announce = EpochAnnounceMessage(
+            (coordinator, 0), epoch=epoch,
+            dead=sorted(view.dead | {dead}))
+        self._apply_announce(coordinator, announce)
+        for target in range(self.cluster.config.nodes):
+            if target in (coordinator, dead):
+                continue
+            self.fabric.send(coordinator, target, announce)
+
+    def _declare_rejoin(self, coordinator: int, node_id: int) -> None:
+        view = self.views[coordinator]
+        if not view.considers_dead(node_id):
+            return  # duplicate request; already readmitted
+        epoch = view.epoch + 1
+        self.counters["epochs_bumped"] += 1
+        self._trace("epoch_bump", coordinator, epoch=epoch,
+                    rejoined=node_id)
+        # Central reconcile: replay every holder's failover journal into
+        # the rejoined node's (durable, but stale) memory, then refresh
+        # its replica store from the now-current home copies.
+        self._drain_journals_into(node_id)
+        self._refresh_replica_store(node_id)
+        announce = EpochAnnounceMessage(
+            (coordinator, 0), epoch=epoch,
+            dead=sorted(view.dead - {node_id}), rejoined=node_id)
+        self._apply_announce(coordinator, announce)
+        for target in range(self.cluster.config.nodes):
+            if target == coordinator:
+                continue
+            self.fabric.send(coordinator, target, announce)
+
+    def _apply_announce(self, node_id: int,
+                        message: EpochAnnounceMessage) -> None:
+        view = self.views[node_id]
+        if message.epoch < view.epoch:
+            return  # stale announcement
+        newly_dead = view.adopt(message.epoch, set(message.dead))
+        for dead in sorted(newly_dead):
+            released, owners = scrub_dead_residue(
+                self.cluster.node(node_id), dead)
+            self.counters["locks_scrubbed"] += released
+            if released:
+                self._trace("scrub", node_id, dead=dead, released=released,
+                            owners=len(owners))
+            self._suspected[node_id].discard(dead)
+        rejoined = message.rejoined
+        if rejoined >= 0:
+            view.min_epoch[rejoined] = message.epoch
+            self._suspected[node_id].discard(rejoined)
+            if node_id != rejoined:
+                self._last_heard[node_id][rejoined] = self.engine.now
+                self._push_gap_journal(node_id, rejoined)
+            else:
+                # Fresh lease grace for every peer: heartbeats to this
+                # node only resume once the announcement lands, so the
+                # restart-time baseline may already be near expiry.
+                for peer in self._last_heard[node_id]:
+                    self._last_heard[node_id][peer] = self.engine.now
+                self.awaiting.discard(node_id)
+                self._detected.discard(node_id)
+                crash_at = self._crash_times.pop(node_id, None)
+                if crash_at is not None:
+                    self._recover_times.append(self.engine.now - crash_at)
+                self._trace("rejoin", node_id, epoch=message.epoch)
+
+    # ------------------------------------------------------------------
+    # in-flight outcome resolution (replicated protocol)
+    # ------------------------------------------------------------------
+
+    def _resolve_inflight(self, dead: int) -> None:
+        """Decide every in-flight transaction the dead node coordinated.
+
+        Commit iff the durable replica logs prove the transaction passed
+        its commit point: some replica already promoted it, or every
+        manifest line has a temporary copy on every placement replica
+        (all Acks were necessarily sent, so the coordinator was
+        unsquashable and would have promoted).  Abort otherwise.
+        """
+        stores = getattr(self.protocol, "stores", None)
+        if stores is None:
+            return
+        owners: Set[Owner] = set()
+        for store in stores.values():
+            for owner in store.temporary:
+                if owner[0] == dead:
+                    owners.add(owner)
+        for owner in sorted(owners):
+            if self._resolution_commits(stores, owner):
+                self._apply_resolved_commit(stores, owner)
+            else:
+                for node_id in sorted(stores):
+                    stores[node_id].discard(owner)
+                self.counters["resolved_abort"] += 1
+                self._trace("resolve_abort", dead, owner=list(owner))
+
+    def _resolution_commits(self, stores, owner: Owner) -> bool:
+        if any(owner in store.promoted_owners for store in stores.values()):
+            return True
+        manifest = None
+        for node_id in sorted(stores):
+            if owner in stores[node_id].manifests:
+                manifest = stores[node_id].manifests[owner]
+                break
+        if manifest is None:
+            return False
+        for line in manifest:
+            for replica in self.protocol.replica_nodes_of_line(line):
+                temp = stores[replica].temporary.get(owner)
+                if temp is None or line not in temp:
+                    # A missing copy (e.g. the update was skipped for an
+                    # earlier-dead replica) means the Ack set cannot have
+                    # been complete under this placement: abort.
+                    return False
+        return True
+
+    def _apply_resolved_commit(self, stores, owner: Owner) -> None:
+        """Publish a resolved commit: temps -> home memory + replicas."""
+        merged: Dict[int, object] = {}
+        for node_id in sorted(stores):
+            temp = stores[node_id].temporary.get(owner)
+            if temp:
+                merged.update(temp)
+        stamp = self.engine.now
+        by_home: Dict[int, Dict[int, object]] = {}
+        for line, value in merged.items():
+            by_home.setdefault(node_of_line(line), {})[line] = value
+        for home in sorted(by_home):
+            memory = self.cluster.node(home).memory
+            memory.write_lines(by_home[home])
+            memory.bump_versions_for_lines(by_home[home])
+        for node_id in sorted(stores):
+            stores[node_id].promote(owner, stamp)
+        self._resolved_commits.add(owner)
+        self.counters["resolved_commit"] += 1
+        self._trace("resolve_commit", owner[0], owner=list(owner),
+                    lines=len(merged))
+
+    # ------------------------------------------------------------------
+    # rejoin reconciliation
+    # ------------------------------------------------------------------
+
+    def _drain_journals_into(self, node_id: int) -> None:
+        journal = getattr(self.protocol, "promote_journal", None)
+        if not journal:
+            return
+        for key in sorted(k for k in journal if k[1] == node_id):
+            entries = journal.pop(key)
+            self._replay_entries(node_id, entries, source=key[0])
+
+    def _push_gap_journal(self, holder: int, home: int) -> None:
+        """At announce time, a holder forwards journal entries accrued
+        after the coordinator's central drain (reliable push)."""
+        if holder == home:
+            return
+        journal = getattr(self.protocol, "promote_journal", None)
+        if not journal:
+            return
+        entries = journal.pop((holder, home), None)
+        if entries:
+            self.push_reconcile(holder, home, entries)
+
+    def _apply_reconcile_push(self, node_id: int,
+                              message: ReconcilePushMessage) -> None:
+        if message.home != node_id:
+            return
+        self._replay_entries(node_id, message.entries,
+                             source=message.owner[0])
+
+    def _replay_entries(self, node_id: int,
+                        entries: List[Tuple[int, object]],
+                        source: int) -> None:
+        """Replay the unseen suffix of a failover install history.
+
+        Per line, find the *last* journaled value equal to what the
+        rejoined memory already holds and apply everything after it —
+        idempotent under the central-drain + gap-push double delivery.
+        """
+        memory = self.cluster.node(node_id).memory
+        by_line: Dict[int, List[object]] = {}
+        for line, value in entries:
+            by_line.setdefault(line, []).append(value)
+        applied = 0
+        for line in sorted(by_line):
+            values = by_line[line]
+            current = memory.read_line(line)
+            start = 0
+            for index, value in enumerate(values):
+                if value == current:
+                    start = index + 1
+            for value in values[start:]:
+                memory.write_lines({line: value})
+                memory.bump_versions_for_lines([line])
+                applied += 1
+        self.counters["reconciled_lines"] += applied
+        if applied:
+            self._trace("reconcile", node_id, source=source, lines=applied)
+
+    def _refresh_replica_store(self, node_id: int) -> None:
+        """Re-copy every line the rejoined node replicates from its
+        (current) home memory — repairs under-replication from
+        crash-window skips and promotes it missed while down."""
+        stores = getattr(self.protocol, "stores", None)
+        if stores is None:
+            return
+        store = stores[node_id]
+        refreshed = 0
+        stamp = self.engine.now
+        for _record_id, descriptor in self.cluster.iter_records():
+            home = descriptor.home_node
+            if home == node_id:
+                continue
+            memory = self.cluster.node(home).memory
+            for line in descriptor.lines:
+                if node_id not in self.protocol.replica_nodes_of_line(line):
+                    continue
+                store.permanent[line] = memory.read_line(line)
+                store.stamps[line] = stamp
+                refreshed += 1
+        self.counters["replica_refresh_lines"] += refreshed
+        if refreshed:
+            self._trace("replica_refresh", node_id, lines=refreshed)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Counters plus detection/recovery latencies, for the CLI."""
+        result: Dict[str, float] = dict(self.counters)
+        result["detect_latency_ns"] = (
+            sum(self._detect_latencies) / len(self._detect_latencies)
+            if self._detect_latencies else 0.0)
+        result["time_to_recover_ns"] = (
+            sum(self._recover_times) / len(self._recover_times)
+            if self._recover_times else 0.0)
+        return result
+
+    def _trace(self, name: str, node: int, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.recovery(self.engine.now, name, node=node, **args)

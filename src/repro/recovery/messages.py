@@ -1,0 +1,78 @@
+"""Recovery-plane messages.
+
+All recovery traffic rides the normal fabric — it shares the latency
+model, the per-pair FIFO floors, and the fault injector with protocol
+traffic, so a crashed node's heartbeats really do die with its NIC.
+Every type is ``reliable``: the recovery plane models RC-transport
+control traffic that the NIC retries in hardware (heartbeats to a dead
+destination are simply held until its restart, which is harmless).
+
+The manager consumes these in :meth:`RecoveryManager.on_deliver` before
+the protocol's handler ever sees them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Tuple
+
+from repro.net.messages import ADDRESS_BYTES, HEADER_BYTES, LINE_BYTES, Message
+
+
+@dataclass
+class HeartbeatMessage(Message):
+    """Periodic lease renewal between every pair of live nodes."""
+
+    reliable: ClassVar[bool] = True
+
+
+@dataclass
+class SuspectMessage(Message):
+    """Lease expired: the sender reports ``dead`` to the coordinator."""
+
+    reliable: ClassVar[bool] = True
+
+    dead: int = -1
+
+
+@dataclass
+class RejoinRequestMessage(Message):
+    """A restarted node asks the coordinator to re-admit it."""
+
+    reliable: ClassVar[bool] = True
+
+
+@dataclass
+class EpochAnnounceMessage(Message):
+    """The coordinator's new configuration.
+
+    ``dead`` is the full dead set of the new epoch (not a delta);
+    ``rejoined`` names a node being readmitted by this epoch, or -1.
+    """
+
+    reliable: ClassVar[bool] = True
+
+    epoch: int = 0
+    dead: List[int] = field(default_factory=list)
+    rejoined: int = -1
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ADDRESS_BYTES * (len(self.dead) + 2)
+
+
+@dataclass
+class ReconcilePushMessage(Message):
+    """Failover-write history a replica holder pushes to a rejoined home.
+
+    ``entries`` is the ordered (line, value) install history the holder
+    journaled while the home was dead; the receiver replays the suffix
+    its memory has not yet seen (see ``RecoveryManager.apply_reconcile``).
+    """
+
+    reliable: ClassVar[bool] = True
+
+    home: int = -1
+    entries: List[Tuple[int, object]] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + (ADDRESS_BYTES + LINE_BYTES) * len(self.entries)

@@ -1,0 +1,81 @@
+"""Post-crash state scrubbing.
+
+Two distinct scrubs happen around a crash:
+
+* :func:`wipe_volatile_state` models the crash itself on the dying
+  node: directory Locking Buffers and WrTX_ID tags, NIC Module 4a/4b
+  entries, LLC speculative tags, private-cache filter bits, the Module 3
+  BF pool, and record-metadata lock words are all volatile SRAM/register
+  state and are lost.  Node memory (``NodeMemory._lines``) survives —
+  the simulator treats it as the durable region, matching the paper's
+  NVM/replicated-log assumption.
+
+* :func:`scrub_dead_residue` runs on every *surviving* node when an
+  epoch announcement declares a peer dead: any Locking Buffer, NIC BF
+  pair, or record lock owned by one of the dead node's transactions is
+  released.  Without this, a dead coordinator that crashed between
+  Intend-to-commit and Validation would leave survivors' directories
+  locked forever.
+
+Both return counts so the manager can attribute work in its summary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+Owner = Tuple[int, int]
+
+
+def wipe_volatile_state(node) -> int:
+    """Crash ``node``: drop every piece of volatile transactional state.
+
+    Returns the number of entries wiped (directory + NIC + LLC + filter
+    pool + metadata locks), for the ``node_crash`` trace event.
+    """
+    wiped = node.directory.wipe()
+    wiped += node.nic.wipe()
+    wiped += node.llc.wipe_tags()
+    for slot_filter in node.private_filters.values():
+        slot_filter.clear()
+    for txid in node.local_tx_ids():
+        node.release_local_tx(txid)
+        wiped += 1
+    for _address, meta in node.memory.iter_metadata():
+        if meta.lock_owner is not None:
+            # unlock() asserts ownership; a crash does not ask.
+            meta.lock_owner = None
+            wiped += 1
+    return wiped
+
+
+def scrub_dead_residue(node, dead: int) -> Tuple[int, Set[Owner]]:
+    """Release everything on ``node`` owned by ``dead``'s transactions.
+
+    Returns ``(entries_released, owners_seen)``; the owners are the
+    dead coordinator's in-flight transactions this node knew about,
+    which the manager feeds into outcome resolution.
+    """
+    released = 0
+    owners: Set[Owner] = set()
+    for owner in node.directory.lock_owners():
+        if owner[0] == dead:
+            node.directory.unlock(owner)
+            owners.add(owner)
+            released += 1
+    for owner in node.nic.remote_owners():
+        if owner[0] == dead:
+            node.nic.clear_remote(owner)
+            owners.add(owner)
+            released += 1
+    for _address, meta in node.memory.iter_metadata():
+        if meta.lock_owner is not None and meta.lock_owner[0] == dead:
+            owners.add(meta.lock_owner)
+            meta.lock_owner = None
+            released += 1
+    return released, owners
+
+
+def dead_owner_temporaries(store, dead: int) -> List[Owner]:
+    """Replica temporaries on ``store`` owned by ``dead`` coordinators."""
+    return sorted(owner for owner in store.temporary if owner[0] == dead)

@@ -1,21 +1,29 @@
-"""Fault-injection smoke check: ``python -m repro.faults.smoke``.
+"""Crash-recovery smoke check: ``python -m repro.recovery.smoke``.
 
-Runs a short contended workload under message drops, delivery jitter,
-and (for the replicated protocol) replica-persist failures, for every
-registered protocol plus :class:`HadesReplicatedProtocol`, and asserts
-the recovery guarantees the fault layer promises (docs/FAULTS.md):
+Runs a contended workload through a node crash+restart window with the
+recovery plane enabled, for every registered protocol plus
+:class:`HadesReplicatedProtocol`, and asserts the guarantees
+docs/RECOVERY.md promises:
 
-* every run **terminates** — dropped requests resolve through the
-  timeout path instead of hanging a client forever;
-* the committed history stays **conflict-serializable** (the
-  :mod:`repro.verify.serializability` checker passes);
-* the replicated protocol's permanent replica copies **match primary
-  memory exactly** once the fabric drains (``verify_replicas``);
-* runs are **deterministic**: the same ``--seed`` reproduces the same
-  committed count and the identical fault-event stream.
+* every run **terminates** — crashed-node clients park and resume, and
+  survivors' requests to the dead node resolve through timeouts and the
+  membership filter instead of hanging;
+* the crash is actually **detected and recovered**: leases expire,
+  suspicions are raised, the epoch is bumped for the death and again
+  for the rejoin, and the crashed node is readmitted;
+* the committed history stays **conflict-serializable**, including
+  transactions resolved from durable replica logs and failover
+  reads/writes served by surviving replicas;
+* after the drain **no transactional state leaks**: no held locks,
+  no stale NIC entries, no orphaned replica temporaries
+  (:func:`repro.verify.locks.find_leaks`);
+* the replicated protocol's permanent replica copies **converge** with
+  primary memory (``verify_replicas``);
+* runs are **deterministic**: the same seed reproduces the identical
+  recovery-event stream, byte for byte.
 
 Exit status is non-zero on any violation, so CI can gate on it; the
-test-suite imports :func:`run_smoke` directly.
+test-suite imports :func:`run_recovery_smoke` directly.
 """
 
 from __future__ import annotations
@@ -26,38 +34,40 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig, FaultPlan
+from repro.config import ClusterConfig, FaultPlan, RecoveryParams
 from repro.core import PROTOCOLS, read, write
 from repro.core.replication import HadesReplicatedProtocol
 from repro.faults.injector import FaultInjector
 from repro.obs.tracer import EventTracer
+from repro.recovery.manager import RecoveryManager
 from repro.sim.engine import Engine
 from repro.sim.random import DeterministicRandom
 from repro.verify.locks import find_leaks
 from repro.verify.serializability import SerializabilityChecker
 
-#: Faults exercised by the smoke run (seed is overridden per run).
-SMOKE_SPEC = "drop=0.03,jitter=250,persist=0.1"
+#: Node 1 crashes mid-run and restarts; mild jitter keeps message
+#: timing honest.  No random drops: this gate exercises the recovery
+#: plane, the drop machinery has its own (``repro.faults.smoke``).
+SMOKE_SPEC = "crash=1:20000:60000,jitter=150"
 
 #: The replicated protocol rides the ``hades`` registry entry.
 REPLICATED = "hades+replication"
 
 
 @dataclass
-class SmokeResult:
-    """What one faulty run produced (compared across seeds)."""
+class RecoverySmokeResult:
+    """What one crash-recovery run produced (compared across seeds)."""
 
     protocol: str
     committed: int
-    fault_events: List[dict]
     serializable: bool
     anomalies: List[str]
-    fault_summary: Dict[str, int]
+    recovery_events: List[dict]
+    recovery_summary: Dict[str, float]
+    lock_leaks: List[str]
     #: (checked, mismatched) from ``verify_replicas``; None when the
     #: protocol does not replicate.
     replicas: Optional[tuple] = None
-    #: Leaked transactional state found after the drain (must be empty).
-    lock_leaks: List[str] = None
 
 
 def _build_protocol(name: str, cluster: Cluster, seed: int):
@@ -66,12 +76,14 @@ def _build_protocol(name: str, cluster: Cluster, seed: int):
     return PROTOCOLS[name](cluster, seed=seed)
 
 
-def run_smoke(protocol_name: str, seed: int = 7, clients: int = 6,
-              txns_per_client: int = 6, records: int = 5) -> SmokeResult:
-    """One finite faulty run, drained to quiescence."""
+def run_recovery_smoke(protocol_name: str, seed: int = 11, clients: int = 6,
+                       txns_per_client: int = 10,
+                       records: int = 6) -> RecoverySmokeResult:
+    """One finite crash+recovery run, drained to quiescence."""
     plan = FaultPlan.parse(SMOKE_SPEC, seed=seed)
+    params = RecoveryParams(enabled=True)
     engine = Engine()
-    config = ClusterConfig(nodes=3, cores_per_node=2)
+    config = ClusterConfig(nodes=3, cores_per_node=2, recovery=params)
     cluster = Cluster(engine, config, llc_sets=256)
     protocol = _build_protocol(protocol_name, cluster, seed)
     tracer = EventTracer()
@@ -87,12 +99,16 @@ def run_smoke(protocol_name: str, seed: int = 7, clients: int = 6,
         cluster.allocate_record(record_id, 64)
     checker = SerializabilityChecker(cluster)
     checker.install()
+
+    manager = RecoveryManager(protocol, plan, params, tracer=tracer)
+    manager.install()
+
     first_lines = {r: cluster.record(r).lines[0]
                    for r in range(1, records + 1)}
     token_counter = itertools.count()
 
     def client(client_index):
-        rng = DeterministicRandom(f"smoke:{seed}:{client_index}")
+        rng = DeterministicRandom(f"recovery:{seed}:{client_index}")
         node_id = client_index % config.nodes
         slot = client_index % config.cores_per_node
         for _ in range(txns_per_client):
@@ -115,54 +131,70 @@ def run_smoke(protocol_name: str, seed: int = 7, clients: int = 6,
 
     for client_index in range(clients):
         engine.process(client(client_index))
-    # No ``until``: the run must reach quiescence on its own.  A hang
-    # (dropped message with no timeout armed) would spin this forever —
-    # CI's step timeout is the backstop that turns it into a failure.
+    # No ``until``: the run must reach quiescence on its own (heartbeat
+    # processes self-terminate past the recovery horizon).  A hang would
+    # spin forever — CI's step timeout is the backstop.
     engine.run()
+    manager.stop()
 
     check = checker.check()
     replicas = (protocol.verify_replicas()
                 if isinstance(protocol, HadesReplicatedProtocol) else None)
-    return SmokeResult(
+    return RecoverySmokeResult(
         protocol=protocol_name,
         committed=protocol.metrics.meter.committed,
-        fault_events=tracer.fault_events(),
         serializable=check.serializable,
         anomalies=list(check.anomalies),
-        fault_summary=injector.summary(),
-        replicas=replicas,
+        recovery_events=tracer.recovery_events(),
+        recovery_summary=manager.summary(),
         lock_leaks=find_leaks(cluster, protocol),
+        replicas=replicas,
     )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    seed = int(argv[0]) if argv else 7
+    seed = int(argv[0]) if argv else 11
     failures = 0
     for name in sorted(PROTOCOLS) + [REPLICATED]:
-        first = run_smoke(name, seed=seed)
-        again = run_smoke(name, seed=seed)
+        first = run_recovery_smoke(name, seed=seed)
+        again = run_recovery_smoke(name, seed=seed)
+        summary = first.recovery_summary
         problems = []
         if not first.serializable:
             problems.append("history is not serializable")
         if first.anomalies:
             problems.append(f"checker anomalies: {first.anomalies}")
-        if first.replicas is not None and first.replicas[1] != 0:
-            problems.append(f"replica mismatches: {first.replicas[1]}"
-                            f"/{first.replicas[0]}")
+        if summary["suspicions_raised"] == 0:
+            problems.append("crash was never suspected (leases inert)")
+        if summary["epochs_bumped"] < 2:
+            problems.append(f"expected death+rejoin epoch bumps, got "
+                            f"{summary['epochs_bumped']}")
+        if summary["time_to_recover_ns"] <= 0:
+            problems.append("crashed node never rejoined")
         if first.lock_leaks:
             problems.append(f"leaked transactional state: "
                             f"{first.lock_leaks[:3]}")
+        if first.replicas is not None and first.replicas[1] != 0:
+            problems.append(f"replica mismatches: {first.replicas[1]}"
+                            f"/{first.replicas[0]}")
+        if first.replicas is not None and summary["failover_routes"] == 0:
+            problems.append("no access ever failed over to a replica")
         if again.committed != first.committed:
             problems.append(f"nondeterministic committed count: "
                             f"{first.committed} vs {again.committed}")
-        if again.fault_events != first.fault_events:
-            problems.append("nondeterministic fault-event stream")
-        dropped = first.fault_summary.get("messages_dropped", 0)
+        if again.recovery_events != first.recovery_events:
+            problems.append("nondeterministic recovery-event stream")
         status = "FAIL" if problems else "ok"
         print(f"[{status}] {name}: committed={first.committed} "
-              f"dropped={dropped} "
-              f"fault_events={len(first.fault_events)}"
-              + (f" replicas={first.replicas}" if first.replicas else ""))
+              f"suspicions={summary['suspicions_raised']:.0f} "
+              f"epochs={summary['epochs_bumped']:.0f} "
+              f"scrubbed={summary['locks_scrubbed']:.0f} "
+              f"recover_us={summary['time_to_recover_ns'] / 1000:.1f}"
+              + (f" failover_routes={summary['failover_routes']:.0f}"
+                 f" failover_writes={summary['failover_writes']:.0f}"
+                 f" reconciled={summary['reconciled_lines']:.0f}"
+                 f" replicas={first.replicas}"
+                 if first.replicas else ""))
         for problem in problems:
             print(f"       - {problem}")
         failures += bool(problems)

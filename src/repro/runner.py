@@ -48,6 +48,9 @@ class ExperimentResult:
     message_stats: Optional[MessageStats] = None
     #: Injected-fault totals when a fault plan was active; else None.
     fault_summary: Optional[Dict[str, int]] = None
+    #: Recovery-plane totals (suspicions, epoch bumps, failover work)
+    #: when crash recovery was enabled; else None.
+    recovery_summary: Optional[Dict[str, float]] = None
 
     @property
     def throughput(self) -> float:
@@ -99,6 +102,14 @@ def run_experiment(
     :class:`~repro.faults.injector.FaultInjector` to the fabric and the
     protocol and arms the request-timeout recovery path; the result's
     :attr:`~ExperimentResult.fault_summary` reports what was injected.
+
+    With ``config.recovery.enabled`` and a fault plan containing crash
+    windows, a :class:`~repro.recovery.manager.RecoveryManager` is
+    installed too (docs/RECOVERY.md): leases detect the crash, the
+    epoch is bumped, survivors scrub the dead node's state, and — for
+    the replicated protocol — its reads and writes fail over to
+    replicas.  :attr:`~ExperimentResult.recovery_summary` reports what
+    the recovery plane did.
     """
     if isinstance(workloads, Workload):
         workloads = [workloads]
@@ -134,6 +145,17 @@ def run_experiment(
 
     for workload in workloads:
         workload.populate(cluster)
+
+    recovery_manager = None
+    if (injector is not None and config.recovery.enabled
+            and fault_plan.crashes):
+        from repro.recovery.manager import RecoveryManager
+
+        # Installed after populate: seeding replica stores needs the
+        # workload's records in place.
+        recovery_manager = RecoveryManager(proto, fault_plan,
+                                           config.recovery, tracer=tracer)
+        recovery_manager.install()
 
     # One driver per transaction slot; slots are partitioned round-robin
     # between the workloads of a mix (space sharing).
@@ -172,7 +194,10 @@ def run_experiment(
                             samples=sampler.samples if sampler else None,
                             message_stats=message_stats,
                             fault_summary=(injector.summary()
-                                           if injector is not None else None))
+                                           if injector is not None else None),
+                            recovery_summary=(recovery_manager.summary()
+                                              if recovery_manager is not None
+                                              else None))
 
 
 def _client_driver(protocol, workload: Workload, node_id: int, slot: int,

@@ -5,8 +5,13 @@ conflict-serializability by building the direct serialization graph
 (WW/WR/RW edges) over the values transactions observed and wrote, and
 testing it for cycles.  The property-based protocol tests run every
 protocol through it under contention.
+
+:mod:`repro.verify.locks` sweeps a drained cluster for leaked
+transactional state — held locks, stale NIC/filter entries, orphaned
+replica temporaries — after faulty and recovery runs.
 """
 
+from repro.verify.locks import find_leaks
 from repro.verify.serializability import (
     CheckResult,
     SerializabilityChecker,
@@ -17,4 +22,5 @@ __all__ = [
     "CheckResult",
     "SerializabilityChecker",
     "TransactionObservation",
+    "find_leaks",
 ]

@@ -1,0 +1,54 @@
+"""Post-run lock/residue leak detection.
+
+After a run drains to quiescence every piece of transactional state
+should be released: no Locking Buffers held, no WrTX_ID tags, no NIC
+Module 4a/4b entries, no core-private filter registrations, no record
+locks, and no replica temporaries awaiting a promote or abort.  Anything
+left behind means some code path (a squash, a timeout, a crash scrub)
+forgot to clean up — exactly the class of bug fault injection exists to
+surface.
+
+:func:`find_leaks` sweeps the whole cluster and returns human-readable
+descriptions of every leak; an empty list is the pass condition.  The
+fault and recovery smoke gates (``python -m repro.faults.smoke``,
+``python -m repro.recovery.smoke``) and the integration tests assert on
+it after every drained run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def find_leaks(cluster, protocol=None) -> List[str]:
+    """Describe every piece of unreleased transactional state.
+
+    ``protocol`` is optional; when it carries replica ``stores`` (the
+    replicated protocol) their temporary logs are swept too.  Permanent
+    replica copies and promote journals are durable data, not leases,
+    and are checked by ``verify_replicas`` / the reconcile path instead.
+    """
+    leaks: List[str] = []
+    for node in cluster.nodes:
+        n = node.node_id
+        for owner in node.directory.lock_owners():
+            leaks.append(f"node {n}: directory lock held by {owner}")
+        for line, tag in sorted(node.directory.writer_tags().items()):
+            leaks.append(f"node {n}: WrTX_ID tag {tag} on line {line:#x}")
+        for owner in node.nic.remote_owners():
+            leaks.append(f"node {n}: NIC remote entry for {owner}")
+        for txid in node.nic.local_txids():
+            leaks.append(f"node {n}: NIC local entry for txid {txid}")
+        for txid in node.local_tx_ids():
+            leaks.append(f"node {n}: core tx table entry for txid {txid}")
+        for address, meta in node.memory.iter_metadata():
+            if meta.lock_owner is not None:
+                leaks.append(f"node {n}: record lock at {address:#x} "
+                             f"held by {meta.lock_owner}")
+    stores = getattr(protocol, "stores", None) if protocol else None
+    if stores:
+        for node_id in sorted(stores):
+            for owner in sorted(stores[node_id].temporary):
+                leaks.append(f"node {node_id}: replica temporary for "
+                             f"{owner} never promoted or discarded")
+    return sorted(leaks)

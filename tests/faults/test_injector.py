@@ -5,7 +5,8 @@ and FIFO preservation under injected delays."""
 import pytest
 
 from repro.config import ClusterConfig, FaultPlan
-from repro.faults.injector import DROP_CRASH, DROP_RANDOM, FaultInjector
+from repro.faults.injector import (DROP_CRASH, DROP_CRASH_SENDER,
+                                   DROP_RANDOM, FaultInjector)
 from repro.net.fabric import _FIFO_SPACING_NS, Fabric
 from repro.net.messages import AckMessage, RdmaReadRequest, ValidationMessage
 from repro.obs.metrics import MessageStats
@@ -45,7 +46,7 @@ class TestReliability:
         reasons = [injector.message_fate(0, 1, AckMessage(OWNER), 0.0)[0]
                    for _ in range(100)]
         assert reasons.count(DROP_RANDOM) > 50
-        assert injector.drops_by_reason[DROP_RANDOM] == injector.dropped
+        assert injector.drops_by_reason.get(DROP_RANDOM) == injector.dropped
 
 
 class TestWindows:
@@ -53,7 +54,8 @@ class TestWindows:
         injector = FaultInjector(FaultPlan.parse("crash=1:100:200"))
         reason, _ = injector.message_fate(0, 1, AckMessage(OWNER), 150.0)
         assert reason == DROP_CRASH
-        # Reliable traffic is held by RC retransmission until restart.
+        # Reliable traffic *to* the crashed node is held by RC
+        # retransmission at the live sender until restart.
         reason, extra = injector.message_fate(
             0, 1, ValidationMessage(OWNER), 150.0)
         assert reason is None and extra == pytest.approx(50.0)
@@ -62,6 +64,21 @@ class TestWindows:
         assert injector.message_fate(0, 1, AckMessage(OWNER), 250.0) \
             == (None, 0.0)
         assert injector.message_fate(0, 2, AckMessage(OWNER), 150.0) \
+            == (None, 0.0)
+
+    def test_crashed_sender_drops_even_reliable(self):
+        # A crashed sender cannot retransmit: sends originating inside
+        # the sender's own crash window die with the NIC, reliable or
+        # not, instead of being held like a dead destination's.
+        injector = FaultInjector(FaultPlan.parse("crash=1:100:200"))
+        reason, _ = injector.message_fate(
+            1, 0, ValidationMessage(OWNER), 150.0)
+        assert reason == DROP_CRASH_SENDER
+        reason, _ = injector.message_fate(1, 0, AckMessage(OWNER), 150.0)
+        assert reason == DROP_CRASH_SENDER
+        assert injector.drops_by_reason.get(DROP_CRASH_SENDER) == 2
+        # Outside the window the sender behaves normally again.
+        assert injector.message_fate(1, 0, AckMessage(OWNER), 250.0) \
             == (None, 0.0)
 
     def test_stall_delays_until_window_end(self):

@@ -80,3 +80,6 @@ def test_replicated_smoke_recovers_cleanly():
     checked, mismatched = result.replicas
     assert checked > 0 and mismatched == 0
     assert result.fault_summary["messages_dropped"] > 0
+    # Nothing transactional survives the drain: no held locks, no NIC
+    # entries, no orphaned replica temporaries.
+    assert result.lock_leaks == []

@@ -1,0 +1,52 @@
+"""NodeView: per-node membership belief and epoch fencing."""
+
+from repro.recovery.epoch import NodeView
+
+
+def test_fresh_view_accepts_everyone():
+    view = NodeView(node_id=0)
+    assert view.epoch == 0
+    assert view.accepts(1, 0)
+    assert view.accepts(2, 5)
+    assert not view.considers_dead(1)
+
+
+def test_dead_sender_is_rejected_regardless_of_epoch():
+    view = NodeView(node_id=0)
+    view.adopt(1, {2})
+    assert view.considers_dead(2)
+    assert not view.accepts(2, 0)
+    assert not view.accepts(2, 99)
+    # Other senders are unaffected.
+    assert view.accepts(1, 0)
+
+
+def test_adopt_returns_only_newly_dead():
+    view = NodeView(node_id=0)
+    assert view.adopt(1, {2}) == {2}
+    # Re-announcing the same death is not news.
+    assert view.adopt(2, {2, 1}) == {1}
+    assert view.epoch == 2
+    assert view.dead == {1, 2}
+
+
+def test_adopt_replaces_dead_set_on_rejoin():
+    view = NodeView(node_id=0)
+    view.adopt(1, {2})
+    # The rejoin announcement carries the dead set *without* the
+    # readmitted node: adoption replaces, never accumulates.
+    view.adopt(2, set())
+    assert not view.considers_dead(2)
+    assert view.accepts(2, 2)
+
+
+def test_min_epoch_fences_pre_crash_zombies():
+    view = NodeView(node_id=0)
+    view.adopt(2, set())
+    view.min_epoch[2] = 2
+    # Anything node 2 stamped before its readmission epoch is a zombie.
+    assert not view.accepts(2, 0)
+    assert not view.accepts(2, 1)
+    assert view.accepts(2, 2)
+    # Newer epochs always pass: the sender may be ahead of us.
+    assert view.accepts(2, 7)

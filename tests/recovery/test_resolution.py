@@ -1,0 +1,126 @@
+"""Crash-outcome resolution and rejoin replay (RecoveryManager units).
+
+The resolution rule (docs/RECOVERY.md): a dead coordinator's in-flight
+transaction commits iff the durable replica logs prove it passed its
+commit point — some store already promoted it, or every manifest line
+has a temporary copy on every placement replica.  Everything else
+aborts.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, FaultPlan, RecoveryParams
+from repro.core.replication import HadesReplicatedProtocol
+from repro.recovery.manager import RecoveryManager
+from repro.sim.engine import Engine
+
+
+def build(replicas=1):
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(nodes=3, cores_per_node=2),
+                      llc_sets=256)
+    protocol = HadesReplicatedProtocol(cluster, seed=1, replicas=replicas)
+    for record_id in (1, 2, 3):
+        cluster.allocate_record(record_id, 64)
+    manager = RecoveryManager(
+        protocol, FaultPlan.parse("crash=1:10000:20000", seed=1),
+        RecoveryParams(enabled=True))
+    return cluster, protocol, manager
+
+
+def test_complete_manifest_resolves_to_commit():
+    cluster, protocol, manager = build()
+    record = cluster.record(1)
+    line = record.lines[0]
+    replica = protocol.replica_nodes_of_line(line)[0]
+    owner = (2, 77)
+    assert protocol.stores[replica].persist_temporary(
+        owner, {line: "resolved"}, manifest=[line])
+
+    manager._resolve_inflight(2)
+
+    # Published to home memory and promoted at the replica.
+    assert cluster.node(record.home_node).memory.read_line(line) == "resolved"
+    assert owner in protocol.stores[replica].promoted_owners
+    assert manager.counters["resolved_commit"] == 1
+    # The crashed coordinator's parked client consumes the verdict once.
+    assert manager.consume_resolved_commit(owner)
+    assert not manager.consume_resolved_commit(owner)
+
+
+def test_incomplete_manifest_resolves_to_abort():
+    cluster, protocol, manager = build()
+    record = cluster.record(1)
+    line_a, line_b = cluster.record(1).lines[0], cluster.record(2).lines[0]
+    replica = protocol.replica_nodes_of_line(line_a)[0]
+    owner = (2, 78)
+    # The manifest names two lines but only one copy was persisted
+    # before the crash: the Ack set cannot have been complete.
+    assert protocol.stores[replica].persist_temporary(
+        owner, {line_a: "lost"}, manifest=[line_a, line_b])
+
+    manager._resolve_inflight(2)
+
+    assert manager.counters["resolved_abort"] == 1
+    assert manager.counters["resolved_commit"] == 0
+    assert cluster.node(record.home_node).memory.read_line(line_a) != "lost"
+    for store in protocol.stores.values():
+        assert owner not in store.temporary
+        assert owner not in store.manifests
+    assert not manager.consume_resolved_commit(owner)
+
+
+def test_promoted_anywhere_resolves_to_commit():
+    cluster, protocol, manager = build(replicas=2)
+    record = cluster.record(1)
+    line = record.lines[0]
+    first, second = protocol.replica_nodes_of_line(line)
+    owner = (2, 79)
+    for replica in (first, second):
+        assert protocol.stores[replica].persist_temporary(
+            owner, {line: "halfway"}, manifest=[line])
+    # The coordinator crashed mid-promotion: one replica already moved
+    # the copy to permanent storage, the other still holds the log.
+    protocol.stores[first].promote(owner)
+
+    manager._resolve_inflight(2)
+
+    assert manager.counters["resolved_commit"] == 1
+    assert cluster.node(record.home_node).memory.read_line(line) == "halfway"
+    assert owner in protocol.stores[second].promoted_owners
+    assert owner not in protocol.stores[second].temporary
+
+
+def test_unrelated_coordinators_are_left_alone():
+    cluster, protocol, manager = build()
+    line = cluster.record(1).lines[0]
+    replica = protocol.replica_nodes_of_line(line)[0]
+    survivor_owner = (0, 11)
+    assert protocol.stores[replica].persist_temporary(
+        survivor_owner, {line: "inflight"}, manifest=[line])
+
+    manager._resolve_inflight(2)
+
+    # Node 0 is alive; its in-flight log entry must not be resolved.
+    assert survivor_owner in protocol.stores[replica].temporary
+    assert manager.counters["resolved_commit"] == 0
+    assert manager.counters["resolved_abort"] == 0
+
+
+def test_replay_applies_only_the_unseen_suffix():
+    cluster, protocol, manager = build()
+    record = cluster.record(1)
+    node_id, line = record.home_node, record.lines[0]
+    memory = cluster.node(node_id).memory
+    memory.write_lines({line: "b"})
+    entries = [(line, "a"), (line, "b"), (line, "c")]
+
+    manager._replay_entries(node_id, entries, source=1)
+
+    # Memory already held "b": only the suffix after the last match lands.
+    assert memory.read_line(line) == "c"
+    assert manager.counters["reconciled_lines"] == 1
+
+    # Double delivery (central drain + gap push) is idempotent.
+    manager._replay_entries(node_id, entries, source=1)
+    assert memory.read_line(line) == "c"
+    assert manager.counters["reconciled_lines"] == 1

@@ -1,0 +1,94 @@
+"""Post-crash scrubbing: the dying node's wipe and survivors' cleanup."""
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core.replication import ReplicaStore
+from repro.hardware.bloom import BloomFilter
+from repro.recovery.scrub import (dead_owner_temporaries, scrub_dead_residue,
+                                  wipe_volatile_state)
+from repro.sim.engine import Engine
+
+
+def build_cluster():
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(nodes=3, cores_per_node=2),
+                      llc_sets=256)
+    for record_id in (1, 2, 3):
+        cluster.allocate_record(record_id, 64)
+    return cluster
+
+
+def _bf(lines):
+    bf = BloomFilter(64)
+    bf.insert_all(lines)
+    return bf
+
+
+def test_wipe_drops_every_volatile_structure():
+    cluster = build_cluster()
+    record = cluster.record(1)
+    node = cluster.node(record.home_node)
+    line = record.lines[0]
+    owner = (node.node_id, 7)
+
+    node.register_local_tx(7)
+    node.directory.tag_write(line, 7)
+    assert node.directory.try_lock(owner, _bf([]), _bf([line]), [line])
+    node.nic.record_remote_read(((node.node_id + 1) % 3, 9), [line])
+    meta = node.memory.metadata(record.address)
+    assert meta.try_lock(owner)
+
+    wiped = wipe_volatile_state(node)
+
+    assert wiped >= 5
+    assert node.directory.lock_owners() == []
+    assert node.directory.writer_tags() == {}
+    assert node.nic.remote_owners() == []
+    assert node.local_tx_ids() == []
+    assert meta.lock_owner is None
+
+
+def test_wipe_preserves_memory_contents():
+    cluster = build_cluster()
+    record = cluster.record(1)
+    node = cluster.node(record.home_node)
+    line = record.lines[0]
+    node.memory.write_lines({line: "durable"})
+    wipe_volatile_state(node)
+    # Memory models the durable region: a crash must not touch it.
+    assert node.memory.read_line(line) == "durable"
+
+
+def test_scrub_releases_only_the_dead_nodes_residue():
+    cluster = build_cluster()
+    record = cluster.record(1)
+    survivor = cluster.node(record.home_node)
+    line = record.lines[0]
+    dead = (record.home_node + 1) % 3
+    dead_owner = (dead, 5)
+    live_owner = ((dead + 1) % 3, 3)
+
+    assert survivor.directory.try_lock(dead_owner, _bf([]), _bf([line]),
+                                       [line])
+    survivor.nic.record_remote_write(dead_owner, [line])
+    survivor.nic.record_remote_read(live_owner, [line])
+    meta = survivor.memory.metadata(record.address)
+    assert meta.try_lock(dead_owner)
+
+    released, owners = scrub_dead_residue(survivor, dead)
+
+    assert released == 3
+    assert owners == {dead_owner}
+    assert survivor.directory.lock_owners() == []
+    assert meta.lock_owner is None
+    # The live transaction's NIC state survives the scrub.
+    assert survivor.nic.remote_owners() == [live_owner]
+
+
+def test_dead_owner_temporaries_filters_by_coordinator():
+    store = ReplicaStore()
+    store.persist_temporary((1, 2), {100: "a"})
+    store.persist_temporary((1, 9), {101: "b"})
+    store.persist_temporary((0, 4), {102: "c"})
+    assert dead_owner_temporaries(store, 1) == [(1, 2), (1, 9)]
+    assert dead_owner_temporaries(store, 2) == []

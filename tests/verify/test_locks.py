@@ -1,0 +1,59 @@
+"""Leak sweep: every kind of unreleased transactional state is named."""
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core.replication import HadesReplicatedProtocol
+from repro.hardware.bloom import BloomFilter
+from repro.sim.engine import Engine
+from repro.verify import find_leaks
+
+
+def build_cluster():
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(nodes=3, cores_per_node=2),
+                      llc_sets=256)
+    cluster.allocate_record(1, 64)
+    return cluster
+
+
+def test_quiescent_cluster_has_no_leaks():
+    assert find_leaks(build_cluster()) == []
+
+
+def test_each_leak_kind_is_reported():
+    cluster = build_cluster()
+    record = cluster.record(1)
+    node = cluster.node(record.home_node)
+    line = record.lines[0]
+    owner = (node.node_id, 7)
+
+    bf = BloomFilter(64)
+    bf.insert(line)
+    assert node.directory.try_lock(owner, BloomFilter(64), bf, [line])
+    node.directory.tag_write(line, 7)
+    node.nic.record_remote_read(((node.node_id + 1) % 3, 9), [line])
+    node.register_local_tx(7)
+    meta = node.memory.metadata(record.address)
+    assert meta.try_lock(owner)
+
+    leaks = find_leaks(cluster)
+    assert any("directory lock" in leak for leak in leaks)
+    assert any("WrTX_ID tag" in leak for leak in leaks)
+    assert any("NIC remote entry" in leak for leak in leaks)
+    assert any("core tx table" in leak for leak in leaks)
+    assert any("record lock" in leak for leak in leaks)
+
+
+def test_replica_temporaries_count_as_leaks():
+    cluster = build_cluster()
+    protocol = HadesReplicatedProtocol(cluster, seed=1, replicas=1)
+    line = cluster.record(1).lines[0]
+    replica = protocol.replica_nodes_of_line(line)[0]
+    protocol.stores[replica].persist_temporary((0, 4), {line: "x"})
+
+    leaks = find_leaks(cluster, protocol)
+    assert leaks == [f"node {replica}: replica temporary for (0, 4) "
+                     f"never promoted or discarded"]
+
+    protocol.stores[replica].promote((0, 4))
+    assert find_leaks(cluster, protocol) == []
