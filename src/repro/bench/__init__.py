@@ -1,0 +1,22 @@
+"""Wall-clock benchmark harness for the simulator hot path.
+
+See :mod:`repro.bench.harness` and docs/PERFORMANCE.md.
+"""
+
+from repro.bench.harness import (
+    SCENARIOS,
+    BenchScenario,
+    compare_to_baseline,
+    merge_reports,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "BenchScenario",
+    "compare_to_baseline",
+    "merge_reports",
+    "run_bench",
+    "write_report",
+]

@@ -1,0 +1,200 @@
+"""Pinned, seeded wall-clock benchmarks for the simulator hot path.
+
+The harness answers one question: *how many engine events per second of
+wall clock does the simulator execute* on a fixed set of scenarios?
+Simulated results are pinned — every scenario runs with a fixed seed
+and fixed cluster shape, and the harness asserts that repeats agree on
+commit/abort counts — so a result file is comparable across commits:
+only the wall-clock numbers may move.
+
+Three scenarios cover the three distinct hot-path mixes:
+
+* ``ycsb_b`` — read-heavy YCSB-B on 4 nodes under HADES: dominated by
+  Bloom probes and the remote-read serve path.
+* ``tpcc_mix`` — the TPC-C transaction mix: larger footprints, more
+  Intend-to-commit fan-out, directory lock pressure.
+* ``micro_hot`` — a 50%-write microbenchmark over a tiny record pool:
+  squash/retry storms, spin loops, and cleanup traffic.
+
+``repro bench`` writes ``BENCH_hotpath.json`` (schema in
+docs/PERFORMANCE.md); ``--smoke`` runs the same scenarios at reduced
+scale for CI, and ``--baseline`` gates on events/sec regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.config import ClusterConfig
+from repro.runner import run_experiment
+from repro.workloads import MicroWorkload, TpccWorkload, YcsbWorkload
+
+#: Schema version of the report file; bump on incompatible change.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One pinned benchmark scenario.
+
+    ``make_workload`` is a factory — every run needs a fresh workload
+    instance because :func:`~repro.runner.run_experiment` populates the
+    cluster through it.
+    """
+
+    name: str
+    protocol: str
+    make_workload: Callable[[], object]
+    config: ClusterConfig
+    duration_ns: float
+    smoke_duration_ns: float
+    seed: int
+    llc_sets: int
+
+    def run_once(self, smoke: bool = False) -> Dict[str, object]:
+        duration = self.smoke_duration_ns if smoke else self.duration_ns
+        started = time.perf_counter()
+        result = run_experiment(
+            self.protocol,
+            self.make_workload(),
+            config=self.config,
+            duration_ns=duration,
+            seed=self.seed,
+            llc_sets=self.llc_sets,
+        )
+        wall_s = time.perf_counter() - started
+        return {
+            "wall_s": wall_s,
+            "events": result.events_processed,
+            "events_per_sec": (result.events_processed / wall_s
+                               if wall_s > 0 else 0.0),
+            "committed": result.metrics.meter.committed,
+            "aborted": result.metrics.meter.aborted,
+            "sim_duration_ns": duration,
+        }
+
+
+SCENARIOS: List[BenchScenario] = [
+    BenchScenario(
+        name="ycsb_b",
+        protocol="hades",
+        make_workload=lambda: YcsbWorkload(store="ht", variant="b",
+                                           record_count=10000),
+        config=ClusterConfig(nodes=4),
+        duration_ns=400_000.0,
+        smoke_duration_ns=60_000.0,
+        seed=7,
+        llc_sets=2048,
+    ),
+    BenchScenario(
+        name="tpcc_mix",
+        protocol="hades",
+        make_workload=lambda: TpccWorkload(warehouses=2, items=2000),
+        config=ClusterConfig(nodes=4),
+        duration_ns=300_000.0,
+        smoke_duration_ns=50_000.0,
+        seed=13,
+        llc_sets=2048,
+    ),
+    BenchScenario(
+        name="micro_hot",
+        protocol="hades",
+        make_workload=lambda: MicroWorkload(0.5, record_count=500),
+        config=ClusterConfig(nodes=3),
+        duration_ns=250_000.0,
+        smoke_duration_ns=40_000.0,
+        seed=3,
+        llc_sets=1024,
+    ),
+]
+
+
+def run_bench(smoke: bool = False, repeats: int = 2,
+              scenarios: Optional[List[BenchScenario]] = None,
+              log: Callable[[str], None] = print) -> Dict[str, object]:
+    """Run every scenario ``repeats`` times; report the best wall clock.
+
+    The best-of-N convention measures the simulator, not the machine's
+    scheduling noise; the first run additionally warms process-lifetime
+    caches (hash masks, imports), which a cold single run would charge
+    to the simulator.  Repeats must agree on commit/abort counts —
+    a mismatch means determinism is broken and is reported as such.
+    """
+    if repeats < 1:
+        raise ValueError(f"need at least one repeat: {repeats}")
+    mode = "smoke" if smoke else "full"
+    results: Dict[str, object] = {}
+    for scenario in (SCENARIOS if scenarios is None else scenarios):
+        runs = [scenario.run_once(smoke=smoke) for _ in range(repeats)]
+        pinned = [(run["committed"], run["aborted"]) for run in runs]
+        deterministic = len(set(pinned)) == 1
+        best = min(runs, key=lambda run: run["wall_s"])
+        entry = dict(best)
+        entry["repeats"] = repeats
+        entry["deterministic"] = deterministic
+        results[scenario.name] = entry
+        log(f"  {scenario.name:>10} [{mode}]: "
+            f"{entry['events_per_sec']:>12,.0f} events/s  "
+            f"wall {entry['wall_s']:.3f}s  "
+            f"committed {entry['committed']}  aborted {entry['aborted']}"
+            + ("" if deterministic else "  !! NON-DETERMINISTIC"))
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "hotpath",
+        "python": sys.version.split()[0],
+        "modes": {mode: results},
+    }
+
+
+def merge_reports(*reports: Dict[str, object]) -> Dict[str, object]:
+    """Fold several reports' modes into one file (full + smoke)."""
+    merged = dict(reports[0])
+    merged["modes"] = {}
+    for report in reports:
+        merged["modes"].update(report.get("modes", {}))
+    return merged
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def compare_to_baseline(report: Dict[str, object],
+                        baseline: Dict[str, object],
+                        max_regression: float = 0.30) -> List[str]:
+    """Regressions of ``report`` versus ``baseline``, as messages.
+
+    Compares events/sec per (mode, scenario) present in both files; a
+    scenario missing from the baseline is skipped (new scenarios must
+    not fail the gate that predates them).  Returns a list of failure
+    messages — empty means the gate passes.
+    """
+    failures: List[str] = []
+    for mode, scenarios in report.get("modes", {}).items():
+        base_mode = baseline.get("modes", {}).get(mode, {})
+        for name, entry in scenarios.items():
+            base = base_mode.get(name)
+            if base is None:
+                continue
+            if not entry.get("deterministic", True):
+                failures.append(
+                    f"{mode}/{name}: repeats disagreed on commit/abort "
+                    "counts (determinism broken)")
+                continue
+            current = entry["events_per_sec"]
+            reference = base["events_per_sec"]
+            if reference <= 0:
+                continue
+            drop = 1.0 - current / reference
+            if drop > max_regression:
+                failures.append(
+                    f"{mode}/{name}: {current:,.0f} events/s is "
+                    f"{drop:.1%} below baseline {reference:,.0f} "
+                    f"(limit {max_regression:.0%})")
+    return failures

@@ -15,6 +15,10 @@ Subcommands:
   table04, sec06) at a chosen fidelity.
 * ``cost`` — the Section VI hardware storage calculator for arbitrary
   (C, m, D).
+* ``bench`` — pinned seeded wall-clock benchmarks of the simulator hot
+  path; writes ``BENCH_hotpath.json`` and optionally gates on an
+  events/sec regression versus a committed baseline
+  (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -105,6 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
     cost_p.add_argument("--cores", type=int, default=5)
     cost_p.add_argument("--multiplexing", type=int, default=2)
     cost_p.add_argument("--remote-nodes", type=float, default=4.0)
+
+    bench_p = sub.add_parser("bench",
+                             help="wall-clock hot-path benchmarks")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="reduced-scale run for CI (seconds, not "
+                              "minutes)")
+    bench_p.add_argument("--repeats", type=int, default=2,
+                         help="runs per scenario; best wall clock wins")
+    bench_p.add_argument("--out", metavar="PATH",
+                         default="BENCH_hotpath.json",
+                         help="report file ('-' to skip writing)")
+    bench_p.add_argument("--baseline", metavar="PATH", default=None,
+                         help="baseline BENCH_*.json to gate against")
+    bench_p.add_argument("--max-regression", type=float, default=0.30,
+                         help="events/sec drop vs --baseline that fails "
+                              "the gate (fraction, default 0.30)")
     return parser
 
 
@@ -285,6 +305,34 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.bench import compare_to_baseline, run_bench, write_report
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"hot-path benchmark ({mode}, best of {args.repeats}):")
+    report = run_bench(smoke=args.smoke, repeats=args.repeats)
+    if args.out != "-":
+        write_report(report, args.out)
+        print(f"report -> {args.out}")
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = compare_to_baseline(report, baseline,
+                                       max_regression=args.max_regression)
+        if failures:
+            print(f"\nregression gate FAILED vs {args.baseline}:")
+            for failure in failures:
+                print(f"  {failure}")
+            status = 1
+        else:
+            print(f"\nregression gate passed vs {args.baseline} "
+                  f"(limit {args.max_regression:.0%})")
+    return status
+
+
 def cmd_cost(args) -> int:
     report = compute_cost(args.cores, args.multiplexing, args.remote_nodes)
     print(format_table(["structure", "value"], [
@@ -302,7 +350,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "profile": cmd_profile,
                 "compare": cmd_compare, "figures": cmd_figures,
-                "cost": cmd_cost}
+                "cost": cmd_cost, "bench": cmd_bench}
     return handlers[args.command](args)
 
 

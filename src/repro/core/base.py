@@ -56,6 +56,12 @@ class ProtocolBase:
         self.engine = cluster.engine
         self.config = cluster.config
         self.metrics = metrics if metrics is not None else RunMetrics()
+        # Derived latencies are pure functions of the frozen config;
+        # caching them here keeps property-chain recomputation (a
+        # division per call) out of the per-access hot path.
+        self._cycle_ns = self.config.core.cycle_ns
+        self._l1_ns = self.config.l1_access_ns()
+        self._local_line_ns = self.config.local_line_access_ns()
         self.rng = DeterministicRandom(seed)
         self.replies = RequestReplyHelper(self.engine)
         self.replies.on_timeout = self._note_request_timeout

@@ -228,7 +228,7 @@ class BaselineProtocol(ProtocolBase):
                            data_category: str):
         node = ctx.node
         # Blocking loads: the core is occupied for the memory access.
-        access_ns = (self.config.local_line_access_ns()
+        access_ns = (self._local_line_ns
                      * descriptor.line_count)
         yield ctx.charge_cpu_ns(access_ns, data_category)
         meta = node.memory.metadata(descriptor.address)
@@ -263,7 +263,7 @@ class BaselineProtocol(ProtocolBase):
         locked_local: List[RecordMetadata] = []
         for entry in local:
             yield ctx.charge_cpu(cost.cas_cycles, CATEGORY_CONFLICT_DETECTION)
-            yield ctx.charge_cpu_ns(self.config.local_line_access_ns(),
+            yield ctx.charge_cpu_ns(self._local_line_ns,
                                     CATEGORY_CONFLICT_DETECTION)
             meta = ctx.node.memory.metadata(entry.descriptor.address)
             # FaRM locks with a CAS on the combined version+lock word:
@@ -325,7 +325,7 @@ class BaselineProtocol(ProtocolBase):
         for entry in local:
             yield ctx.charge_cpu(cost.version_compare_cycles,
                                  CATEGORY_CONFLICT_DETECTION)
-            yield ctx.charge_cpu_ns(self.config.local_line_access_ns(),
+            yield ctx.charge_cpu_ns(self._local_line_ns,
                                     CATEGORY_CONFLICT_DETECTION)
             meta = ctx.node.memory.metadata(entry.descriptor.address)
             if meta.version != entry.version or (
@@ -391,7 +391,7 @@ class BaselineProtocol(ProtocolBase):
             yield ctx.charge_cpu_ns(
                 self.config.copy_ns(entry.descriptor.data_bytes),
                 CATEGORY_MANAGE_SETS)
-            write_ns = (self.config.local_line_access_ns()
+            write_ns = (self._local_line_ns
                         * len(entry.pending))
             if write_ns:
                 yield ctx.charge_cpu_ns(write_ns, CATEGORY_OTHER)

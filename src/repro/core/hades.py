@@ -105,11 +105,13 @@ class HadesProtocol(ProtocolBase):
     def _local_read_line(self, ctx: TxContext, line: int):
         if ctx.private_filter.has_recorded_read(line):
             # Module 1 fast path: no directory traffic needed.
-            yield ctx.charge_cpu_ns(self.config.l1_access_ns())
+            yield ctx.charge_cpu_ns(self._l1_ns)
             return self._local_value(ctx, line)
-        yield ctx.charge_cpu_ns(self.config.local_line_access_ns())
-        yield from self._spin_while(ctx, lambda: ctx.node.directory.read_blocked(
-            line, requester=ctx.owner))
+        yield ctx.charge_cpu_ns(self._local_line_ns)
+        directory = ctx.node.directory
+        if directory.read_blocked(line, ctx.owner):
+            yield from self._spin_blocked(
+                lambda: directory.read_blocked(line, ctx.owner))
         writer = ctx.node.directory.writer_of(line)
         if writer is not None and writer != ctx.txid:
             self.metrics.counters.add("eager_ll_read_conflicts")
@@ -121,12 +123,14 @@ class HadesProtocol(ProtocolBase):
 
     def _local_write_line(self, ctx: TxContext, line: int, value: object):
         if ctx.private_filter.has_recorded_write(line):
-            yield ctx.charge_cpu_ns(self.config.l1_access_ns())
+            yield ctx.charge_cpu_ns(self._l1_ns)
             ctx.local_write_buffer[line] = value
             return
-        yield ctx.charge_cpu_ns(self.config.local_line_access_ns())
-        yield from self._spin_while(ctx, lambda: ctx.node.directory.write_blocked(
-            line, requester=ctx.owner))
+        yield ctx.charge_cpu_ns(self._local_line_ns)
+        directory = ctx.node.directory
+        if directory.write_blocked(line, ctx.owner):
+            yield from self._spin_blocked(
+                lambda: directory.write_blocked(line, ctx.owner))
         writer = ctx.node.directory.writer_of(line)
         if writer is not None and writer != ctx.txid:
             self.metrics.counters.add("eager_ll_write_conflicts")
@@ -162,13 +166,26 @@ class HadesProtocol(ProtocolBase):
             return ctx.local_write_buffer[line]
         return ctx.node.memory.read_line(line)
 
-    def _spin_while(self, ctx: TxContext, blocked) -> Iterable:
-        """Retry until the directory stops blocking the access."""
-        for _ in range(MAX_BLOCKED_RETRIES):
+    def _spin_blocked(self, blocked) -> Iterable:
+        """Retry until the directory stops blocking the access.
+
+        Callers pre-check once and only enter this generator while
+        actually blocked, so the common unblocked access pays one direct
+        directory probe — no generator, no closure.  The check/count/
+        sleep interleaving is exactly the historical spin loop's: the
+        pre-check is check #1, each loop pass sleeps then re-checks, and
+        the attempt gives up after ``MAX_BLOCKED_RETRIES`` checks total
+        (safety valve; a commit holds its partial lock for a couple of
+        round trips at most).
+        """
+        add = self.metrics.counters.add
+        for _ in range(MAX_BLOCKED_RETRIES - 1):
+            add("directory_block_spins")
+            yield BLOCKED_RETRY_NS
             if not blocked():
                 return
-            self.metrics.counters.add("directory_block_spins")
-            yield BLOCKED_RETRY_NS
+        add("directory_block_spins")
+        yield BLOCKED_RETRY_NS
         raise SquashedError("blocked_timeout")
 
     # -- execution: request-level read/write -------------------------------
@@ -183,7 +200,7 @@ class HadesProtocol(ProtocolBase):
             if home == ctx.node_id:
                 values[line] = yield from self._local_read_line(ctx, line)
             elif line in ctx.remote_cache:
-                yield ctx.charge_cpu_ns(self.config.l1_access_ns())
+                yield ctx.charge_cpu_ns(self._l1_ns)
                 values[line] = ctx.remote_cache[line]
             else:
                 remote_by_node.setdefault(home, []).append(line)
@@ -539,7 +556,7 @@ class HadesProtocol(ProtocolBase):
             for line in lines:
                 home = node_of_line(line)
                 if home == ctx.node_id:
-                    yield ctx.charge_cpu_ns(self.config.local_line_access_ns())
+                    yield ctx.charge_cpu_ns(self._local_line_ns)
                     values[line] = self._local_value(ctx, line)
                 elif line in ctx.remote_cache:
                     values[line] = ctx.remote_cache[line]
@@ -678,9 +695,14 @@ class HadesProtocol(ProtocolBase):
         the spin still observes — and clears — the registration.
         """
         node.nic.record_remote_read(message.owner, message.lines)
+        directory = node.directory
+        owner = message.owner
+        lines = message.lines
         for _ in range(MAX_BLOCKED_RETRIES):
-            if not any(node.directory.read_blocked(line, requester=message.owner)
-                       for line in message.lines):
+            for line in lines:
+                if directory.read_blocked(line, owner):
+                    break
+            else:
                 break
             yield BLOCKED_RETRY_NS
         values = node.memory.read_lines(message.lines)
@@ -696,10 +718,14 @@ class HadesProtocol(ProtocolBase):
         As with reads, the BF insert is synchronous at delivery.
         """
         node.nic.record_remote_write(message.owner, message.partial_lines)
+        directory = node.directory
+        owner = message.owner
+        all_lines = message.all_lines
         for _ in range(MAX_BLOCKED_RETRIES):
-            if not any(node.directory.write_blocked(line,
-                                                    requester=message.owner)
-                       for line in message.all_lines):
+            for line in all_lines:
+                if directory.write_blocked(line, owner):
+                    break
+            else:
                 break
             yield BLOCKED_RETRY_NS
         values = node.memory.read_lines(message.partial_lines)

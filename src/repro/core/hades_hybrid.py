@@ -140,15 +140,18 @@ class HadesHybridProtocol(HadesProtocol):
         committing transaction stalls the access.
         """
         cost = self.config.cost
+        directory = ctx.node.directory
+        owner = ctx.owner
         for _retry in range(MAX_READ_RETRIES):
             for _spin in range(256):
-                blocked = any(ctx.node.directory.read_blocked(
-                    line, requester=ctx.owner) for line in descriptor.lines)
-                if not blocked:
+                for line in descriptor.lines:
+                    if directory.read_blocked(line, owner):
+                        break
+                else:
                     break
                 self.metrics.counters.add("directory_block_spins")
                 yield BLOCKED_RETRY_NS
-            access_ns = (self.config.local_line_access_ns()
+            access_ns = (self._local_line_ns
                          * descriptor.line_count)
             yield ctx.charge_cpu_ns(access_ns, data_category)
             yield ctx.charge_cpu(
@@ -191,7 +194,7 @@ class HadesHybridProtocol(HadesProtocol):
             to_fetch = []
             for line in lines:
                 if line in ctx.remote_cache:
-                    yield ctx.charge_cpu_ns(self.config.l1_access_ns())
+                    yield ctx.charge_cpu_ns(self._l1_ns)
                     values[line] = ctx.remote_cache[line]
                 else:
                     to_fetch.append(line)
@@ -311,7 +314,7 @@ class HadesHybridProtocol(HadesProtocol):
         cost = self.config.cost
         entries = list(ctx.read_set.values())
         for entry in entries:
-            yield ctx.charge_cpu_ns(self.config.local_line_access_ns(),
+            yield ctx.charge_cpu_ns(self._local_line_ns,
                                     CATEGORY_CONFLICT_DETECTION)
             yield ctx.charge_cpu(cost.version_compare_cycles,
                                  CATEGORY_CONFLICT_DETECTION)

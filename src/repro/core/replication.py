@@ -512,10 +512,14 @@ class HadesReplicatedProtocol(HadesProtocol):
             yield from super()._serve_remote_read(node, src, message)
             return
         node.nic.record_remote_read(message.owner, message.lines)
+        directory = node.directory
+        owner = message.owner
+        lines = message.lines
         for _ in range(MAX_BLOCKED_RETRIES):
-            if not any(node.directory.read_blocked(line,
-                                                   requester=message.owner)
-                       for line in message.lines):
+            for line in lines:
+                if directory.read_blocked(line, owner):
+                    break
+            else:
                 break
             yield BLOCKED_RETRY_NS
         values = node.memory.read_lines(home_lines)
@@ -534,10 +538,14 @@ class HadesReplicatedProtocol(HadesProtocol):
             yield from super()._serve_remote_write_access(node, src, message)
             return
         node.nic.record_remote_write(message.owner, message.partial_lines)
+        directory = node.directory
+        owner = message.owner
+        all_lines = message.all_lines
         for _ in range(MAX_BLOCKED_RETRIES):
-            if not any(node.directory.write_blocked(line,
-                                                    requester=message.owner)
-                       for line in message.all_lines):
+            for line in all_lines:
+                if directory.write_blocked(line, owner):
+                    break
+            else:
                 break
             yield BLOCKED_RETRY_NS
         values = node.memory.read_lines(home_partial)

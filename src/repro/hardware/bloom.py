@@ -12,9 +12,15 @@ Two designs from the paper:
   the LLC sets that might hold a transaction's written lines
   (:meth:`SplitWriteBloomFilter.enabled_llc_sets`).
 
-Filters track ``inserted_count`` so the characterization experiments can
-report occupancy, and offer :meth:`analytic false-positive rates
-<BloomFilter.analytic_false_positive_rate>` for Table IV.
+Filters track ``inserted_count`` (raw inserts, for the energy model)
+and ``distinct_inserted_count`` (unique keys — the quantity
+:meth:`analytic false-positive rates
+<BloomFilter.analytic_false_positive_rate>` for Table IV are defined
+over; under zipfian workloads the two diverge sharply).
+
+The bit state lives in a single Python integer per section: an insert
+is one ``|=`` with a memoized per-key mask, a probe one ``&``, and
+``clear()`` is O(1) — see :class:`repro.hardware.crc.HashFamily`.
 """
 
 from __future__ import annotations
@@ -22,7 +28,16 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Set
 
-from repro.hardware.crc import hash_family
+from repro.hardware.crc import hash_family, shared_hash_family
+
+__all__ = [
+    "BloomFilter",
+    "SplitWriteBloomFilter",
+    "make_core_read_filter",
+    "make_core_write_filter",
+    "make_nic_filter_pair",
+    "hash_family",
+]
 
 
 class BloomFilter:
@@ -47,18 +62,30 @@ class BloomFilter:
             raise ValueError(f"filter too small: {bits} bits")
         self.bits = bits
         self.hashes = hashes
-        self._hash_fns = hash_family(hashes, bits)
-        self._array = bytearray(bits // 8 + (1 if bits % 8 else 0))
+        self._family = shared_hash_family(hashes, bits)
+        self._bitmask = 0
+        #: Raw insert count, duplicates included (each is a BF write).
         self.inserted_count = 0
+        self._keys: Set[int] = set()
+
+    @property
+    def distinct_inserted_count(self) -> int:
+        """Unique keys inserted since the last :meth:`clear`.
+
+        This — not ``inserted_count`` — is the ``inserted`` argument
+        :meth:`analytic_false_positive_rate` assumes: occupancy depends
+        on distinct keys, and zipfian workloads re-insert hot keys.
+        """
+        return len(self._keys)
 
     def _positions(self, key: int) -> List[int]:
-        return [fn(key) for fn in self._hash_fns]
+        return self._family.positions(key)
 
     def insert(self, key: int) -> None:
         """Insert a key; duplicates still count toward ``inserted_count``."""
-        for position in self._positions(key):
-            self._array[position >> 3] |= 1 << (position & 7)
+        self._bitmask |= self._family.mask(key)
         self.inserted_count += 1
+        self._keys.add(key)
         BloomFilter.total_write_ops += 1
 
     def insert_all(self, keys: Iterable[int]) -> None:
@@ -68,27 +95,25 @@ class BloomFilter:
     def might_contain(self, key: int) -> bool:
         """Membership test — may return false positives, never negatives."""
         BloomFilter.total_read_ops += 1
-        for position in self._positions(key):
-            if not self._array[position >> 3] & (1 << (position & 7)):
-                return False
-        return True
+        mask = self._family.mask(key)
+        return self._bitmask & mask == mask
 
     def clear(self) -> None:
-        """Reset the filter (transaction commit/squash)."""
-        for index in range(len(self._array)):
-            self._array[index] = 0
+        """Reset the filter (transaction commit/squash) — O(1)."""
+        self._bitmask = 0
         self.inserted_count = 0
+        self._keys.clear()
 
     @property
     def is_empty(self) -> bool:
-        return not any(self._array)
+        return self._bitmask == 0
 
     def set_bit_count(self) -> int:
         """Number of bits currently set (occupancy diagnostics)."""
-        return sum(bin(byte).count("1") for byte in self._array)
+        return bin(self._bitmask).count("1")
 
     def analytic_false_positive_rate(self, inserted: int) -> float:
-        """Expected FP rate after ``inserted`` distinct keys (Table IV)."""
+        """Expected FP rate after ``inserted`` *distinct* keys (Table IV)."""
         if inserted < 0:
             raise ValueError(f"negative insert count: {inserted}")
         if inserted == 0:
@@ -97,7 +122,7 @@ class BloomFilter:
         return fill ** self.hashes
 
     def storage_bytes(self) -> int:
-        return len(self._array)
+        return self.bits // 8 + (1 if self.bits % 8 else 0)
 
 
 class SplitWriteBloomFilter:
@@ -124,12 +149,18 @@ class SplitWriteBloomFilter:
         self.index_bits = index_bits
         self.llc_sets = llc_sets
         self.line_bytes = line_bytes
-        self._index_array = bytearray(index_bits // 8 + (1 if index_bits % 8 else 0))
+        self._index_bitmask = 0
         self.inserted_count = 0
+        self._keys: Set[int] = set()
 
     @property
     def bits(self) -> int:
         return self.crc_section.bits + self.index_bits
+
+    @property
+    def distinct_inserted_count(self) -> int:
+        """Unique keys inserted since the last :meth:`clear`."""
+        return len(self._keys)
 
     def _llc_index(self, key: int) -> int:
         """LLC set index of a cache-line address."""
@@ -140,13 +171,14 @@ class SplitWriteBloomFilter:
 
     def insert(self, key: int) -> None:
         self.crc_section.insert(key)
-        position = self._index_position(key)
-        self._index_array[position >> 3] |= 1 << (position & 7)
+        self._index_bitmask |= (
+            1 << (key // self.line_bytes) % self.llc_sets % self.index_bits)
         # The WrBF2 index-array update is a BF write access of its own
         # (WrBF1's was counted by crc_section.insert) — the Table III
         # energy model charges both sections.
         BloomFilter.total_write_ops += 1
         self.inserted_count += 1
+        self._keys.add(key)
 
     def insert_all(self, keys: Iterable[int]) -> None:
         for key in keys:
@@ -160,21 +192,21 @@ class SplitWriteBloomFilter:
         miss does not save WrBF1's (already issued) access.
         """
         BloomFilter.total_read_ops += 1  # WrBF2 index-array probe
-        position = self._index_position(key)
-        if not self._index_array[position >> 3] & (1 << (position & 7)):
+        if not (self._index_bitmask
+                >> (key // self.line_bytes) % self.llc_sets % self.index_bits) & 1:
             BloomFilter.total_read_ops += 1  # parallel WrBF1 probe
             return False
         return self.crc_section.might_contain(key)
 
     def clear(self) -> None:
         self.crc_section.clear()
-        for index in range(len(self._index_array)):
-            self._index_array[index] = 0
+        self._index_bitmask = 0
         self.inserted_count = 0
+        self._keys.clear()
 
     @property
     def is_empty(self) -> bool:
-        return self.crc_section.is_empty and not any(self._index_array)
+        return self.crc_section.is_empty and self._index_bitmask == 0
 
     def enabled_llc_sets(self) -> Set[int]:
         """LLC sets that may hold lines written by the owner transaction.
@@ -184,12 +216,15 @@ class SplitWriteBloomFilter:
         tags against the transaction ID.
         """
         enabled: Set[int] = set()
-        for position in range(self.index_bits):
-            if self._index_array[position >> 3] & (1 << (position & 7)):
-                llc_set = position
-                while llc_set < self.llc_sets:
-                    enabled.add(llc_set)
-                    llc_set += self.index_bits
+        remaining = self._index_bitmask
+        while remaining:
+            low_bit = remaining & -remaining
+            position = low_bit.bit_length() - 1
+            remaining ^= low_bit
+            llc_set = position
+            while llc_set < self.llc_sets:
+                enabled.add(llc_set)
+                llc_set += self.index_bits
         return enabled
 
     def analytic_false_positive_rate(self, inserted: int) -> float:
@@ -203,7 +238,8 @@ class SplitWriteBloomFilter:
         return crc_rate * index_fill
 
     def storage_bytes(self) -> int:
-        return self.crc_section.storage_bytes() + len(self._index_array)
+        return (self.crc_section.storage_bytes()
+                + self.index_bits // 8 + (1 if self.index_bits % 8 else 0))
 
 
 def make_core_read_filter(bloom_params) -> BloomFilter:

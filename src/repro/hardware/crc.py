@@ -78,3 +78,71 @@ def hash_family(count: int, modulus: int) -> List[Callable[[int], int]]:
         return hash_fn
 
     return [make(i + 1) for i in range(count)]
+
+
+#: Keys memoized per family before the cache is dropped and rebuilt —
+#: a safety valve for pathological key universes, far above any
+#: workload's working set (record counts top out around 1e5).
+_CACHE_LIMIT = 1 << 20
+
+
+class HashFamily:
+    """A seeded SplitMix64 hash family with a per-key bit-mask cache.
+
+    Computes exactly the same positions as :func:`hash_family` (same
+    seeds, same mixing, same modulus), but exposes them as a single
+    OR-able integer mask so a Bloom filter can insert with one ``|=``
+    and probe with one ``&``.  Masks are memoized per key: workloads
+    touch the same cache lines over and over, so after warm-up a probe
+    is a dict hit plus one ``&`` instead of ``count`` SplitMix64 runs.
+
+    Instances are shared across filters of the same shape (see
+    :func:`shared_hash_family`) — the hash depends only on
+    ``(count, modulus, key)``, so the cache is safely global.
+    """
+
+    __slots__ = ("count", "modulus", "_seeds", "_masks")
+
+    def __init__(self, count: int, modulus: int):
+        if count < 1:
+            raise ValueError(f"need at least one hash: {count}")
+        if modulus < 2:
+            raise ValueError(f"modulus too small: {modulus}")
+        self.count = count
+        self.modulus = modulus
+        self._seeds = [(i + 1) * 0x9E3779B97F4A7C15 & _MASK64
+                       for i in range(count)]
+        self._masks: dict = {}
+
+    def positions(self, key: int) -> List[int]:
+        """Bit positions for ``key`` — identical to :func:`hash_family`."""
+        modulus = self.modulus
+        return [splitmix64(key ^ seed) % modulus for seed in self._seeds]
+
+    def mask(self, key: int) -> int:
+        """OR of ``1 << position`` over this key's hash positions."""
+        mask = self._masks.get(key)
+        if mask is None:
+            mask = 0
+            modulus = self.modulus
+            for seed in self._seeds:
+                mask |= 1 << splitmix64(key ^ seed) % modulus
+            if len(self._masks) >= _CACHE_LIMIT:
+                self._masks.clear()
+            self._masks[key] = mask
+        return mask
+
+
+_FAMILIES: dict = {}
+
+
+def shared_hash_family(count: int, modulus: int) -> HashFamily:
+    """The process-wide :class:`HashFamily` for ``(count, modulus)``.
+
+    Every Bloom filter of a given shape shares one family so the mask
+    cache is warmed once per key per shape, not once per filter.
+    """
+    family = _FAMILIES.get((count, modulus))
+    if family is None:
+        family = _FAMILIES[(count, modulus)] = HashFamily(count, modulus)
+    return family

@@ -132,16 +132,43 @@ class Directory:
         self._buffers = [b for b in self._buffers if b.owner != owner]
 
     def read_blocked(self, line: int, requester: Optional[Tuple[int, int]] = None) -> bool:
-        """Would a read of ``line`` be denied right now?"""
-        if not self.partial and self._buffers:
-            return any(b.owner != requester for b in self._buffers)
-        return any(b.owner != requester and b.blocks_read(line) for b in self._buffers)
+        """Would a read of ``line`` be denied right now?
+
+        Spin loops call this once per blocked line per retry, so the
+        probes are inlined plain loops — same short-circuit order (and
+        hence the same energy-model access counts) as the BF checks a
+        ``LockingBuffer`` would make, without generator overhead.
+        """
+        buffers = self._buffers
+        if not buffers:
+            return False
+        if not self.partial:
+            for buffer in buffers:
+                if buffer.owner != requester:
+                    return True
+            return False
+        for buffer in buffers:
+            if (buffer.owner != requester
+                    and buffer.write_bf.might_contain(line)):
+                return True
+        return False
 
     def write_blocked(self, line: int, requester: Optional[Tuple[int, int]] = None) -> bool:
         """Would a write of ``line`` be denied right now?"""
-        if not self.partial and self._buffers:
-            return any(b.owner != requester for b in self._buffers)
-        return any(b.owner != requester and b.blocks_write(line) for b in self._buffers)
+        buffers = self._buffers
+        if not buffers:
+            return False
+        if not self.partial:
+            for buffer in buffers:
+                if buffer.owner != requester:
+                    return True
+            return False
+        for buffer in buffers:
+            if buffer.owner != requester and (
+                    buffer.read_bf.might_contain(line)
+                    or buffer.write_bf.might_contain(line)):
+                return True
+        return False
 
     def lock_owners(self) -> List[Tuple[int, int]]:
         return [buffer.owner for buffer in self._buffers]

@@ -26,7 +26,7 @@ later sends on the same pair cannot undercut.
 
 from __future__ import annotations
 
-import inspect
+from types import GeneratorType
 from typing import Any, Callable, Dict, Tuple
 
 from repro.config import NetworkParams
@@ -72,7 +72,15 @@ class Fabric:
     def __init__(self, engine: Engine, params: NetworkParams):
         self.engine = engine
         self.params = params
+        # Per-send constants hoisted out of the hot path: ``params`` is a
+        # frozen dataclass, so its derived properties never change after
+        # construction, and recomputing them per message (two property
+        # calls + a division each) dominated ``send`` profiles.
+        self._bytes_per_ns = params.bytes_per_ns
+        self._one_way_ns = params.one_way_latency_ns
+        self._nic_ns = params.nic_processing_ns
         self._handlers: Dict[int, Handler] = {}
+        self._handler_names: Dict[type, str] = {}
         self._egress_free_at: Dict[int, float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -94,10 +102,15 @@ class Fabric:
         self.recovery = None
         #: Messages the fault injector dropped (never delivered).
         self.dropped_messages = 0
-        #: Per-(src, dst) floor on delivery times, maintained only while
+        #: Per-(src, dst) delivery-time floor, maintained only while
         #: faults are active: injected delays must not let a later send
         #: overtake an earlier one on the same pair (FIFO guarantee).
-        self._pair_floor: Dict[Tuple[int, int], float] = {}
+        #: Stored as ``(anchor, bumps)``: the floor is
+        #: ``anchor + bumps * _FIFO_SPACING_NS`` computed with a single
+        #: multiply, so a long same-instant burst cannot accumulate one
+        #: float rounding residue per message (k additions of 1e-3 drift
+        #: away from k * 1e-3; the product form is exact per message).
+        self._pair_floor: Dict[Tuple[int, int], Tuple[float, int]] = {}
 
     def register(self, node_id: int, handler: Handler) -> None:
         """Install ``handler`` for messages delivered to ``node_id``."""
@@ -117,16 +130,18 @@ class Fabric:
         if dst not in self._handlers:
             raise KeyError(f"no handler registered for node {dst}")
         size = message.size_bytes()
+        if size < 0:
+            raise ValueError(f"negative message size: {size}")
         now = self.engine.now
         if self.recovery is not None:
             self.recovery.on_send(src, message)
         egress_start = max(now, self._egress_free_at.get(src, 0.0))
-        egress_done = egress_start + self.params.transfer_ns(size)
+        egress_done = egress_start + size / self._bytes_per_ns
         self._egress_free_at[src] = egress_done
         delivery_delay = (
             (egress_done - now)
-            + self.params.one_way_latency_ns
-            + self.params.nic_processing_ns
+            + self._one_way_ns
+            + self._nic_ns
         )
         self.messages_sent += 1
         self.bytes_sent += size
@@ -146,11 +161,21 @@ class Fabric:
                 delivery_delay += extra_ns
             # Preserve per-pair FIFO under injected delays.
             delivery_at = now + delivery_delay
-            floor = self._pair_floor.get((src, dst))
-            if floor is not None and delivery_at <= floor:
-                delivery_at = floor + _FIFO_SPACING_NS
-                delivery_delay = delivery_at - now
-            self._pair_floor[(src, dst)] = delivery_at
+            pair = (src, dst)
+            state = self._pair_floor.get(pair)
+            if state is None:
+                self._pair_floor[pair] = (delivery_at, 0)
+            else:
+                anchor, bumps = state
+                floor = (anchor + bumps * _FIFO_SPACING_NS if bumps
+                         else anchor)
+                if delivery_at <= floor:
+                    bumps += 1
+                    delivery_at = anchor + bumps * _FIFO_SPACING_NS
+                    delivery_delay = delivery_at - now
+                    self._pair_floor[pair] = (anchor, bumps)
+                else:
+                    self._pair_floor[pair] = (delivery_at, 0)
         if self.tracer is not None or self.stats is not None:
             msg_type = type(message).__name__
             queue_ns = egress_start - now
@@ -175,8 +200,12 @@ class Fabric:
             return
         handler = self._handlers[dst]
         result = handler(src, message)
-        if inspect.isgenerator(result):
-            self.engine.process(result, name=f"handle-{type(message).__name__}")
+        if type(result) is GeneratorType:
+            cls = message.__class__
+            name = self._handler_names.get(cls)
+            if name is None:
+                name = self._handler_names[cls] = f"handle-{cls.__name__}"
+            self.engine.process(result, name=name)
         delivered.succeed(message)
 
     def egress_backlog_ns(self, node_id: int) -> float:
@@ -195,15 +224,20 @@ class RequestReplyHelper:
     this), every expected reply races a timer: if no reply arrives in
     time, the waiting event fires with :data:`TIMED_OUT` instead of
     hanging the simulation, and a reply that shows up later is dropped
-    like any other late reply.  Timers are identity-checked against the
-    pending table, so a resolved/abandoned/re-expected token never gets
-    expired by a stale timer.
+    like any other late reply.  Timers are cancelled the moment their
+    request resolves or is abandoned — a retry storm arms timers far
+    faster than deadlines pass, and without cancellation every dead
+    timer squats in the engine heap until it expires.  The identity
+    check in :meth:`_expire` stays as a second line of defence, so a
+    resolved/abandoned/re-expected token can never be expired by a
+    stale timer even if one slips through.
     """
 
     def __init__(self, engine: Engine,
                  default_timeout_ns: float = None):
         self.engine = engine
         self._pending: Dict[Any, Event] = {}
+        self._timers: Dict[Any, Any] = {}
         #: When set, every :meth:`expect` without an explicit timeout
         #: arms a timer for this many simulated ns.  None = wait forever
         #: (the fault-free default).
@@ -222,10 +256,17 @@ class RequestReplyHelper:
         if timeout_ns is None:
             timeout_ns = self.default_timeout_ns
         if timeout_ns is not None:
-            self.engine.schedule(timeout_ns, self._expire, token, event)
+            self._timers[token] = self.engine.schedule(
+                timeout_ns, self._expire, token, event)
         return event
 
+    def _cancel_timer(self, token: Any) -> None:
+        entry = self._timers.pop(token, None)
+        if entry is not None:
+            self.engine.cancel(entry)
+
     def _expire(self, token: Any, event: Event) -> None:
+        self._timers.pop(token, None)
         # Identity check: only expire if this exact request is still the
         # pending one (not resolved, abandoned, or a reused token).
         if self._pending.get(token) is not event:
@@ -242,11 +283,13 @@ class RequestReplyHelper:
             # The requester may have been squashed and abandoned the
             # request; late replies are dropped.
             return
+        self._cancel_timer(token)
         event.succeed(value)
 
     def abandon(self, token: Any) -> None:
         """Requester no longer cares (squashed mid-flight)."""
-        self._pending.pop(token, None)
+        if self._pending.pop(token, None) is not None:
+            self._cancel_timer(token)
 
     def abandon_owner(self, owner) -> None:
         """Drop every pending token issued for ``owner``'s transaction."""
@@ -254,6 +297,7 @@ class RequestReplyHelper:
                  if isinstance(token, tuple) and token and token[0] == owner]
         for token in stale:
             self._pending.pop(token, None)
+            self._cancel_timer(token)
 
     @property
     def outstanding(self) -> int:

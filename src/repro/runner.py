@@ -51,6 +51,9 @@ class ExperimentResult:
     #: Recovery-plane totals (suspicions, epoch bumps, failover work)
     #: when crash recovery was enabled; else None.
     recovery_summary: Optional[Dict[str, float]] = None
+    #: Engine callbacks executed during the run — the numerator of the
+    #: benchmark harness's events/sec (see docs/PERFORMANCE.md).
+    events_processed: int = 0
 
     @property
     def throughput(self) -> float:
@@ -197,7 +200,8 @@ def run_experiment(
                                            if injector is not None else None),
                             recovery_summary=(recovery_manager.summary()
                                               if recovery_manager is not None
-                                              else None))
+                                              else None),
+                            events_processed=engine.events_processed)
 
 
 def _client_driver(protocol, workload: Workload, node_id: int, slot: int,

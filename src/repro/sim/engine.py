@@ -18,17 +18,33 @@ A process may be :meth:`interrupted <Process.interrupt>`: an
 :class:`~repro.sim.events.Interrupt` is thrown into its generator at the
 current wait point.  Generators can catch it (transaction restart) or let
 it unwind (process death).
+
+Heap entries are mutable ``[when, seq, callback, args]`` lists so a
+scheduled callback can be cancelled lazily: :meth:`Engine.cancel` nulls
+the callback in place and the run loop skips the husk when it surfaces,
+instead of paying an O(n) heap removal.  Dead entries are compacted
+away if they ever dominate the queue (retry storms arm and abandon
+timers far faster than their deadlines pass).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.sim.events import CompletionEvent, Event, Interrupt, Timeout
 
 ProcessGenerator = Generator[Any, Any, Any]
+
+#: A scheduled-callback heap entry: ``[when, seq, callback, args]``.
+#: ``seq`` is unique per entry, so heap comparison never reaches the
+#: callback field and cancellation can mutate it freely.
+ScheduledEntry = List[Any]
+
+#: Compaction threshold: rebuild the heap once more than this many
+#: cancelled entries accumulate *and* they outnumber live ones.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Engine:
@@ -39,6 +55,10 @@ class Engine:
         self._queue: list = []
         self._sequence = itertools.count()
         self._active = 0  # number of live processes (for run-until-idle)
+        self._cancelled = 0  # dead entries still sitting in the heap
+        #: Callbacks executed so far (skipped cancellations excluded) —
+        #: the numerator of the benchmark harness's events/sec.
+        self.events_processed = 0
         #: The process currently executing, if any — lets library code
         #: running inside a process discover its own Process handle
         #: (used to register transactions for squash interrupts).
@@ -47,17 +67,46 @@ class Engine:
         #: default) keeps every hook to a single attribute check.
         self.tracer = None
 
-    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
-        """Run ``callback(*args)`` ``delay`` nanoseconds from now."""
+    def schedule(self, delay: float, callback: Callable,
+                 *args: Any) -> ScheduledEntry:
+        """Run ``callback(*args)`` ``delay`` nanoseconds from now.
+
+        Returns the heap entry, which can be passed to :meth:`cancel`.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past: delay={delay}")
-        if self.tracer is not None and self.tracer.capture_schedules:
-            self.tracer.engine_schedule(self.now, self.now + delay,
-                                        getattr(callback, "__qualname__",
-                                                repr(callback)))
-        heapq.heappush(
-            self._queue, (self.now + delay, next(self._sequence), callback, args)
-        )
+        tracer = self.tracer
+        if tracer is not None and tracer.capture_schedules:
+            tracer.engine_schedule(self.now, self.now + delay,
+                                   getattr(callback, "__qualname__",
+                                           repr(callback)))
+        entry = [self.now + delay, next(self._sequence), callback, args]
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def cancel(self, entry: ScheduledEntry) -> None:
+        """Lazily cancel a scheduled entry (no-op if already cancelled).
+
+        The entry stays in the heap but its callback is nulled; the run
+        loop discards it without executing anything or advancing the
+        clock.  Cancelling an entry that has already fired is harmless
+        only if the caller's bookkeeping guarantees it has not — the
+        engine cannot tell a popped entry from a live one, so callers
+        (``Process`` sleeps, ``RequestReplyHelper`` timers) drop their
+        reference once the callback runs.
+        """
+        if entry[2] is None:
+            return
+        entry[2] = None
+        entry[3] = ()
+        self._cancelled += 1
+        queue = self._queue
+        if (self._cancelled > _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(queue)):
+            # In-place so run()'s local binding sees the compacted list.
+            queue[:] = [e for e in queue if e[2] is not None]
+            heapq.heapify(queue)
+            self._cancelled = 0
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` ns from now."""
@@ -78,20 +127,33 @@ class Engine:
         is advanced exactly to ``until`` even if the last event fired
         earlier, so throughput denominators are well defined.
         """
-        while self._queue:
-            when, _seq, callback, args = self._queue[0]
-            if until is not None and when > until:
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        while queue:
+            entry = queue[0]
+            if until is not None and entry[0] > until:
                 break
-            heapq.heappop(self._queue)
-            self.now = when
-            callback(*args)
+            pop(queue)
+            callback = entry[2]
+            if callback is None:
+                self._cancelled -= 1
+                continue
+            self.now = entry[0]
+            processed += 1
+            callback(*entry[3])
+        self.events_processed += processed
         if until is not None and self.now < until:
             self.now = until
         return self.now
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2] is None:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        return queue[0][0] if queue else None
 
 
 class Process(CompletionEvent):
@@ -106,6 +168,7 @@ class Process(CompletionEvent):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        self._sleep_entry: Optional[ScheduledEntry] = None
         self._alive = True
         engine._active += 1
         if engine.tracer is not None:
@@ -122,13 +185,17 @@ class Process(CompletionEvent):
 
         No-op on a dead process.  If the process is waiting on an event,
         it is removed from that event's waiters first, so the event's
-        later trigger does not resume it a second time.
+        later trigger does not resume it a second time.  A pending sleep
+        is cancelled outright — its wake-up must not race the interrupt.
         """
         if not self._alive:
             return
         if self._waiting_on is not None:
             self._waiting_on.remove_callback(self._on_event)
             self._waiting_on = None
+        elif self._sleep_entry is not None:
+            self.engine.cancel(self._sleep_entry)
+            self._sleep_entry = None
         self.engine.schedule(0.0, self._resume, None, Interrupt(cause))
 
     # -- internals ---------------------------------------------------
@@ -180,10 +247,27 @@ class Process(CompletionEvent):
             self._waiting_on = yielded
             yielded.add_callback(self._on_event)
         elif isinstance(yielded, (int, float)):
-            self._wait_for(self.engine.timeout(float(yielded)))
+            # Sleep fast path: two scheduler hops (fire at the deadline,
+            # wake at a fresh sequence number) mirror the historical
+            # Timeout-event path exactly — same sequence-number
+            # consumption, same ordering against same-timestamp events —
+            # without allocating an Event or registering callbacks.
+            delay = float(yielded)
+            if delay < 0:
+                raise ValueError(f"negative delay: {delay}")
+            self._sleep_entry = self.engine.schedule(delay, self._sleep_fire)
         else:
             error = TypeError(f"process {self.name!r} yielded {yielded!r}")
             self._finish(None, error)
+
+    def _sleep_fire(self) -> None:
+        # First hop reached the deadline; the second hop orders the
+        # actual resume after any events already scheduled for now.
+        self._sleep_entry = self.engine.schedule(0.0, self._sleep_wake)
+
+    def _sleep_wake(self) -> None:
+        self._sleep_entry = None
+        self._resume(None, None)
 
     def _finish(self, value: Any, exception: Optional[BaseException]) -> None:
         self._alive = False

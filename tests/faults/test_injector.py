@@ -213,8 +213,9 @@ class TestFabricIntegration:
         assert order == [("start", 1), ("end", 1),
                          ("start", 2), ("end", 2)]
         assert first.triggered and second.triggered
-        floor = fabric._pair_floor[(0, 1)]
-        assert floor >= 1000.0 + _FIFO_SPACING_NS
+        anchor, bumps = fabric._pair_floor[(0, 1)]
+        assert anchor + bumps * _FIFO_SPACING_NS >= 1000.0 + _FIFO_SPACING_NS
+        assert bumps == 1
 
     def test_fault_free_fast_path_keeps_no_floor(self):
         engine, fabric = make_fabric()

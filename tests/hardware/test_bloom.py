@@ -164,6 +164,39 @@ def test_factory_sizes_match_table_iii():
     assert nic_read.bits == nic_write.bits == 1024
 
 
+def test_repeated_inserts_counted_once_as_distinct():
+    """Regression: zipfian re-inserts must not inflate occupancy stats.
+
+    ``inserted_count`` is the energy model's write-access count (every
+    insert is a BF write, duplicates included); the analytic FP rate is
+    defined over *distinct* keys.  Conflating the two over-estimated
+    occupancy under hot-key workloads."""
+    bf = BloomFilter(1024, hashes=2)
+    for _ in range(50):
+        bf.insert(42)
+    bf.insert(43)
+    assert bf.inserted_count == 51
+    assert bf.distinct_inserted_count == 2
+    bits_after = bf.set_bit_count()
+    bf.insert(42)
+    assert bf.set_bit_count() == bits_after  # re-insert sets no new bits
+    bf.clear()
+    assert bf.inserted_count == 0
+    assert bf.distinct_inserted_count == 0
+
+
+def test_split_filter_repeated_inserts_counted_once_as_distinct():
+    bf = SplitWriteBloomFilter(llc_sets=4096)
+    for _ in range(10):
+        bf.insert(64)
+    assert bf.inserted_count == 10
+    assert bf.distinct_inserted_count == 1
+    bf.insert(128)
+    assert bf.distinct_inserted_count == 2
+    bf.clear()
+    assert bf.distinct_inserted_count == 0
+
+
 @given(st.sets(st.integers(min_value=0, max_value=2 ** 48), min_size=1,
                max_size=100))
 @settings(max_examples=50, deadline=None)

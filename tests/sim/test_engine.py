@@ -1,6 +1,8 @@
 """Tests for the discrete-event engine and process model."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import AllOf, Engine, Interrupt
 
@@ -268,6 +270,95 @@ def test_peek_reports_next_event_time():
     assert engine.peek() is None
     engine.schedule(12.0, lambda: None)
     assert engine.peek() == 12.0
+
+
+def test_cancel_skips_callback_without_advancing_clock():
+    engine = Engine()
+    seen = []
+    entry = engine.schedule(50.0, seen.append, "cancelled")
+    engine.schedule(10.0, seen.append, "live")
+    engine.cancel(entry)
+    engine.run()
+    assert seen == ["live"]
+    assert engine.now == 10.0  # the dead entry must not advance time
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    entry = engine.schedule(5.0, lambda: None)
+    engine.cancel(entry)
+    engine.cancel(entry)  # must not raise or double-count
+    engine.run()
+    assert engine.now == 0.0
+
+
+def test_events_processed_counts_only_executed_callbacks():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.cancel(engine.schedule(3.0, lambda: None))
+    engine.run()
+    assert engine.events_processed == 2
+
+
+def test_peek_skips_cancelled_entries():
+    engine = Engine()
+    entry = engine.schedule(5.0, lambda: None)
+    engine.schedule(20.0, lambda: None)
+    engine.cancel(entry)
+    assert engine.peek() == 20.0
+
+
+def test_abandoned_timers_do_not_grow_queue_unboundedly():
+    """Regression: a retry storm arms and abandons timers far faster
+    than their deadlines pass.  Without compaction every dead entry
+    squats in the heap until its (far-future) deadline."""
+    engine = Engine()
+    for _ in range(10):
+        entries = [engine.schedule(1e9, lambda: None) for _ in range(50)]
+        for entry in entries:
+            engine.cancel(entry)
+        # Compaction keeps the heap near its live size (0 here), far
+        # below the 500 entries scheduled overall.
+        assert len(engine._queue) <= 150
+
+
+def test_cancelled_sleep_does_not_wake_process():
+    engine = Engine()
+    trace = []
+
+    def sleeper():
+        try:
+            yield 100.0
+            trace.append("woke")
+        except Interrupt:
+            trace.append(("interrupted", engine.now))
+            yield 7.0
+            trace.append(("slept again", engine.now))
+
+    process = engine.process(sleeper())
+    engine.schedule(30.0, process.interrupt)
+    engine.run()
+    # The 100 ns wake-up was cancelled: time never reaches it.
+    assert trace == [("interrupted", 30.0), ("slept again", 37.0)]
+    assert engine.now == 37.0
+
+
+@given(st.lists(st.sampled_from([0.0, 1.0, 2.0, 5.0]), min_size=1,
+                max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_heap_tie_break_preserves_schedule_order(delays):
+    """Same-time events run in schedule order, regardless of how they
+    interleave with other timestamps (the heap entries' unique sequence
+    numbers are the only tie-break)."""
+    engine = Engine()
+    seen = []
+    for index, delay in enumerate(delays):
+        engine.schedule(delay, seen.append, (delay, index))
+    engine.run()
+    expected = sorted(((delay, index) for index, delay in enumerate(delays)),
+                      key=lambda pair: (pair[0], pair[1]))
+    assert seen == expected
 
 
 def test_nested_generators_compose_with_yield_from():

@@ -1,0 +1,149 @@
+"""Tests for the wall-clock benchmark harness and ``repro bench``."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCENARIOS,
+    BenchScenario,
+    compare_to_baseline,
+    merge_reports,
+    run_bench,
+    write_report,
+)
+from repro.cli import build_parser, main
+from repro.config import ClusterConfig
+from repro.workloads import MicroWorkload
+
+#: A scenario small enough to run in milliseconds inside the tests.
+TINY = BenchScenario(
+    name="tiny",
+    protocol="hades",
+    make_workload=lambda: MicroWorkload(0.5, record_count=64),
+    config=ClusterConfig(nodes=2),
+    duration_ns=8_000.0,
+    smoke_duration_ns=4_000.0,
+    seed=5,
+    llc_sets=256,
+)
+
+
+def _quiet(_message):
+    pass
+
+
+class TestHarness:
+    def test_scenarios_are_pinned(self):
+        names = [scenario.name for scenario in SCENARIOS]
+        assert names == ["ycsb_b", "tpcc_mix", "micro_hot"]
+        for scenario in SCENARIOS:
+            assert scenario.smoke_duration_ns < scenario.duration_ns
+
+    def test_run_bench_reports_events_and_determinism(self):
+        report = run_bench(smoke=True, repeats=2, scenarios=[TINY],
+                           log=_quiet)
+        assert report["schema"] == 1
+        assert report["benchmark"] == "hotpath"
+        entry = report["modes"]["smoke"]["tiny"]
+        assert entry["events"] > 0
+        assert entry["events_per_sec"] > 0
+        assert entry["sim_duration_ns"] == TINY.smoke_duration_ns
+        assert entry["repeats"] == 2
+        assert entry["deterministic"] is True
+
+    def test_run_bench_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_bench(repeats=0, scenarios=[TINY], log=_quiet)
+
+    def test_full_and_smoke_modes_merge_into_one_report(self):
+        full = run_bench(smoke=False, repeats=1, scenarios=[TINY],
+                         log=_quiet)
+        smoke = run_bench(smoke=True, repeats=1, scenarios=[TINY],
+                          log=_quiet)
+        merged = merge_reports(full, smoke)
+        assert set(merged["modes"]) == {"full", "smoke"}
+
+    def test_write_report_round_trips(self, tmp_path):
+        report = run_bench(smoke=True, repeats=1, scenarios=[TINY],
+                           log=_quiet)
+        path = tmp_path / "bench.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == report
+
+
+def _report(events_per_sec, mode="smoke", name="tiny",
+            deterministic=True):
+    return {
+        "schema": 1,
+        "benchmark": "hotpath",
+        "modes": {mode: {name: {"events_per_sec": events_per_sec,
+                                "deterministic": deterministic}}},
+    }
+
+
+class TestBaselineGate:
+    def test_passes_within_limit(self):
+        assert compare_to_baseline(_report(80.0), _report(100.0),
+                                   max_regression=0.30) == []
+
+    def test_fails_beyond_limit(self):
+        failures = compare_to_baseline(_report(60.0), _report(100.0),
+                                       max_regression=0.30)
+        assert len(failures) == 1
+        assert "smoke/tiny" in failures[0]
+
+    def test_improvement_always_passes(self):
+        assert compare_to_baseline(_report(300.0), _report(100.0)) == []
+
+    def test_scenario_missing_from_baseline_skipped(self):
+        baseline = _report(100.0, name="other")
+        assert compare_to_baseline(_report(1.0), baseline) == []
+
+    def test_modes_compared_independently(self):
+        current = _report(60.0, mode="smoke")
+        baseline = _report(100.0, mode="full")
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_non_deterministic_run_fails(self):
+        failures = compare_to_baseline(_report(100.0, deterministic=False),
+                                       _report(100.0))
+        assert failures and "determinism" in failures[0]
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.smoke is False
+        assert args.repeats == 2
+        assert args.out == "BENCH_hotpath.json"
+        assert args.baseline is None
+        assert args.max_regression == 0.30
+
+    def test_bench_writes_report_and_gates(self, tmp_path, monkeypatch):
+        from repro.bench import harness
+
+        monkeypatch.setattr(harness, "SCENARIOS", [TINY])
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert "tiny" in report["modes"]["smoke"]
+
+        # Wall clock is machine- and load-dependent, so the gate's two
+        # directions are pinned with scaled baselines: a far slower
+        # baseline always passes, a far faster one always fails.
+        slow, fast = dict(report), dict(report)
+        slow["modes"] = {"smoke": {
+            name: {**entry, "events_per_sec": entry["events_per_sec"] / 1000}
+            for name, entry in report["modes"]["smoke"].items()}}
+        fast["modes"] = {"smoke": {
+            name: {**entry, "events_per_sec": entry["events_per_sec"] * 1000}
+            for name, entry in report["modes"]["smoke"].items()}}
+        slow_path, fast_path = tmp_path / "slow.json", tmp_path / "fast.json"
+        slow_path.write_text(json.dumps(slow))
+        fast_path.write_text(json.dumps(fast))
+        assert main(["bench", "--smoke", "--repeats", "1", "--out", "-",
+                     "--baseline", str(slow_path)]) == 0
+        assert main(["bench", "--smoke", "--repeats", "1", "--out", "-",
+                     "--baseline", str(fast_path)]) == 1
