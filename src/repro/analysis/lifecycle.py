@@ -1,0 +1,140 @@
+"""Cross-protocol transaction-lifecycle comparison (``repro report``).
+
+Merges span data — live runs or saved ``--spans-out`` JSON dumps — into
+one report per protocol and renders the comparison the paper's
+narrative hangs on: where each protocol's transactions spend their time
+(per-phase latency breakdown) and why they abort (the closed taxonomy
+of :mod:`repro.obs.spans`).  Baseline vs hades vs hades_hybrid side by
+side, so the effect of moving conflict checks into the NIC shows up as
+a shifted phase profile and a shifted abort mix rather than a single
+opaque throughput number.
+
+Not imported from :mod:`repro.analysis`'s package root: collecting live
+runs pulls in the runner, and the analysis package is imported by
+modules the runner depends on — import this module directly
+(``from repro.analysis.lifecycle import collect_lifecycle``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.report import format_percent, format_table
+from repro.obs.spans import ABORT_CLASSES, SPAN_PHASES, SpanRecorder
+
+#: Protocol order the comparison tables use (paper order).
+REPORT_PROTOCOLS = ("baseline", "hades-h", "hades")
+
+
+def load_span_file(path: str) -> SpanRecorder:
+    """Load and schema-validate one ``--spans-out`` dump."""
+    with open(path) as fh:
+        dump = json.load(fh)
+    return SpanRecorder.from_dict(dump)
+
+
+def merge_span_files(paths: Sequence[str]) -> Dict[str, SpanRecorder]:
+    """Merge saved span dumps, grouped by the protocol that produced
+    them.  Several runs of the same protocol fold into one recorder;
+    the result keys are protocol names in first-seen order."""
+    if not paths:
+        raise ValueError("need at least one span file")
+    merged: Dict[str, SpanRecorder] = {}
+    for path in paths:
+        recorder = load_span_file(path)
+        name = recorder.protocol or "unknown"
+        if name in merged:
+            merged[name].merge(recorder)
+        else:
+            merged[name] = recorder
+    return merged
+
+
+def collect_lifecycle(
+    workload_factory,
+    protocols: Sequence[str] = REPORT_PROTOCOLS,
+    config=None,
+    duration_ns: float = 500_000.0,
+    seed: int = 42,
+    llc_sets: Optional[int] = None,
+) -> Dict[str, SpanRecorder]:
+    """Run each protocol on a fresh workload with spans enabled.
+
+    ``workload_factory`` is a zero-argument callable (each protocol
+    needs its own cluster, as in ``compare_protocols``).
+    """
+    from repro.runner import run_experiment
+
+    recorders: Dict[str, SpanRecorder] = {}
+    for protocol in protocols:
+        recorder = SpanRecorder()
+        run_experiment(protocol, workload_factory(), config=config,
+                       duration_ns=duration_ns, seed=seed,
+                       llc_sets=llc_sets, spans=recorder)
+        recorders[protocol] = recorder
+    return recorders
+
+
+def format_lifecycle(recorders: Dict[str, SpanRecorder]) -> str:
+    """The cross-protocol comparison: phase latencies side by side,
+    then the abort-taxonomy mix, then attempt/retry summary rows."""
+    if not recorders:
+        raise ValueError("nothing to report")
+    names = list(recorders)
+    sections = []
+
+    phase_headers = ["phase (us)"]
+    for name in names:
+        phase_headers += [f"{name} p50", f"{name} p99"]
+    phase_rows = []
+    for phase in SPAN_PHASES:
+        if not any(r.phase_hists.get(phase) for r in recorders.values()):
+            continue
+        row = [phase]
+        for name in names:
+            hist = recorders[name].phase_hists.get(phase)
+            if hist is None or hist.count == 0:
+                row += ["-", "-"]
+            else:
+                row += [hist.percentile(0.5) / 1e3, hist.p99() / 1e3]
+        phase_rows.append(row)
+    if not phase_rows:
+        phase_rows.append(["(no spans)"] + ["-", "-"] * len(names))
+    sections.append(format_table(phase_headers, phase_rows,
+                                 title="per-phase latency breakdown"))
+
+    abort_headers = ["abort class"] + list(names)
+    abort_rows = []
+    totals = {name: recorders[name].abort_class_totals() for name in names}
+    for cls in ABORT_CLASSES:
+        if not any(cls in t for t in totals.values()):
+            continue
+        row = [cls]
+        for name in names:
+            count = totals[name].get(cls, 0)
+            aborted = recorders[name].aborted
+            share = format_percent(count / aborted) if aborted else "-"
+            row.append(f"{count} ({share})" if count else "0")
+        abort_rows.append(row)
+    if not abort_rows:
+        abort_rows.append(["(no aborts)"] + ["-"] * len(names))
+    sections.append(format_table(abort_headers, abort_rows,
+                                 title="abort taxonomy"))
+
+    summary_headers = ["metric"] + list(names)
+    summary_rows = []
+    for label, value_of in (
+        ("attempts", lambda r: r.attempts),
+        ("committed", lambda r: r.committed),
+        ("aborted", lambda r: r.aborted),
+        ("retry links", lambda r: r.retry_links),
+        ("retry rate", lambda r: r.retry_rate),
+        ("txn p50 (us)", lambda r: r.txn_latency.percentile(0.5) / 1e3),
+        ("txn p99 (us)", lambda r: r.txn_latency.p99() / 1e3),
+    ):
+        summary_rows.append([label] + [value_of(recorders[name])
+                                       for name in names])
+    sections.append(format_table(summary_headers, summary_rows,
+                                 title="attempts and retries"))
+    return "\n\n".join(sections)

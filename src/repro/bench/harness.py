@@ -67,13 +67,20 @@ class BenchScenario:
             llc_sets=self.llc_sets,
         )
         wall_s = time.perf_counter() - started
+        committed = result.metrics.meter.committed
         return {
             "wall_s": wall_s,
             "events": result.events_processed,
             "events_per_sec": (result.events_processed / wall_s
                                if wall_s > 0 else 0.0),
-            "committed": result.metrics.meter.committed,
+            "committed": committed,
             "aborted": result.metrics.meter.aborted,
+            # Behavioral fingerprints: pinned seeds make these exact, so
+            # the regression gate can catch protocol-behavior drift that
+            # leaves wall clock unchanged (see compare_to_baseline).
+            "abort_rate": result.metrics.meter.abort_rate(),
+            "retry_rate": (result.metrics.counters.get("commits_after_retry")
+                           / committed if committed else 0.0),
             "sim_duration_ns": duration,
         }
 
@@ -167,13 +174,19 @@ def write_report(report: Dict[str, object], path: str) -> None:
 
 def compare_to_baseline(report: Dict[str, object],
                         baseline: Dict[str, object],
-                        max_regression: float = 0.30) -> List[str]:
+                        max_regression: float = 0.30,
+                        max_rate_drift: float = 0.02) -> List[str]:
     """Regressions of ``report`` versus ``baseline``, as messages.
 
     Compares events/sec per (mode, scenario) present in both files; a
     scenario missing from the baseline is skipped (new scenarios must
-    not fail the gate that predates them).  Returns a list of failure
-    messages — empty means the gate passes.
+    not fail the gate that predates them).  Scenarios carrying the
+    behavioral fingerprints (``abort_rate`` / ``retry_rate``) in *both*
+    files are additionally gated on absolute drift beyond
+    ``max_rate_drift`` — pinned seeds make these rates exact, so a move
+    means the protocols now behave differently, even if wall clock
+    didn't budge.  Returns a list of failure messages — empty means the
+    gate passes.
     """
     failures: List[str] = []
     for mode, scenarios in report.get("modes", {}).items():
@@ -197,4 +210,14 @@ def compare_to_baseline(report: Dict[str, object],
                     f"{mode}/{name}: {current:,.0f} events/s is "
                     f"{drop:.1%} below baseline {reference:,.0f} "
                     f"(limit {max_regression:.0%})")
+            for rate_key in ("abort_rate", "retry_rate"):
+                if rate_key not in entry or rate_key not in base:
+                    continue
+                drift = abs(entry[rate_key] - base[rate_key])
+                if drift > max_rate_drift:
+                    failures.append(
+                        f"{mode}/{name}: {rate_key} {entry[rate_key]:.4f} "
+                        f"drifted {drift:.4f} from baseline "
+                        f"{base[rate_key]:.4f} (limit {max_rate_drift})"
+                        " — behavioral change, not a perf regression")
     return failures

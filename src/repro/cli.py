@@ -9,6 +9,9 @@ Subcommands:
   bounds latency memory on long runs.
 * ``profile`` — one traced experiment folded into per-phase and
   per-message-type time attribution tables (see docs/OBSERVABILITY.md).
+* ``report`` — cross-protocol transaction-lifecycle comparison:
+  per-phase latency breakdown + abort taxonomy, from live runs or from
+  saved ``run --spans-out`` dumps merged across runs.
 * ``compare`` — one workload under all three protocols; prints the
   normalized Fig. 9-style row.
 * ``figures`` — regenerate a figure/table by name (fig03, fig09, ...,
@@ -67,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--histogram-latency", action="store_true",
                        help="record latencies into a bounded log-bucketed "
                             "histogram instead of an exact list")
+    run_p.add_argument("--spans", action="store_true",
+                       help="record transaction-lifecycle spans and print "
+                            "the per-phase breakdown + abort taxonomy")
+    run_p.add_argument("--spans-out", metavar="PATH", default=None,
+                       help="write the span aggregates as JSON (implies "
+                            "--spans); merge dumps with 'repro report'")
+    run_p.add_argument("--slo", metavar="SPEC", default=None,
+                       help="latency objectives to gate on, e.g. "
+                            "'p99<20us,mean<5us'; exit code 2 on failure")
     run_p.add_argument("--faults", metavar="SPEC", default=None,
                        help="fault-injection spec, e.g. "
                             "'drop=0.02,jitter=300,persist=0.05,"
@@ -91,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--fault-seed", type=int, default=None,
                         help="seed of the fault injector's random stream")
     _add_recovery_arguments(prof_p)
+
+    rep_p = sub.add_parser("report",
+                           help="cross-protocol lifecycle comparison "
+                                "(phase breakdown + abort taxonomy)")
+    rep_p.add_argument("spans", nargs="*", metavar="SPANS.json",
+                       help="saved 'run --spans-out' dumps to merge; "
+                            "omit to run the protocols live")
+    rep_p.add_argument("--workload", default="HT-wA")
+    rep_p.add_argument("--scale", type=float, default=0.1)
+    rep_p.add_argument("--duration-us", type=float, default=500.0)
+    rep_p.add_argument("--shape", choices=sorted(CLUSTER_SHAPES),
+                       default="default")
+    rep_p.add_argument("--seed", type=int, default=42)
+    rep_p.add_argument("--protocols", default="baseline,hades-h,hades",
+                       help="comma-separated protocols for live runs")
 
     cmp_p = sub.add_parser("compare", help="all protocols on one workload")
     cmp_p.add_argument("--workload", default="HT-wA")
@@ -133,9 +160,18 @@ def cmd_run(args) -> int:
     from repro.obs import EventTracer
 
     config = _apply_recovery(args, make_cluster_config(args.shape))
+    if args.slo:
+        from repro.obs.slo import SLOParams
+
+        config = config.replace(slo=SLOParams.parse(args.slo))
     workload = make_workload(args.workload, scale=args.scale,
                              locality=args.locality)
     tracer = EventTracer() if args.trace else None
+    spans = None
+    if args.spans or args.spans_out:
+        from repro.obs.spans import SpanRecorder
+
+        spans = SpanRecorder()
     sample_interval_ns = (args.sample_us * 1000.0 if args.metrics else None)
     fault_plan = _parse_fault_plan(args)
     reset_energy_counters()
@@ -145,7 +181,8 @@ def cmd_run(args) -> int:
                             tracer=tracer,
                             sample_interval_ns=sample_interval_ns,
                             bounded_latency=args.histogram_latency,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan,
+                            spans=spans)
     energy = energy_report(config, args.duration_us * 1000.0,
                            result.metrics.meter.committed)
     summary = result.metrics.summary()
@@ -180,6 +217,24 @@ def cmd_run(args) -> int:
         print(format_table(["recovery", "value"],
                            _recovery_rows(result.recovery_summary),
                            title="crash recovery"))
+    if spans is not None:
+        from repro.obs.spans import format_spans
+
+        print()
+        print(format_spans(spans))
+        if args.spans_out:
+            import json
+
+            with open(args.spans_out, "w") as fh:
+                json.dump(spans.as_dict(), fh, indent=1)
+            print(f"spans -> {args.spans_out}")
+    slo_failed = False
+    if result.slo is not None:
+        from repro.obs.slo import format_slo
+
+        print()
+        print("\n".join(format_slo(result.slo)))
+        slo_failed = not result.slo.passed
     if tracer is not None:
         tracer.save(args.trace)
         print(f"\ntrace: {len(tracer)} events -> {args.trace}")
@@ -189,7 +244,7 @@ def cmd_run(args) -> int:
         samples = result.samples or []
         save_samples_csv(samples, args.metrics)
         print(f"metrics: {len(samples)} samples -> {args.metrics}")
-    return 0
+    return 2 if slo_failed else 0
 
 
 def cmd_profile(args) -> int:
@@ -202,6 +257,36 @@ def cmd_profile(args) -> int:
                                 seed=args.seed, llc_sets=2048,
                                 fault_plan=_parse_fault_plan(args))
     print(format_profile(report))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.lifecycle import (
+        collect_lifecycle,
+        format_lifecycle,
+        merge_span_files,
+    )
+
+    if args.spans:
+        recorders = merge_span_files(args.spans)
+        source = f"{len(args.spans)} span dump(s)"
+    else:
+        protocols = [name.strip() for name in args.protocols.split(",")
+                     if name.strip()]
+        for name in protocols:
+            if name not in PROTOCOLS:
+                raise SystemExit(f"unknown protocol {name!r}; pick from "
+                                 f"{sorted(PROTOCOLS)}")
+        config = make_cluster_config(args.shape)
+        recorders = collect_lifecycle(
+            lambda: make_workload(args.workload, scale=args.scale),
+            protocols=protocols, config=config,
+            duration_ns=args.duration_us * 1000.0,
+            seed=args.seed, llc_sets=2048)
+        source = (f"{args.workload} scale={args.scale} "
+                  f"seed={args.seed} ({args.duration_us:.0f} us)")
+    print(f"transaction-lifecycle report: {source}\n")
+    print(format_lifecycle(recorders))
     return 0
 
 
@@ -349,8 +434,9 @@ def cmd_cost(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "profile": cmd_profile,
-                "compare": cmd_compare, "figures": cmd_figures,
-                "cost": cmd_cost, "bench": cmd_bench}
+                "report": cmd_report, "compare": cmd_compare,
+                "figures": cmd_figures, "cost": cmd_cost,
+                "bench": cmd_bench}
     return handlers[args.command](args)
 
 

@@ -16,6 +16,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.obs.slo import SLOParams
+
 #: Cache-line size used throughout (bytes).
 CACHE_LINE_BYTES = 64
 
@@ -424,6 +426,10 @@ class ClusterConfig:
     #: Lease-based crash recovery; disabled by default (crash windows
     #: stay partition-style without it).  See docs/RECOVERY.md.
     recovery: RecoveryParams = field(default_factory=RecoveryParams)
+    #: Latency objectives evaluated against committed-transaction
+    #: latency after every run (``SLOParams.parse("p99<20us")``); empty
+    #: (no objectives) by default.  See docs/OBSERVABILITY.md.
+    slo: SLOParams = field(default_factory=SLOParams)
     #: Average number of distinct remote nodes per transaction (D in
     #: Section VI) — used only by the hardware cost calculator.
     remote_nodes_per_txn: float = 4.0

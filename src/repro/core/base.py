@@ -35,6 +35,12 @@ from repro.core.txn import (
     TxContext,
 )
 from repro.net.messages import Message
+from repro.obs.spans import (
+    SPAN_EXECUTE,
+    SPAN_RECOVERY,
+    SPAN_RETRY,
+    classify_abort,
+)
 from repro.sim.events import AllOf, Event, Interrupt
 from repro.sim.random import DeterministicRandom, exponential_backoff
 from repro.sim.stats import RunMetrics
@@ -73,6 +79,12 @@ class ProtocolBase:
         #: below is behind an ``is not None`` guard so default-off runs
         #: pay one attribute load per transaction event.
         self.tracer = None
+        #: Optional :class:`~repro.obs.spans.SpanRecorder`; when
+        #: attached, attempts are carved into lifecycle spans and every
+        #: abort is classified into the closed taxonomy.  Same
+        #: ``is not None`` contract as the tracer: default-off runs pay
+        #: one attribute load per attempt.
+        self.spans = None
         #: Optional :class:`~repro.recovery.manager.RecoveryManager`;
         #: when attached, clients on a crashed node park instead of
         #: executing, and a ``node_crash`` interrupt resolves via the
@@ -122,6 +134,9 @@ class ProtocolBase:
         footprint_set = set(footprint)
         first_started = self.engine.now
         attempts = 0
+        #: txid of the attempt the next one retries — the causal edge
+        #: of the span tree (spans only).
+        prev_txid = None
         while True:
             if self.recovery is not None:
                 # A crashed node executes nothing: park until restart
@@ -140,6 +155,8 @@ class ProtocolBase:
             self._executing[(node_id, slot)] = self.engine.current_process
             try:
                 ctx.begin_phase(PHASE_EXECUTION)
+                if ctx.spans is not None:
+                    ctx.begin_span_phase(SPAN_EXECUTE)
                 if pessimistic:
                     yield from self._pessimistic_attempt(ctx, requests,
                                                          footprint)
@@ -151,7 +168,9 @@ class ProtocolBase:
                 footprint_set |= ctx.touched_records
                 footprint = sorted(footprint_set)
                 yield from self._drain_pending_interrupt(ctx, interrupted=False)
-                yield from self._abort_attempt(ctx, error.reason, attempts)
+                yield from self._abort_attempt(ctx, error.reason, attempts,
+                                               parent_txid=prev_txid)
+                prev_txid = ctx.txid
                 attempts += 1
                 continue
             except Interrupt as interrupt:
@@ -162,20 +181,26 @@ class ProtocolBase:
                 cause = interrupt.cause
                 reason = cause.reason if isinstance(cause, SquashCause) else "interrupt"
                 if reason == "node_crash" and self.recovery is not None:
-                    outcome = yield from self._resolve_crashed_attempt(ctx)
+                    outcome = yield from self._resolve_crashed_attempt(
+                        ctx, attempts, parent_txid=prev_txid)
                     if outcome:
                         self._record_commit(ctx, first_started, attempts,
-                                            pessimistic)
+                                            pessimistic,
+                                            parent_txid=prev_txid)
                         return ctx
+                    prev_txid = ctx.txid
                     attempts += 1
                     continue
-                yield from self._abort_attempt(ctx, reason, attempts)
+                yield from self._abort_attempt(ctx, reason, attempts,
+                                               parent_txid=prev_txid)
+                prev_txid = ctx.txid
                 attempts += 1
                 continue
             self._executing.pop((node_id, slot), None)
             self._unregister(ctx)
             ctx.finish(TxStatus.COMMITTED)
-            self._record_commit(ctx, first_started, attempts, pessimistic)
+            self._record_commit(ctx, first_started, attempts, pessimistic,
+                                parent_txid=prev_txid)
             return ctx
 
     def squash(self, owner: Owner, reason: str) -> bool:
@@ -274,7 +299,8 @@ class ProtocolBase:
         except Interrupt:
             pass
 
-    def _resolve_crashed_attempt(self, ctx: TxContext):
+    def _resolve_crashed_attempt(self, ctx: TxContext, attempts: int = 0,
+                                 parent_txid=None):
         """Settle an attempt whose node crashed mid-flight.
 
         The crash wiped the node's volatile state, so there is nothing
@@ -291,6 +317,10 @@ class ProtocolBase:
 
         Returns True when the attempt committed.
         """
+        if ctx.spans is not None:
+            # The attempt's own work ended at the crash interrupt; the
+            # park-until-readmission wait is its own lifecycle phase.
+            ctx.begin_span_phase(SPAN_RECOVERY)
         yield from self.recovery.wait_while_blocked(ctx.node_id)
         if getattr(ctx, "applied", False) or \
                 self.recovery.consume_resolved_commit(ctx.owner):
@@ -300,17 +330,35 @@ class ProtocolBase:
         if self.tracer is not None:
             self.tracer.txn_squash(self.engine.now, ctx.node_id, ctx.slot,
                                    ctx.txid, "node_crash", ctx.phase_durations)
+        if ctx.spans is not None:
+            ctx.spans.record_attempt(
+                ctx.node_id, ctx.slot, ctx.txid, attempts,
+                committed=False, phases=ctx.span_durations,
+                reason="node_crash",
+                abort_class=classify_abort("node_crash"),
+                parent_txid=parent_txid)
         self.metrics.meter.abort()
         self.metrics.counters.add("aborts")
         self.metrics.counters.add("abort_reason_node_crash")
         return False
 
-    def _abort_attempt(self, ctx: TxContext, reason: str, attempts: int):
+    def _abort_attempt(self, ctx: TxContext, reason: str, attempts: int,
+                       parent_txid=None):
         ctx.finish(TxStatus.SQUASHED)
         if self.tracer is not None:
             self.tracer.txn_squash(self.engine.now, ctx.node_id, ctx.slot,
                                    ctx.txid, reason, ctx.phase_durations)
         yield from self._cleanup_after_squash(ctx)
+        # Recorded *after* the cleanup yields, adjacent to the meter
+        # update: an attempt frozen mid-cleanup at run end must count in
+        # neither or both, or span/meter abort totals drift apart.
+        if ctx.spans is not None:
+            ctx.spans.record_attempt(
+                ctx.node_id, ctx.slot, ctx.txid, attempts,
+                committed=False, phases=ctx.span_durations,
+                reason=reason,
+                abort_class=classify_abort(reason, ctx.squash_reason),
+                parent_txid=parent_txid)
         self.metrics.meter.abort()
         self.metrics.counters.add("aborts")
         self.metrics.counters.add(f"abort_reason_{reason}")
@@ -321,13 +369,22 @@ class ProtocolBase:
             cap_ns=self.config.livelock.backoff_cap_ns,
         )
         if delay > 0:
+            if self.spans is not None:
+                self.spans.record_phase(SPAN_RETRY, delay)
             yield delay
 
     def _record_commit(self, ctx: TxContext, first_started: float,
-                       attempts: int, pessimistic: bool) -> None:
+                       attempts: int, pessimistic: bool,
+                       parent_txid=None) -> None:
         if self.tracer is not None:
             self.tracer.txn_commit(self.engine.now, ctx.node_id, ctx.slot,
                                    ctx.txid, attempts, ctx.phase_durations)
+        if ctx.spans is not None:
+            ctx.spans.record_attempt(
+                ctx.node_id, ctx.slot, ctx.txid, attempts,
+                committed=True, phases=ctx.span_durations,
+                parent_txid=parent_txid,
+                total_latency_ns=self.engine.now - first_started)
         self.metrics.meter.commit()
         self.metrics.latency.record(self.engine.now - first_started)
         for phase, duration in ctx.phase_durations.items():

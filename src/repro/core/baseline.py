@@ -45,6 +45,12 @@ from repro.core.txn import (
     TxContext,
 )
 from repro.net.fabric import TIMED_OUT
+from repro.obs.spans import (
+    SPAN_EXECUTE,
+    SPAN_LOCK_ACQUIRE,
+    SPAN_PUBLISH,
+    SPAN_VALIDATE,
+)
 from repro.net.messages import (
     BatchedLockRequest,
     BatchedUnlockRequest,
@@ -253,7 +259,11 @@ class BaselineProtocol(ProtocolBase):
     def _validate(self, ctx: TxContext, read_set: Dict[int, ReadSetEntry],
                   write_set: Dict[int, WriteSetEntry]):
         if write_set:
+            if ctx.spans is not None:
+                ctx.begin_span_phase(SPAN_LOCK_ACQUIRE)
             yield from self._lock_write_set(ctx, write_set)
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_VALIDATE)
         yield from self._validate_read_set(ctx, read_set, write_set)
 
     def _lock_write_set(self, ctx: TxContext,
@@ -378,6 +388,8 @@ class BaselineProtocol(ProtocolBase):
     # -- commit phase -------------------------------------------------------
 
     def _commit(self, ctx: TxContext, write_set: Dict[int, WriteSetEntry]):
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_PUBLISH)
         cost = self.config.cost
         local, by_node = self._split_by_home(ctx, write_set.values())
         # Charge every CPU cost up front, then publish in one yield-free
@@ -438,10 +450,14 @@ class BaselineProtocol(ProtocolBase):
         cost = self.config.cost
         footprint_set = set(footprint)
         locked: List[Tuple[int, RecordDescriptor]] = []
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_LOCK_ACQUIRE)
         for record_id in footprint:
             descriptor = self.descriptor(record_id)
             yield from self._acquire_record_lock(ctx, descriptor)
             locked.append((record_id, descriptor))
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_EXECUTE)
 
         read_set: Dict[int, ReadSetEntry] = {}
         write_set: Dict[int, WriteSetEntry] = {}
@@ -493,6 +509,8 @@ class BaselineProtocol(ProtocolBase):
 
         ctx.begin_phase(PHASE_VALIDATION)  # trivially valid: all locked
         ctx.begin_phase(PHASE_COMMIT)
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_PUBLISH)
         local, by_node = self._split_by_home(ctx, write_set.values())
         for entry in local:
             meta = ctx.node.memory.metadata(entry.descriptor.address)

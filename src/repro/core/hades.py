@@ -34,6 +34,12 @@ from repro.core.base import ProtocolBase
 from repro.core.txn import PHASE_VALIDATION, TxContext
 from repro.hardware.directory import snapshot_filters
 from repro.net.fabric import TIMED_OUT
+from repro.obs.spans import (
+    SPAN_EXECUTE,
+    SPAN_LOCK_ACQUIRE,
+    SPAN_PUBLISH,
+    SPAN_REPLICATE,
+)
 from repro.net.messages import (
     AbortCleanupMessage,
     AckMessage,
@@ -284,6 +290,10 @@ class HadesProtocol(ProtocolBase):
     def _commit(self, ctx: TxContext):
         node = ctx.node
         hw = self.config.hw
+        if ctx.spans is not None:
+            # Steps 1-3 — from the partial directory lock through the
+            # last Intend-to-commit Ack — are the lock-acquire span.
+            ctx.begin_span_phase(SPAN_LOCK_ACQUIRE)
         # Step 1: collect written lines (Fig. 8 search) and partial-lock
         # the local directory.
         yield ctx.charge_cpu(hw.find_llc_tags_cycles)
@@ -337,7 +347,11 @@ class HadesProtocol(ProtocolBase):
         ctx.unsquashable = True
         # Extension hook (replication): make the write set durable on
         # every replica before anything publishes.
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_REPLICATE)
         yield from self._pre_apply(ctx)
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_PUBLISH)
 
         # Step 4: clear local speculative state; apply the write buffer.
         yield ctx.charge_cpu(hw.find_llc_tags_cycles)
@@ -495,6 +509,8 @@ class HadesProtocol(ProtocolBase):
             for line in self.descriptor(record_id).lines:
                 lock_lines.setdefault(node_of_line(line), []).append(line)
         involved = sorted(lock_lines)
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_LOCK_ACQUIRE)
 
         # Acquire directory locks in node-id order; on any failure,
         # release everything and retry after a backoff (never hold a
@@ -524,6 +540,8 @@ class HadesProtocol(ProtocolBase):
             yield BLOCKED_RETRY_NS * 8 * (1.0 + self.rng.random())
         ctx.pessimistic_locked_nodes = list(involved)
         ctx.holding_local_dirlock = ctx.node_id in involved
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_EXECUTE)
 
         # Execute with all permissions held.
         buffered_remote: Dict[int, Dict[int, object]] = {}
@@ -578,7 +596,11 @@ class HadesProtocol(ProtocolBase):
 
         ctx.begin_phase(PHASE_VALIDATION)
         # Extension hook (e.g. replication) before the writes publish.
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_REPLICATE)
         yield from self._pre_pessimistic_publish(ctx, buffered_remote)
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_PUBLISH)
         # Apply local writes, push remote writes, release every lock.
         if ctx.local_write_buffer:
             ctx.node.memory.write_lines(ctx.local_write_buffer)

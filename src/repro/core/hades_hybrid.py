@@ -44,6 +44,12 @@ from repro.core.txn import (
 from repro.hardware.directory import snapshot_filters
 from repro.net.fabric import TIMED_OUT
 from repro.net.messages import IntendToCommitMessage, ValidationMessage
+from repro.obs.spans import (
+    SPAN_LOCK_ACQUIRE,
+    SPAN_PUBLISH,
+    SPAN_REPLICATE,
+    SPAN_VALIDATE,
+)
 
 
 class HadesHybridProtocol(HadesProtocol):
@@ -212,6 +218,9 @@ class HadesHybridProtocol(HadesProtocol):
         node = ctx.node
         cost = self.config.cost
         hw = self.config.hw
+        if ctx.spans is not None:
+            # BF build + partial lock + Intend-to-commit/Acks.
+            ctx.begin_span_phase(SPAN_LOCK_ACQUIRE)
 
         # Software hands the local record addresses to the NIC, which
         # builds the equivalent of LocalReadBF/LocalWriteBF.
@@ -277,11 +286,17 @@ class HadesHybridProtocol(HadesProtocol):
         ctx.unsquashable = True
         # Extension hook (replication): make the write set durable
         # before anything publishes.
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_REPLICATE)
         yield from self._pre_apply(ctx)
 
         # Local Validation (software): re-read every local record in the
         # Read and Write sets and compare versions.
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_VALIDATE)
         yield from self._local_validation(ctx)
+        if ctx.spans is not None:
+            ctx.begin_span_phase(SPAN_PUBLISH)
 
         # Merge local updates while the partial lock blocks readers.
         # Charge all the CPU work first, then install in one yield-free

@@ -68,6 +68,13 @@ class TxContext:
         #: Copied from the protocol so the per-attempt hot path checks a
         #: local attribute instead of chasing ``protocol.tracer``.
         self.tracer = protocol.tracer
+        #: Copied from the protocol for the same reason; when set, the
+        #: protocols carve the attempt into lifecycle span phases via
+        #: :meth:`begin_span_phase` (all call sites are guarded).
+        self.spans = protocol.spans
+        self._span_phase: Optional[str] = None
+        self._span_phase_started = 0.0
+        self.span_durations: Dict[str, float] = {}
         #: Set (synchronously) by the protocol when a squash targets this
         #: attempt; checked at commit decision points.
         self.squashed = False
@@ -102,11 +109,30 @@ class TxContext:
         self._phase = phase
         self._phase_started_at = now
 
+    def begin_span_phase(self, phase: Optional[str]) -> None:
+        """Close the current lifecycle span (if any) and open ``phase``.
+
+        Lifecycle spans (:data:`~repro.obs.spans.SPAN_PHASES`) cut the
+        attempt differently from the paper-facing :meth:`begin_phase`
+        boundaries — lock-acquire / replicate-persist / publish instead
+        of Execution/Validation/Commit.  Only touched when
+        ``self.spans`` is attached; pass None to close without opening.
+        """
+        now = self.engine.now
+        if self._span_phase is not None:
+            self.span_durations[self._span_phase] = (
+                self.span_durations.get(self._span_phase, 0.0)
+                + (now - self._span_phase_started))
+        self._span_phase = phase
+        self._span_phase_started = now
+
     def finish(self, status: TxStatus) -> None:
         """Close the open phase and freeze the attempt."""
         self.begin_phase("__done__")
         self._phase = None
         self.phase_durations.pop("__done__", None)
+        if self.spans is not None:
+            self.begin_span_phase(None)
         self.status = status
 
     @property

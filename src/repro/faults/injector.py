@@ -32,6 +32,11 @@ class FaultInjector:
         #: Optional :class:`~repro.obs.tracer.EventTracer`; fault
         #: decisions are emitted as category-``fault`` events.
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.spans.SpanRecorder` — counts
+        #: injected replica-persist failures for the span report
+        #: (message drops are recorded by the fabric, which enacts
+        #: them).  None by default (zero overhead).
+        self.spans = None
         self.rng = DeterministicRandom(f"faults:{plan.seed}")
         self.dropped = 0
         self.delayed = 0
@@ -102,6 +107,8 @@ class FaultInjector:
         if not rate or self.rng.random() >= rate:
             return False
         self.persist_failures += 1
+        if self.spans is not None:
+            self.spans.record_fault_drop("replica_persist")
         if self.tracer is not None:
             self.tracer.fault(now, "replica_persist_failure", node=node,
                               owner=list(owner))

@@ -90,6 +90,10 @@ class Fabric:
         #: Optional :class:`~repro.obs.metrics.MessageStats` — per-type
         #: aggregation for ``repro profile``.  None by default.
         self.stats = None
+        #: Optional :class:`~repro.obs.spans.SpanRecorder` — per-type
+        #: delivery-latency histograms for ``repro run --spans``.
+        #: None by default (same zero-overhead contract as the tracer).
+        self.spans = None
         #: Optional :class:`~repro.faults.injector.FaultInjector` — when
         #: attached, decides a fate for every send.  None by default
         #: (the fault-free fast path is unchanged).
@@ -156,6 +160,8 @@ class Fabric:
                 self.dropped_messages += 1
                 if self.stats is not None:
                     self.stats.record_drop(type(message).__name__, size)
+                if self.spans is not None:
+                    self.spans.record_fault_drop(drop_reason)
                 return delivered
             if extra_ns > 0.0:
                 delivery_delay += extra_ns
@@ -176,7 +182,8 @@ class Fabric:
                     self._pair_floor[pair] = (anchor, bumps)
                 else:
                     self._pair_floor[pair] = (delivery_at, 0)
-        if self.tracer is not None or self.stats is not None:
+        if (self.tracer is not None or self.stats is not None
+                or self.spans is not None):
             msg_type = type(message).__name__
             queue_ns = egress_start - now
             wire_ns = egress_done - egress_start
@@ -186,6 +193,8 @@ class Fabric:
             if self.stats is not None:
                 self.stats.record(msg_type, size, queue_ns, wire_ns,
                                   delivery_delay)
+            if self.spans is not None:
+                self.spans.record_message(msg_type, delivery_delay)
         self.engine.schedule(delivery_delay, self._deliver, src, dst, message,
                              delivered)
         return delivered

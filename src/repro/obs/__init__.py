@@ -1,6 +1,6 @@
-"""Observability: event tracing, time-series metrics, bounded histograms.
+"""Observability: tracing, metrics, histograms, spans, SLOs.
 
-The package has four modules:
+The package has six modules:
 
 * :mod:`repro.obs.tracer` — structured event tracer (JSONL and Chrome
   ``trace_event`` output; open the latter in Perfetto).
@@ -8,6 +8,12 @@ The package has four modules:
   rows → CSV) and :class:`MessageStats` (per-message-type fabric totals).
 * :mod:`repro.obs.histogram` — :class:`LogHistogram`, the bounded-memory
   replacement for ``LatencyRecorder`` on long runs.
+* :mod:`repro.obs.spans` — transaction-lifecycle spans
+  (:class:`SpanRecorder`) and the closed abort taxonomy
+  (:func:`classify_abort`); drives ``repro run --spans`` and
+  ``repro report``.
+* :mod:`repro.obs.slo` — latency objectives (:class:`SLOParams`)
+  declared on the cluster config and evaluated per run.
 * :mod:`repro.obs.profile` — ``repro profile``'s attribution report.
   **Not** imported here: it pulls in the runner, and ``sim.stats``
   imports this package for :class:`LogHistogram` — importing the
@@ -24,15 +30,33 @@ from repro.obs.metrics import (
     TimeSeriesSampler,
     save_samples_csv,
 )
+from repro.obs.slo import SLOParams, SLOReport, format_slo
+from repro.obs.spans import (
+    ABORT_CLASSES,
+    SPAN_PHASES,
+    SpanRecorder,
+    classify_abort,
+    format_spans,
+    validate_spans,
+)
 from repro.obs.tracer import EventTracer, load_jsonl, validate_jsonl
 
 __all__ = [
+    "ABORT_CLASSES",
     "EventTracer",
     "LogHistogram",
     "MessageStats",
+    "SLOParams",
+    "SLOReport",
+    "SPAN_PHASES",
     "Sample",
+    "SpanRecorder",
     "TimeSeriesSampler",
+    "classify_abort",
+    "format_slo",
+    "format_spans",
     "load_jsonl",
     "save_samples_csv",
     "validate_jsonl",
+    "validate_spans",
 ]

@@ -109,6 +109,53 @@ class LogHistogram:
     def p95(self) -> float:
         return self.percentile(0.95)
 
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def p999(self) -> float:
+        """p99.9 — with fewer samples than 1000 this is the max, by the
+        ceiling-rank convention, not an out-of-range bucket."""
+        return self.percentile(0.999)
+
+    # -- aggregation ----------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (cross-run
+        aggregation).  Bucket geometry must match; merging an empty
+        histogram (either side) is a no-op for the empty side and must
+        not corrupt min/max."""
+        if not isinstance(other, LogHistogram):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        if other._sub_bits != self._sub_bits:
+            raise ValueError(
+                f"subbucket_bits mismatch: {self._sub_bits} vs "
+                f"{other._sub_bits}")
+        if other._total == 0:
+            return
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._total += other._total
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
+    @classmethod
+    def from_dict(cls, dump: Dict[str, object]) -> "LogHistogram":
+        """Inverse of :meth:`as_dict` (for merging saved runs)."""
+        hist = cls(subbucket_bits=int(dump["subbucket_bits"]))
+        hist._total = int(dump["count"])
+        hist._sum = float(dump["sum"])
+        if hist._total:
+            hist._min = float(dump["min"])
+            hist._max = float(dump["max"])
+        hist._counts = {int(index): int(count)
+                        for index, count in dump["buckets"].items()}
+        if sum(hist._counts.values()) != hist._total:
+            raise ValueError("bucket counts disagree with declared count")
+        return hist
+
     # -- introspection --------------------------------------------------
 
     def buckets(self) -> List[Tuple[float, int]]:

@@ -43,7 +43,17 @@ class ProfileReport:
     #: (type, count, bytes, mean queue ns, mean wire ns, total delivery
     #: ns, dropped).
     message_rows: List[Tuple] = field(default_factory=list)
+    #: Completion stats: a transaction that retried N times counts
+    #: *once* here (its committing attempt) ...
     committed: int = 0
+    #: ... and N+1 times here (one ``txn_begin`` per attempt).  Exceeds
+    #: ``committed + aborted`` by the attempts still in flight when the
+    #: clock stopped — at most one per transaction slot.
+    attempts: int = 0
+    aborted: int = 0
+    #: Committed transactions that needed at least one retry — each is
+    #: one of ``committed``, never double-counted.
+    commits_after_retry: int = 0
     #: Injected-fault totals when the run had a fault plan; else None.
     fault_summary: Optional[Dict[str, int]] = None
     #: Recovery-plane totals when crash recovery was enabled; else None.
@@ -88,6 +98,10 @@ def profile_experiment(
         breakdown_totals=result.metrics.phases.as_dict(),
         message_rows=message_stats.rows(),
         committed=result.metrics.meter.committed,
+        attempts=tracer.attempt_count(),
+        aborted=result.metrics.meter.aborted,
+        commits_after_retry=result.metrics.counters.get(
+            "commits_after_retry"),
         fault_summary=result.fault_summary,
         recovery_summary=result.recovery_summary,
     )
@@ -98,8 +112,10 @@ def format_profile(report: ProfileReport) -> str:
     out: List[str] = []
     result = report.result
     header = (f"{result.protocol} on {result.workload}: "
-              f"{report.committed} committed, "
-              f"{result.metrics.meter.aborted} aborted "
+              f"{report.committed} committed "
+              f"({report.commits_after_retry} after retry), "
+              f"{report.aborted} aborted, "
+              f"{report.attempts} attempts "
               f"over {result.metrics.elapsed_ns / 1000.0:.0f} us")
     out.append(header)
     out.append("")

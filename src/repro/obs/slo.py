@@ -1,0 +1,160 @@
+"""Latency service-level objectives, declared in config and checked per run.
+
+ROADMAP item 2 frames the capacity question as "max load meeting an
+SLO"; this module supplies the SLO half.  Objectives are declared as a
+:class:`SLOParams` on :class:`~repro.config.ClusterConfig` (or parsed
+from a CLI string like ``p99<20us,p50<5us``), then evaluated against any
+latency collector exposing ``count`` / ``mean()`` / ``percentile()`` —
+both :class:`~repro.sim.stats.LatencyRecorder` and
+:class:`~repro.obs.histogram.LogHistogram` qualify.  The result is a
+:class:`SLOReport` of achieved-vs-target rows surfaced on
+``ExperimentResult`` / ``ProfileReport``.
+
+The percentile vocabulary is a closed set (``p50``–``p999`` plus
+``mean``) so reports stay deterministic and comparable across runs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Closed percentile vocabulary: name -> fraction (None = mean).
+PERCENTILE_NAMES: Dict[str, float] = {
+    "p50": 0.50,
+    "p90": 0.90,
+    "p95": 0.95,
+    "p99": 0.99,
+    "p999": 0.999,
+}
+
+#: Unit suffixes accepted in thresholds, in nanoseconds.
+_UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+_OBJECTIVE_RE = re.compile(
+    r"^\s*(?P<metric>mean|p\d+)\s*<\s*"
+    r"(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>ns|us|ms|s)\s*$")
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One objective: ``metric < threshold_ns`` (e.g. p99 < 20000 ns)."""
+
+    metric: str
+    threshold_ns: float
+
+    def __post_init__(self):
+        if self.metric != "mean" and self.metric not in PERCENTILE_NAMES:
+            raise ValueError(
+                f"unknown SLO metric {self.metric!r}; expected one of "
+                f"mean, {', '.join(sorted(PERCENTILE_NAMES))}")
+        if self.threshold_ns <= 0:
+            raise ValueError(
+                f"SLO threshold must be positive: {self.threshold_ns}")
+
+    def achieved(self, recorder) -> float:
+        """The metric's value on ``recorder`` (ns)."""
+        if self.metric == "mean":
+            return recorder.mean()
+        return recorder.percentile(PERCENTILE_NAMES[self.metric])
+
+
+@dataclass(frozen=True)
+class SLOParams:
+    """Latency objectives for a run; empty by default (no SLO)."""
+
+    objectives: Tuple[SLOObjective, ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.objectives)
+
+    @staticmethod
+    def parse(spec: str) -> "SLOParams":
+        """Parse ``"p99<20us,p50<5us"`` into objectives.
+
+        Each comma-separated clause is ``<metric><<value><unit>`` with
+        metric in the closed vocabulary and unit one of ns/us/ms/s.
+        """
+        objectives = []
+        for clause in spec.split(","):
+            if not clause.strip():
+                continue
+            match = _OBJECTIVE_RE.match(clause)
+            if match is None:
+                raise ValueError(
+                    f"bad SLO clause {clause.strip()!r}; expected e.g. "
+                    "'p99<20us'")
+            threshold = float(match.group("value")) * _UNITS[match.group("unit")]
+            objectives.append(SLOObjective(match.group("metric"), threshold))
+        if not objectives:
+            raise ValueError(f"empty SLO spec: {spec!r}")
+        return SLOParams(objectives=tuple(objectives))
+
+    def evaluate(self, recorder) -> "SLOReport":
+        """Check every objective against a latency collector."""
+        rows = []
+        empty = recorder.count == 0
+        for objective in self.objectives:
+            achieved = objective.achieved(recorder)
+            # An empty recorder reports 0.0 everywhere, which would
+            # vacuously "pass" any threshold; a no-progress run fails
+            # its SLO instead.
+            passed = (not empty) and achieved < objective.threshold_ns
+            rows.append(SLORow(metric=objective.metric,
+                               threshold_ns=objective.threshold_ns,
+                               achieved_ns=achieved,
+                               passed=passed))
+        return SLOReport(rows=tuple(rows), samples=recorder.count)
+
+
+@dataclass(frozen=True)
+class SLORow:
+    """One evaluated objective."""
+
+    metric: str
+    threshold_ns: float
+    achieved_ns: float
+    passed: bool
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Evaluation outcome for a run's full objective set."""
+
+    rows: Tuple[SLORow, ...] = ()
+    samples: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """True when every objective passed (vacuously true if none)."""
+        return all(row.passed for row in self.rows)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "samples": self.samples,
+            "objectives": [
+                {"metric": row.metric,
+                 "threshold_ns": row.threshold_ns,
+                 "achieved_ns": row.achieved_ns,
+                 "passed": row.passed}
+                for row in self.rows],
+        }
+
+
+def format_slo(report: SLOReport) -> List[str]:
+    """Render an SLO report as aligned text lines for the CLI."""
+    lines = ["slo:"]
+    if not report.rows:
+        lines.append("  (no objectives declared)")
+        return lines
+    for row in report.rows:
+        verdict = "PASS" if row.passed else "FAIL"
+        lines.append(
+            f"  {row.metric:>5}  target < {row.threshold_ns / 1e3:10.1f} us"
+            f"  achieved {row.achieved_ns / 1e3:10.1f} us  {verdict}")
+    lines.append(f"  overall: {'PASS' if report.passed else 'FAIL'}"
+                 f" ({report.samples} samples)")
+    return lines

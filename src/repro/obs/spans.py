@@ -1,0 +1,456 @@
+"""Transaction-lifecycle spans and the closed abort/retry taxonomy.
+
+The paper's argument is about *where* cycles go — NIC-side Bloom checks
+vs. locking-buffer conflicts vs. replication round-trips — so every
+transaction attempt is carved into lifecycle phases (execute /
+lock-acquire / validate / replicate-persist / publish, plus the
+between-attempt retry backoff and crash recovery-resolution waits) whose
+durations land in per-phase :class:`~repro.obs.histogram.LogHistogram`s.
+Retries are linked causally: an attempt records the txid of the attempt
+it is retrying, so a transaction that retried N times shows up as one
+chain of N+1 attempts.
+
+On top sits the abort taxonomy: every squash, timeout, fault drop and
+crash resolution is classified into the closed :data:`ABORT_CLASSES`
+enum via :func:`classify_abort` and counted per node.  The raw
+``squash_reason`` strings stay available for drill-down, but reports and
+the cross-protocol comparison key on the closed classes, and the smoke
+scenarios must classify everything (zero ``unknown``).
+
+The recorder follows the tracer's zero-overhead contract: protocols hold
+``self.spans = None`` by default and every hook site is guarded by an
+``is not None`` check, so disabled runs take no extra branches beyond
+the existing tracer guards and stay bit-identical.  Recording reads only
+``engine.now`` — it never advances time or consumes randomness — so
+same-seed results are identical with spans on or off, too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.histogram import LogHistogram
+
+#: Serialization format version for span dumps.
+FORMAT_VERSION = 1
+
+# -- lifecycle phases ----------------------------------------------------
+
+SPAN_EXECUTE = "execute"
+SPAN_LOCK_ACQUIRE = "lock_acquire"
+SPAN_VALIDATE = "validate"
+SPAN_REPLICATE = "replicate_persist"
+SPAN_PUBLISH = "publish"
+SPAN_RETRY = "retry_backoff"
+SPAN_RECOVERY = "recovery_resolution"
+
+#: Every phase a span dump may contain, in report order.
+SPAN_PHASES = (
+    SPAN_EXECUTE,
+    SPAN_LOCK_ACQUIRE,
+    SPAN_VALIDATE,
+    SPAN_REPLICATE,
+    SPAN_PUBLISH,
+    SPAN_RETRY,
+    SPAN_RECOVERY,
+)
+
+# -- abort taxonomy ------------------------------------------------------
+
+ABORT_LL_CONFLICT = "ll_conflict"
+ABORT_LR_CONFLICT = "lr_conflict"
+ABORT_CAPACITY = "capacity"
+ABORT_TIMEOUT = "timeout"
+ABORT_FAULT = "fault"
+ABORT_CRASH = "crash"
+ABORT_LIVELOCK = "livelock"
+ABORT_UNKNOWN = "unknown"
+
+#: The closed enum: every abort lands in exactly one of these.
+ABORT_CLASSES = (
+    ABORT_LL_CONFLICT,
+    ABORT_LR_CONFLICT,
+    ABORT_CAPACITY,
+    ABORT_TIMEOUT,
+    ABORT_FAULT,
+    ABORT_CRASH,
+    ABORT_LIVELOCK,
+    ABORT_UNKNOWN,
+)
+
+#: Exact reason-string -> class map.  ``*_rr`` / ``*_lr`` squash reasons
+#: (lazy / lazy_home / pessimistic senders) are matched by suffix below.
+_REASON_CLASSES = {
+    # Local-local: both parties on the squashed txn's own node.
+    "eager_ll_read": ABORT_LL_CONFLICT,
+    "eager_ll_write": ABORT_LL_CONFLICT,
+    "eager_ll_write_vs_reader": ABORT_LL_CONFLICT,
+    "lock_conflict_local": ABORT_LL_CONFLICT,
+    "validation_conflict_local": ABORT_LL_CONFLICT,
+    "dirlock_local": ABORT_LL_CONFLICT,
+    "local_validation": ABORT_LL_CONFLICT,
+    # Local-remote: conflicting party on another node.
+    "lock_conflict_remote": ABORT_LR_CONFLICT,
+    "validation_conflict_remote": ABORT_LR_CONFLICT,
+    "dirlock_remote": ABORT_LR_CONFLICT,
+    # Hardware capacity, not a data conflict.
+    "llc_eviction": ABORT_CAPACITY,
+    # Gave up waiting (lost message, overloaded peer, fault drop).
+    "request_timeout": ABORT_TIMEOUT,
+    "ack_timeout": ABORT_TIMEOUT,
+    "lock_timeout": ABORT_TIMEOUT,
+    "validation_timeout": ABORT_TIMEOUT,
+    "blocked_timeout": ABORT_TIMEOUT,
+    "replica_timeout": ABORT_TIMEOUT,
+    # Injected replica persist failure (distinct from silence).
+    "replica_failure": ABORT_FAULT,
+    # Crash-recovery resolved the attempt as aborted.
+    "node_crash": ABORT_CRASH,
+    # Livelock-avoidance machinery gave up on the optimistic path.
+    "footprint_miss": ABORT_LIVELOCK,
+    "read_retries_exhausted": ABORT_LIVELOCK,
+}
+
+
+def classify_abort(reason: Optional[str],
+                   squash_reason: Optional[str] = None) -> str:
+    """Map an abort to its closed taxonomy class.
+
+    ``reason`` is the string the abort was raised with;
+    ``squash_reason`` is the transaction's delivered
+    ``TxContext.squash_reason``, consulted when the raise site only
+    knows *that* a squash arrived, not *why* ("squashed_during_commit",
+    bare "interrupt").
+    """
+    if reason in ("squashed_during_commit", "interrupt", None):
+        if squash_reason is not None and squash_reason != reason:
+            return classify_abort(squash_reason)
+        # A squash delivered during commit with no recorded cause can
+        # only come from another node's conflict check.
+        return (ABORT_LR_CONFLICT if reason == "squashed_during_commit"
+                else ABORT_UNKNOWN)
+    cls = _REASON_CLASSES.get(reason)
+    if cls is not None:
+        return cls
+    # Delivered squash reasons: lazy_rr / lazy_lr / lazy_home_rr /
+    # pessimistic_lr / ... — a remote conflicter's check squashed us.
+    if reason.endswith("_rr") or reason.endswith("_lr"):
+        return ABORT_LR_CONFLICT
+    return ABORT_UNKNOWN
+
+
+class SpanRecorder:
+    """Aggregates lifecycle spans for one protocol run.
+
+    Attach via ``run_experiment(..., spans=SpanRecorder())`` — the
+    runner wires it onto the protocol, fabric, fault injector and
+    recovery manager.  With ``keep_attempts=True`` the recorder also
+    retains per-attempt span records (bounded by ``max_attempts``) so
+    the retry chains can be inspected; aggregation alone is bounded
+    regardless of run length.
+    """
+
+    def __init__(self, keep_attempts: bool = False,
+                 max_attempts: int = 100_000):
+        self.keep_attempts = keep_attempts
+        self.max_attempts = max_attempts
+        self.protocol: Optional[str] = None
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard everything recorded so far (warmup boundary)."""
+        self.attempts = 0
+        self.committed = 0
+        self.aborted = 0
+        self.retry_links = 0
+        #: phase -> duration histogram (ns), across all attempts.
+        self.phase_hists: Dict[str, LogHistogram] = {}
+        #: End-to-end committed-transaction latency (first attempt start
+        #: to commit), mirroring ``RunMetrics.latency``.
+        self.txn_latency = LogHistogram()
+        #: (abort class, node) -> count.
+        self.abort_classes: Dict[Tuple[str, int], int] = {}
+        #: Raw reason string -> count, for drill-down.
+        self.abort_reasons: Dict[str, int] = {}
+        #: message type -> delivery-latency histogram (fabric hook).
+        self.message_hists: Dict[str, LogHistogram] = {}
+        #: fault-injector drop reason -> count.
+        self.fault_drops: Dict[str, int] = {}
+        #: recovery resolution kind ("commit"/"abort") -> count.
+        self.recovery_resolutions: Dict[str, int] = {}
+        #: Retained per-attempt records (keep_attempts only).
+        self.attempt_records: List[Dict[str, object]] = []
+
+    # -- hooks ----------------------------------------------------------
+
+    def record_attempt(self, node: int, slot: int, txid: int, attempt: int,
+                       committed: bool, phases: Dict[str, float],
+                       reason: Optional[str] = None,
+                       abort_class: Optional[str] = None,
+                       parent_txid: Optional[int] = None,
+                       total_latency_ns: Optional[float] = None) -> None:
+        """One finished attempt: fold its span tree into the aggregates.
+
+        ``parent_txid`` links a retry to the attempt it replaces — the
+        causal edge of the span tree.  ``total_latency_ns`` is only
+        passed on the committing attempt (first attempt start → now).
+        """
+        self.attempts += 1
+        for phase, duration in phases.items():
+            self.record_phase(phase, duration)
+        if parent_txid is not None:
+            self.retry_links += 1
+        if committed:
+            self.committed += 1
+            if total_latency_ns is not None:
+                self.txn_latency.record(total_latency_ns)
+        else:
+            self.aborted += 1
+            if abort_class is None:
+                abort_class = classify_abort(reason)
+            key = (abort_class, node)
+            self.abort_classes[key] = self.abort_classes.get(key, 0) + 1
+            raw = reason if reason is not None else "unreported"
+            self.abort_reasons[raw] = self.abort_reasons.get(raw, 0) + 1
+        if self.keep_attempts and len(self.attempt_records) < self.max_attempts:
+            self.attempt_records.append({
+                "txid": txid,
+                "parent_txid": parent_txid,
+                "node": node,
+                "slot": slot,
+                "attempt": attempt,
+                "committed": committed,
+                "reason": reason,
+                "abort_class": abort_class,
+                "phases": dict(phases),
+            })
+
+    def record_phase(self, phase: str, duration_ns: float) -> None:
+        """One span duration outside an attempt record (retry backoff,
+        recovery-resolution waits)."""
+        hist = self.phase_hists.get(phase)
+        if hist is None:
+            hist = self.phase_hists[phase] = LogHistogram()
+        hist.record(duration_ns)
+
+    def record_message(self, msg_type: str, delivery_ns: float) -> None:
+        """Fabric hook: one message's send-to-delivery latency."""
+        hist = self.message_hists.get(msg_type)
+        if hist is None:
+            hist = self.message_hists[msg_type] = LogHistogram()
+        hist.record(delivery_ns)
+
+    def record_fault_drop(self, kind: str) -> None:
+        """Fault-injector hook: a message was dropped (``kind`` names
+        the drop cause, e.g. ``drop`` or ``crash``)."""
+        self.fault_drops[kind] = self.fault_drops.get(kind, 0) + 1
+
+    def record_recovery_resolution(self, kind: str) -> None:
+        """Recovery hook: a crashed owner's attempt was resolved."""
+        self.recovery_resolutions[kind] = (
+            self.recovery_resolutions.get(kind, 0) + 1)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def retry_rate(self) -> float:
+        """Retry links per attempt (0 when nothing ran)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.retry_links / self.attempts
+
+    def unknown_aborts(self) -> int:
+        """Aborts that fell through to the unknown class (must be zero
+        in the smoke scenarios)."""
+        return sum(count for (cls, _node), count in self.abort_classes.items()
+                   if cls == ABORT_UNKNOWN)
+
+    def abort_class_totals(self) -> Dict[str, int]:
+        """Per-class abort counts summed over nodes, in enum order."""
+        totals = {cls: 0 for cls in ABORT_CLASSES}
+        for (cls, _node), count in self.abort_classes.items():
+            totals[cls] += count
+        return {cls: count for cls, count in totals.items() if count}
+
+    # -- serialization / aggregation ------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": FORMAT_VERSION,
+            "protocol": self.protocol,
+            "attempts": self.attempts,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "retry_links": self.retry_links,
+            "phases": {phase: hist.as_dict()
+                       for phase, hist in sorted(self.phase_hists.items())},
+            "txn_latency": self.txn_latency.as_dict(),
+            "abort_classes": {
+                f"{cls}:{node}": count
+                for (cls, node), count in sorted(self.abort_classes.items())},
+            "abort_reasons": dict(sorted(self.abort_reasons.items())),
+            "messages": {name: hist.as_dict()
+                         for name, hist in sorted(self.message_hists.items())},
+            "fault_drops": dict(sorted(self.fault_drops.items())),
+            "recovery_resolutions": dict(
+                sorted(self.recovery_resolutions.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, dump: Dict[str, object]) -> "SpanRecorder":
+        validate_spans(dump)
+        recorder = cls()
+        recorder.protocol = dump.get("protocol")
+        recorder.attempts = int(dump["attempts"])
+        recorder.committed = int(dump["committed"])
+        recorder.aborted = int(dump["aborted"])
+        recorder.retry_links = int(dump.get("retry_links", 0))
+        recorder.phase_hists = {
+            phase: LogHistogram.from_dict(entry)
+            for phase, entry in dump["phases"].items()}
+        recorder.txn_latency = LogHistogram.from_dict(dump["txn_latency"])
+        for key, count in dump["abort_classes"].items():
+            cls_name, _, node = key.rpartition(":")
+            recorder.abort_classes[(cls_name, int(node))] = int(count)
+        recorder.abort_reasons = {k: int(v)
+                                  for k, v in dump["abort_reasons"].items()}
+        recorder.message_hists = {
+            name: LogHistogram.from_dict(entry)
+            for name, entry in dump.get("messages", {}).items()}
+        recorder.fault_drops = {k: int(v)
+                                for k, v in dump.get("fault_drops", {}).items()}
+        recorder.recovery_resolutions = {
+            k: int(v)
+            for k, v in dump.get("recovery_resolutions", {}).items()}
+        return recorder
+
+    def merge(self, other: "SpanRecorder") -> None:
+        """Fold another run's spans into this one (cross-run merge for
+        ``repro report``).  Protocols must match (or be unset)."""
+        if (self.protocol is not None and other.protocol is not None
+                and self.protocol != other.protocol):
+            raise ValueError(
+                f"cannot merge spans across protocols: {self.protocol}"
+                f" vs {other.protocol}")
+        if self.protocol is None:
+            self.protocol = other.protocol
+        self.attempts += other.attempts
+        self.committed += other.committed
+        self.aborted += other.aborted
+        self.retry_links += other.retry_links
+        for phase, hist in other.phase_hists.items():
+            mine = self.phase_hists.get(phase)
+            if mine is None:
+                mine = self.phase_hists[phase] = LogHistogram(
+                    subbucket_bits=hist._sub_bits)
+            mine.merge(hist)
+        self.txn_latency.merge(other.txn_latency)
+        for key, count in other.abort_classes.items():
+            self.abort_classes[key] = self.abort_classes.get(key, 0) + count
+        for key, count in other.abort_reasons.items():
+            self.abort_reasons[key] = self.abort_reasons.get(key, 0) + count
+        for name, hist in other.message_hists.items():
+            mine = self.message_hists.get(name)
+            if mine is None:
+                mine = self.message_hists[name] = LogHistogram(
+                    subbucket_bits=hist._sub_bits)
+            mine.merge(hist)
+        for key, count in other.fault_drops.items():
+            self.fault_drops[key] = self.fault_drops.get(key, 0) + count
+        for key, count in other.recovery_resolutions.items():
+            self.recovery_resolutions[key] = (
+                self.recovery_resolutions.get(key, 0) + count)
+
+
+def validate_spans(dump: Dict[str, object]) -> None:
+    """Schema-validate a span dump (the CI gate); raises ValueError.
+
+    Checks structural invariants: required keys, known format, phase
+    names from the closed set, abort classes from the closed enum,
+    attempts = committed + aborted, and per-histogram bucket-count
+    consistency.
+    """
+    if not isinstance(dump, dict):
+        raise ValueError(f"span dump must be a dict, got {type(dump).__name__}")
+    required = ("format", "attempts", "committed", "aborted", "phases",
+                "txn_latency", "abort_classes", "abort_reasons")
+    missing = [key for key in required if key not in dump]
+    if missing:
+        raise ValueError(f"span dump missing keys: {missing}")
+    if dump["format"] != FORMAT_VERSION:
+        raise ValueError(f"unknown span format: {dump['format']!r}")
+    if dump["attempts"] != dump["committed"] + dump["aborted"]:
+        raise ValueError(
+            f"attempts ({dump['attempts']}) != committed + aborted "
+            f"({dump['committed']} + {dump['aborted']})")
+    for phase, entry in dump["phases"].items():
+        if phase not in SPAN_PHASES:
+            raise ValueError(f"unknown span phase: {phase!r}")
+        _validate_histogram(phase, entry)
+    _validate_histogram("txn_latency", dump["txn_latency"])
+    for name, entry in dump.get("messages", {}).items():
+        _validate_histogram(f"messages/{name}", entry)
+    aborted_total = 0
+    for key, count in dump["abort_classes"].items():
+        cls_name, sep, node = key.rpartition(":")
+        if not sep or not node.lstrip("-").isdigit():
+            raise ValueError(f"bad abort-class key: {key!r}")
+        if cls_name not in ABORT_CLASSES:
+            raise ValueError(f"unknown abort class: {cls_name!r}")
+        aborted_total += count
+    if aborted_total != dump["aborted"]:
+        raise ValueError(
+            f"abort classes sum to {aborted_total}, expected "
+            f"{dump['aborted']} aborted attempts")
+    if sum(dump["abort_reasons"].values()) != dump["aborted"]:
+        raise ValueError("abort reasons do not sum to aborted attempts")
+
+
+def _validate_histogram(label: str, entry: Dict[str, object]) -> None:
+    for key in ("count", "sum", "min", "max", "subbucket_bits", "buckets"):
+        if key not in entry:
+            raise ValueError(f"{label}: histogram missing {key!r}")
+    if sum(entry["buckets"].values()) != entry["count"]:
+        raise ValueError(f"{label}: bucket counts disagree with count")
+
+
+def format_spans(recorder: SpanRecorder) -> str:
+    """Render the per-phase breakdown + abort taxonomy for the CLI."""
+    lines = ["lifecycle spans:"]
+    header = (f"  {'phase':<20} {'count':>8} {'mean us':>10} "
+              f"{'p50 us':>10} {'p99 us':>10} {'p999 us':>10}")
+    lines.append(header)
+    any_phase = False
+    for phase in SPAN_PHASES:
+        hist = recorder.phase_hists.get(phase)
+        if hist is None or hist.count == 0:
+            continue
+        any_phase = True
+        lines.append(
+            f"  {phase:<20} {hist.count:>8} {hist.mean() / 1e3:>10.2f} "
+            f"{hist.percentile(0.5) / 1e3:>10.2f} "
+            f"{hist.p99() / 1e3:>10.2f} {hist.p999() / 1e3:>10.2f}")
+    if not any_phase:
+        lines.append("  (no spans recorded)")
+    lines.append(
+        f"  attempts {recorder.attempts}  committed {recorder.committed}"
+        f"  aborted {recorder.aborted}  retry links {recorder.retry_links}")
+    if recorder.txn_latency.count:
+        lat = recorder.txn_latency
+        lines.append(
+            f"  txn latency us: p50 {lat.percentile(0.5) / 1e3:.2f}"
+            f"  p99 {lat.p99() / 1e3:.2f}  p999 {lat.p999() / 1e3:.2f}")
+    lines.append("abort taxonomy:")
+    totals = recorder.abort_class_totals()
+    if not totals:
+        lines.append("  (no aborts)")
+    else:
+        for cls, count in totals.items():
+            share = count / recorder.aborted if recorder.aborted else 0.0
+            lines.append(f"  {cls:<16} {count:>8}  {share:>6.1%}")
+    if recorder.abort_reasons:
+        top = sorted(recorder.abort_reasons.items(),
+                     key=lambda item: (-item[1], item[0]))[:6]
+        detail = ", ".join(f"{name} x{count}" for name, count in top)
+        lines.append(f"  top reasons: {detail}")
+    return "\n".join(lines)

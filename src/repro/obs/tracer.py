@@ -36,6 +36,7 @@ field   meaning
 
 from __future__ import annotations
 
+import atexit
 import json
 from typing import Dict, List, Optional
 
@@ -50,28 +51,82 @@ _VALID_CATEGORIES = ("engine", "net", "txn", "proto", "fault", "recovery")
 
 
 class EventTracer:
-    """In-memory structured event collector (see module docstring)."""
+    """In-memory structured event collector (see module docstring).
 
-    def __init__(self, capture_schedules: bool = False):
+    With ``stream_path`` set, every event is *also* appended to a
+    line-buffered JSONL file the moment it is emitted, so a run that
+    dies mid-experiment (crash, SIGKILL, OOM) leaves a trace whose every
+    line is complete JSON up to the instant of death — the streamed
+    header simply omits the event count, which :func:`validate_jsonl`
+    accepts.  ``chrome_path`` requests a Perfetto trace at finalization
+    (Chrome's format is one big JSON document, so it cannot stream; it
+    is written by :meth:`close`).  Finalization is belt and braces: use
+    the tracer as a context manager, call :meth:`close` directly, or let
+    the ``atexit`` hook registered by the constructor catch interpreter
+    shutdown after an uncaught exception.  ``close`` is idempotent.
+    """
+
+    def __init__(self, capture_schedules: bool = False,
+                 stream_path: Optional[str] = None,
+                 chrome_path: Optional[str] = None):
         #: Also record every ``Engine.schedule`` call (very noisy; off by
         #: default even when tracing is on).
         self.capture_schedules = capture_schedules
         self.events: List[dict] = []
+        self.stream_path = stream_path
+        self.chrome_path = chrome_path
+        self.closed = False
+        self._stream = None
+        if stream_path is not None:
+            # Line-buffered: each event line reaches the OS as soon as
+            # it is written, which is what keeps a killed run's trace
+            # valid per line.
+            self._stream = open(stream_path, "w", buffering=1)
+            header = {"kind": "header", "format": FORMAT_VERSION,
+                      "clock": "ns"}
+            self._stream.write(json.dumps(header) + "\n")
+        if stream_path is not None or chrome_path is not None:
+            atexit.register(self.close)
 
     # -- low-level emitters --------------------------------------------
 
+    def _record(self, event: dict) -> None:
+        self.events.append(event)
+        if self._stream is not None:
+            self._stream.write(json.dumps(event) + "\n")
+
     def instant(self, ts: float, cat: str, name: str, pid: int = ENGINE_PID,
                 tid: int = 0, **args) -> None:
-        self.events.append({"ts": ts, "ph": "i", "cat": cat, "name": name,
-                            "pid": pid, "tid": tid, "args": args})
+        self._record({"ts": ts, "ph": "i", "cat": cat, "name": name,
+                      "pid": pid, "tid": tid, "args": args})
 
     def complete(self, ts: float, dur: float, cat: str, name: str,
                  pid: int = ENGINE_PID, tid: int = 0, **args) -> None:
-        self.events.append({"ts": ts, "ph": "X", "cat": cat, "name": name,
-                            "pid": pid, "tid": tid, "dur": dur, "args": args})
+        self._record({"ts": ts, "ph": "X", "cat": cat, "name": name,
+                      "pid": pid, "tid": tid, "dur": dur, "args": args})
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- finalization ---------------------------------------------------
+
+    def close(self) -> None:
+        """Finalize streaming outputs (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        if self.chrome_path is not None:
+            self.save_chrome(self.chrome_path)
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "EventTracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- engine hooks ---------------------------------------------------
 
@@ -180,6 +235,13 @@ class EventTracer:
     def committed_count(self) -> int:
         return sum(1 for event in self.events
                    if event["name"] == "txn_commit")
+
+    def attempt_count(self) -> int:
+        """Transaction attempts started (one ``txn_begin`` per attempt —
+        a transaction that retried N times contributes N+1 here and one
+        ``txn_commit``)."""
+        return sum(1 for event in self.events
+                   if event["name"] == "txn_begin")
 
     # -- output ---------------------------------------------------------
 

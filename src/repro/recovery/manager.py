@@ -80,6 +80,10 @@ class RecoveryManager:
         self.plan = plan
         self.params = params
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.spans.SpanRecorder` — counts
+        #: crash-resolution outcomes for the abort taxonomy report.
+        #: None by default (zero overhead).
+        self.spans = None
         n_nodes = self.cluster.config.nodes
         #: Per-node membership views (deliberately divergent during a
         #: reconfiguration, like a real cluster).
@@ -489,6 +493,8 @@ class RecoveryManager:
                 for node_id in sorted(stores):
                     stores[node_id].discard(owner)
                 self.counters["resolved_abort"] += 1
+                if self.spans is not None:
+                    self.spans.record_recovery_resolution("abort")
                 self._trace("resolve_abort", dead, owner=list(owner))
 
     def _resolution_commits(self, stores, owner: Owner) -> bool:
@@ -530,6 +536,8 @@ class RecoveryManager:
             stores[node_id].promote(owner, stamp)
         self._resolved_commits.add(owner)
         self.counters["resolved_commit"] += 1
+        if self.spans is not None:
+            self.spans.record_recovery_resolution("commit")
         self._trace("resolve_commit", owner[0], owner=list(owner),
                     lines=len(merged))
 

@@ -21,6 +21,8 @@ from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, FaultPlan
 from repro.core import PROTOCOLS
 from repro.obs.metrics import MessageStats, Sample, TimeSeriesSampler
+from repro.obs.slo import SLOReport
+from repro.obs.spans import SpanRecorder
 from repro.obs.tracer import EventTracer
 from repro.sim.engine import Engine
 from repro.sim.random import DeterministicRandom
@@ -51,6 +53,11 @@ class ExperimentResult:
     #: Recovery-plane totals (suspicions, epoch bumps, failover work)
     #: when crash recovery was enabled; else None.
     recovery_summary: Optional[Dict[str, float]] = None
+    #: Transaction-lifecycle span data when a recorder was passed in
+    #: (``repro run --spans``); else None.
+    spans: Optional[SpanRecorder] = None
+    #: SLO evaluation when ``config.slo`` declares objectives; else None.
+    slo: Optional[SLOReport] = None
     #: Engine callbacks executed during the run — the numerator of the
     #: benchmark harness's events/sec (see docs/PERFORMANCE.md).
     events_processed: int = 0
@@ -90,6 +97,7 @@ def run_experiment(
     sample_interval_ns: Optional[float] = None,
     bounded_latency: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    spans: Optional[SpanRecorder] = None,
 ) -> ExperimentResult:
     """Run one (protocol, workload[s], cluster) combination.
 
@@ -134,6 +142,11 @@ def run_experiment(
         proto.tracer = tracer
     if message_stats is not None:
         cluster.fabric.stats = message_stats
+    if spans is not None:
+        spans.reset()
+        spans.protocol = proto.name
+        proto.spans = spans
+        cluster.fabric.spans = spans
     injector = None
     if fault_plan is not None and fault_plan.enabled:
         from repro.faults.injector import FaultInjector
@@ -141,6 +154,8 @@ def run_experiment(
         injector = FaultInjector(fault_plan, tracer=tracer)
         cluster.fabric.faults = injector
         proto.faults = injector
+        if spans is not None:
+            injector.spans = spans
         # Arm timeout recovery: a dropped request/reply resolves with
         # TIMED_OUT and the protocol squash-and-retries.
         proto.replies.default_timeout_ns = fault_plan.effective_timeout_ns(
@@ -159,6 +174,8 @@ def run_experiment(
         recovery_manager = RecoveryManager(proto, fault_plan,
                                            config.recovery, tracer=tracer)
         recovery_manager.install()
+        if spans is not None:
+            recovery_manager.spans = spans
 
     # One driver per transaction slot; slots are partitioned round-robin
     # between the workloads of a mix (space sharing).
@@ -177,6 +194,9 @@ def run_experiment(
         _reset_metrics(metrics)
         for workload_metrics in per_workload.values():
             _reset_metrics(workload_metrics)
+        if spans is not None:
+            # Warm-up spans are discarded along with the warm-up metrics.
+            spans.reset()
     sampler = None
     if sample_interval_ns is not None:
         # Installed after the warm-up so the series starts at the same
@@ -191,11 +211,14 @@ def run_experiment(
         workload_metrics.elapsed_ns = duration_ns
     workload_name = (workloads[0].name if len(workloads) == 1
                      else "+".join(w.name for w in workloads))
+    slo_report = (config.slo.evaluate(metrics.latency)
+                  if config.slo.enabled else None)
     return ExperimentResult(protocol=protocol, workload=workload_name,
                             config=config, metrics=metrics,
                             per_workload=per_workload,
                             samples=sampler.samples if sampler else None,
                             message_stats=message_stats,
+                            spans=spans, slo=slo_report,
                             fault_summary=(injector.summary()
                                            if injector is not None else None),
                             recovery_summary=(recovery_manager.summary()

@@ -117,3 +117,104 @@ def test_as_dict_round_numbers():
     assert dump["min"] == 1.0
     assert dump["max"] == 300.0
     assert sum(dump["buckets"].values()) == 3
+
+
+# -- percentile edge cases (p99/p999 with few samples, empty) ------------
+
+def test_p999_with_fewer_samples_than_buckets_is_the_max():
+    # With n < 1000 samples the 99.9th percentile is the maximum by the
+    # ceiling-rank convention — not an out-of-range bucket, not zero.
+    hist = LogHistogram()
+    for value in (10.0, 20.0, 30.0):
+        hist.record(value)
+    assert hist.p999() == 30.0
+    assert hist.p99() == 30.0
+
+
+def test_p99_p999_empty_histogram_zero():
+    hist = LogHistogram()
+    assert hist.p99() == 0.0
+    assert hist.p999() == 0.0
+
+
+def test_single_sample_every_percentile_is_that_sample():
+    hist = LogHistogram()
+    hist.record(77_000.0)
+    for fraction in (0.01, 0.5, 0.99, 0.999):
+        assert hist.percentile(fraction) == pytest.approx(77_000.0, rel=0.01)
+
+
+# -- merge / from_dict (cross-run aggregation) ---------------------------
+
+def test_merge_equals_recording_into_one():
+    rng = DeterministicRandom("hist-merge")
+    one = LogHistogram()
+    left, right = LogHistogram(), LogHistogram()
+    for index in range(2000):
+        value = rng.uniform(1.0, 1_000_000.0)
+        one.record(value)
+        (left if index % 2 else right).record(value)
+    left.merge(right)
+    assert left.count == one.count
+    assert left.mean() == pytest.approx(one.mean())
+    assert left.min() == one.min()
+    assert left.max() == one.max()
+    for fraction in (0.5, 0.95, 0.99):
+        assert left.percentile(fraction) == one.percentile(fraction)
+
+
+def test_merge_empty_is_a_noop():
+    hist = LogHistogram()
+    hist.record(5.0)
+    before = hist.as_dict()
+    hist.merge(LogHistogram())
+    assert hist.as_dict() == before
+
+
+def test_merge_into_empty_keeps_min_usable():
+    # The empty histogram's internal min sentinel must not leak.
+    hist = LogHistogram()
+    other = LogHistogram()
+    other.record(42.0)
+    hist.merge(other)
+    assert hist.min() == 42.0
+    hist.record(7.0)
+    assert hist.min() == 7.0
+
+
+def test_merge_rejects_mismatched_subbucket_bits():
+    with pytest.raises(ValueError, match="subbucket_bits"):
+        LogHistogram(subbucket_bits=7).merge(LogHistogram(subbucket_bits=6))
+
+
+def test_merge_rejects_non_histogram():
+    with pytest.raises(TypeError):
+        LogHistogram().merge({"count": 1})
+
+
+def test_from_dict_round_trip():
+    hist = LogHistogram()
+    rng = DeterministicRandom("hist-dump")
+    for _ in range(500):
+        hist.record(rng.uniform(10.0, 500_000.0))
+    clone = LogHistogram.from_dict(hist.as_dict())
+    assert clone.as_dict() == hist.as_dict()
+    assert clone.percentile(0.99) == hist.percentile(0.99)
+    # The clone keeps working as a live histogram.
+    clone.record(1.0)
+    assert clone.min() == 1.0
+
+
+def test_from_dict_empty_round_trip_then_record():
+    clone = LogHistogram.from_dict(LogHistogram().as_dict())
+    assert clone.count == 0
+    clone.record(9.0)
+    assert clone.min() == 9.0
+    assert clone.max() == 9.0
+
+
+def test_from_dict_rejects_inconsistent_counts():
+    dump = LogHistogram().as_dict()
+    dump["count"] = 3
+    with pytest.raises(ValueError):
+        LogHistogram.from_dict(dump)

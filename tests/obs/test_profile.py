@@ -39,6 +39,40 @@ class TestProfileReport:
         assert report.phase_agreement <= 0.01
 
 
+class TestRetryAttribution:
+    """Pinned semantics: a transaction that retried N times counts once
+    in completion stats and N+1 times in attempt stats."""
+
+    def test_attempts_are_completions_plus_aborts_plus_inflight(
+            self, hades_report):
+        # One txn_begin per attempt: every attempt either committed,
+        # aborted, or was still in flight when the clock stopped — and
+        # at most one attempt per transaction slot can be in flight.
+        meter = hades_report.result.metrics.meter
+        assert hades_report.aborted == meter.aborted
+        finished = hades_report.committed + hades_report.aborted
+        config = hades_report.result.config
+        slots = config.nodes * config.transactions_per_node
+        assert finished <= hades_report.attempts <= finished + slots
+        # The run must actually exercise retries for this to pin
+        # anything.
+        assert hades_report.aborted > 0
+        assert hades_report.commits_after_retry > 0
+
+    def test_retried_commits_counted_once_in_completion_stats(
+            self, hades_report):
+        # Every commit-after-retry is one committed transaction — the
+        # retries live in `attempts`, never in `committed`.
+        assert hades_report.commits_after_retry <= hades_report.committed
+        assert (hades_report.result.metrics.latency.count
+                == hades_report.committed)
+
+    def test_header_reports_attempt_stats(self, hades_report):
+        text = format_profile(hades_report)
+        assert f"{hades_report.attempts} attempts" in text
+        assert f"({hades_report.commits_after_retry} after retry)" in text
+
+
 class TestFormatting:
     def test_format_profile_renders_tables(self, hades_report):
         text = format_profile(hades_report)

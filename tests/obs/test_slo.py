@@ -1,0 +1,109 @@
+"""SLO declaration, parsing, evaluation, and runner integration."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.obs.histogram import LogHistogram
+from repro.obs.slo import SLOObjective, SLOParams, format_slo
+from repro.runner import run_experiment
+from repro.sim.stats import LatencyRecorder
+from repro.workloads import make_workload
+
+
+class TestParse:
+    def test_single_clause(self):
+        params = SLOParams.parse("p99<20us")
+        assert params.enabled
+        (objective,) = params.objectives
+        assert objective.metric == "p99"
+        assert objective.threshold_ns == 20_000.0
+
+    def test_multiple_clauses_and_units(self):
+        params = SLOParams.parse("p50 < 5us, mean<2000ns, p999<1ms")
+        assert [o.metric for o in params.objectives] == ["p50", "mean", "p999"]
+        assert [o.threshold_ns for o in params.objectives] == [
+            5_000.0, 2_000.0, 1_000_000.0]
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            SLOParams.parse("p42<20us")
+
+    def test_rejects_bad_syntax(self):
+        for spec in ("p99>20us", "p99<20", "p99<us", "banana", ""):
+            with pytest.raises(ValueError):
+                SLOParams.parse(spec)
+
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(ValueError):
+            SLOObjective("p99", 0.0)
+
+    def test_default_params_disabled(self):
+        assert not SLOParams().enabled
+
+
+class TestEvaluate:
+    def _recorder(self, values):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        return recorder
+
+    def test_pass_and_fail_rows(self):
+        recorder = self._recorder([1_000.0] * 99 + [100_000.0])
+        params = SLOParams.parse("p50<5us,p999<5us")
+        report = params.evaluate(recorder)
+        by_metric = {row.metric: row for row in report.rows}
+        assert by_metric["p50"].passed
+        assert not by_metric["p999"].passed
+        assert not report.passed
+        assert report.samples == 100
+
+    def test_empty_recorder_fails_not_vacuously_passes(self):
+        report = SLOParams.parse("p99<20us").evaluate(LatencyRecorder())
+        assert not report.passed
+        assert report.samples == 0
+
+    def test_works_against_log_histogram(self):
+        hist = LogHistogram()
+        for _ in range(100):
+            hist.record(3_000.0)
+        report = SLOParams.parse("p99<5us,mean<5us").evaluate(hist)
+        assert report.passed
+
+    def test_as_dict_shape(self):
+        report = SLOParams.parse("mean<1us").evaluate(
+            self._recorder([500.0]))
+        dump = report.as_dict()
+        assert dump["passed"] is True
+        assert dump["objectives"][0]["metric"] == "mean"
+
+    def test_format_slo_renders_verdicts(self):
+        report = SLOParams.parse("p50<1ns").evaluate(
+            self._recorder([500.0]))
+        text = "\n".join(format_slo(report))
+        assert "FAIL" in text
+        assert "overall: FAIL" in text
+
+
+class TestRunnerIntegration:
+    def test_config_slo_evaluated_on_result(self):
+        config = ClusterConfig(slo=SLOParams.parse("p99<100ms"))
+        result = run_experiment("hades", make_workload("HT-wA", scale=0.05),
+                                config=config, duration_ns=60_000.0,
+                                seed=7, llc_sets=512)
+        assert result.slo is not None
+        assert result.slo.passed
+        assert result.slo.samples == result.metrics.meter.committed
+
+    def test_failing_slo_reported_not_raised(self):
+        config = ClusterConfig(slo=SLOParams.parse("p50<1ns"))
+        result = run_experiment("hades", make_workload("HT-wA", scale=0.05),
+                                config=config, duration_ns=60_000.0,
+                                seed=7, llc_sets=512)
+        assert result.slo is not None
+        assert not result.slo.passed
+
+    def test_no_slo_means_none(self):
+        result = run_experiment("hades", make_workload("HT-wA", scale=0.05),
+                                duration_ns=30_000.0, seed=7, llc_sets=512)
+        assert result.slo is None

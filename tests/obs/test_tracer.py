@@ -181,3 +181,77 @@ class TestDeterminism:
         first, _ = traced_run(seed=11)
         second, _ = traced_run(seed=11)
         assert first.events == second.events
+
+
+class TestStreamingFinalize:
+    """A run that dies mid-experiment must leave a usable trace."""
+
+    def test_streamed_trace_matches_in_memory_events(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        with EventTracer(stream_path=path) as tracer:
+            run_experiment("hades", make_workload("HT-wA", scale=0.05),
+                           duration_ns=30_000.0, seed=7, llc_sets=512,
+                           tracer=tracer)
+        assert validate_jsonl(path) == len(tracer)
+        assert load_jsonl(path) == json.loads(json.dumps(tracer.events))
+
+    def test_close_is_idempotent_and_stops_streaming(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        tracer = EventTracer(stream_path=path)
+        tracer.instant(1.0, "txn", "txn_begin", pid=0, tid=0)
+        tracer.close()
+        tracer.close()
+        tracer.instant(2.0, "txn", "txn_begin", pid=0, tid=0)  # not written
+        assert validate_jsonl(path) == 1
+
+    def test_chrome_path_written_on_close_after_exception(self, tmp_path):
+        chrome = str(tmp_path / "trace.json")
+        with pytest.raises(RuntimeError):
+            with EventTracer(chrome_path=chrome) as tracer:
+                tracer.instant(1.0, "txn", "txn_begin", pid=0, tid=0)
+                raise RuntimeError("run died")
+        doc = json.load(open(chrome))
+        assert any(e.get("name") == "txn_begin" for e in doc["traceEvents"])
+
+    def test_killed_run_leaves_replayable_trace(self, tmp_path):
+        """Regression: SIGKILL a streaming run mid-experiment, then
+        replay what reached the disk — every line must be valid and the
+        events must be a prefix of an identical surviving run."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "killed.jsonl")
+        script = f"""
+import os, sys
+from repro.obs.tracer import EventTracer
+from repro.runner import run_experiment
+from repro.workloads import make_workload
+
+tracer = EventTracer(stream_path={path!r})
+# kill ourselves from inside the run: after 400 events, no cleanup.
+real = tracer.instant
+count = [0]
+def instant(*args, **kwargs):
+    real(*args, **kwargs)
+    count[0] += 1
+    if count[0] >= 400:
+        os.kill(os.getpid(), 9)
+tracer.instant = instant
+run_experiment("hades", make_workload("HT-wA", scale=0.05),
+               duration_ns=60_000.0, seed=7, llc_sets=512, tracer=tracer)
+"""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True)
+        assert proc.returncode == -signal.SIGKILL
+        count = validate_jsonl(path)
+        assert count >= 399  # all fully-written lines survived the kill
+        # Replay: the dead run's events are a prefix of a healthy run's.
+        survivor, _ = traced_run(duration_ns=60_000.0, seed=7)
+        replayed = load_jsonl(path)
+        expected = json.loads(json.dumps(survivor.events[:len(replayed)]))
+        assert replayed == expected

@@ -73,12 +73,17 @@ class TestHarness:
 
 
 def _report(events_per_sec, mode="smoke", name="tiny",
-            deterministic=True):
+            deterministic=True, abort_rate=None, retry_rate=None):
+    entry = {"events_per_sec": events_per_sec,
+             "deterministic": deterministic}
+    if abort_rate is not None:
+        entry["abort_rate"] = abort_rate
+    if retry_rate is not None:
+        entry["retry_rate"] = retry_rate
     return {
         "schema": 1,
         "benchmark": "hotpath",
-        "modes": {mode: {name: {"events_per_sec": events_per_sec,
-                                "deterministic": deterministic}}},
+        "modes": {mode: {name: entry}},
     }
 
 
@@ -109,6 +114,65 @@ class TestBaselineGate:
         failures = compare_to_baseline(_report(100.0, deterministic=False),
                                        _report(100.0))
         assert failures and "determinism" in failures[0]
+
+
+class TestBehavioralDriftGate:
+    """abort_rate / retry_rate are behavioral fingerprints: with pinned
+    seeds they only move when protocol behavior changes, so the gate
+    flags drift independently of wall-clock throughput."""
+
+    def test_run_once_records_rates(self):
+        report = run_bench(smoke=True, repeats=1, scenarios=[TINY],
+                           log=_quiet)
+        entry = report["modes"]["smoke"]["tiny"]
+        assert 0.0 <= entry["abort_rate"] <= 1.0
+        assert 0.0 <= entry["retry_rate"] <= 1.0
+
+    def test_identical_rates_pass(self):
+        current = _report(100.0, abort_rate=0.64, retry_rate=0.47)
+        baseline = _report(100.0, abort_rate=0.64, retry_rate=0.47)
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_abort_rate_drift_fails(self):
+        current = _report(100.0, abort_rate=0.70, retry_rate=0.47)
+        baseline = _report(100.0, abort_rate=0.64, retry_rate=0.47)
+        failures = compare_to_baseline(current, baseline)
+        assert len(failures) == 1
+        assert "abort_rate" in failures[0]
+        assert "behavioral change" in failures[0]
+
+    def test_retry_rate_drift_fails(self):
+        current = _report(100.0, abort_rate=0.64, retry_rate=0.40)
+        baseline = _report(100.0, abort_rate=0.64, retry_rate=0.47)
+        failures = compare_to_baseline(current, baseline)
+        assert failures and "retry_rate" in failures[0]
+
+    def test_drift_within_tolerance_passes(self):
+        current = _report(100.0, abort_rate=0.65, retry_rate=0.46)
+        baseline = _report(100.0, abort_rate=0.64, retry_rate=0.47)
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_rate_drift_limit_is_configurable(self):
+        current = _report(100.0, abort_rate=0.65)
+        baseline = _report(100.0, abort_rate=0.64)
+        failures = compare_to_baseline(current, baseline,
+                                       max_rate_drift=0.005)
+        assert failures and "abort_rate" in failures[0]
+
+    def test_old_baseline_without_rates_skipped(self):
+        # Baselines written before the rates existed must not fail the
+        # gate — the comparison only runs when both sides carry the key.
+        current = _report(100.0, abort_rate=0.9, retry_rate=0.9)
+        baseline = _report(100.0)
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_committed_baseline_carries_rates(self):
+        with open("BENCH_hotpath.json") as fh:
+            baseline = json.load(fh)
+        for mode in ("full", "smoke"):
+            for entry in baseline["modes"][mode].values():
+                assert "abort_rate" in entry
+                assert "retry_rate" in entry
 
 
 class TestCli:

@@ -101,3 +101,70 @@ class TestCommands:
         assert main(["figures", "sec06"]) == 0
         out = capsys.readouterr().out
         assert "N=5,C=5,m=2,D=4" in out
+
+
+class TestSpansAndSlo:
+    def test_run_spans_prints_lifecycle_tables(self, capsys):
+        code = main(["run", "--protocol", "hades", "--workload", "ycsb",
+                     "--scale", "0.05", "--duration-us", "100", "--seed", "5",
+                     "--spans"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lifecycle spans" in out
+        assert "abort taxonomy" in out
+        assert "execute" in out
+
+    def test_spans_out_writes_validatable_json(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import SpanRecorder, validate_spans
+
+        path = str(tmp_path / "spans.json")
+        code = main(["run", "--protocol", "hades", "--workload", "ycsb",
+                     "--scale", "0.05", "--duration-us", "100", "--seed", "5",
+                     "--spans-out", path])
+        assert code == 0
+        dump = json.load(open(path))
+        validate_spans(dump)
+        recorder = SpanRecorder.from_dict(dump)
+        assert recorder.protocol == "hades"
+        assert recorder.committed > 0
+        assert recorder.unknown_aborts() == 0
+        capsys.readouterr()
+
+    def test_slo_pass_and_fail_exit_codes(self, capsys):
+        common = ["run", "--protocol", "hades", "--workload", "ycsb",
+                  "--scale", "0.05", "--duration-us", "60", "--seed", "7"]
+        assert main(common + ["--slo", "p99<100ms"]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(common + ["--slo", "p50<1ns"]) == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_report_live_mode(self, capsys):
+        code = main(["report", "--workload", "ycsb", "--scale", "0.05",
+                     "--duration-us", "80", "--seed", "5",
+                     "--protocols", "baseline,hades"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase latency breakdown" in out
+        assert "baseline p99" in out and "hades p99" in out
+        assert "abort taxonomy" in out
+        assert "attempts and retries" in out
+
+    def test_report_merges_span_dumps(self, capsys, tmp_path):
+        paths = []
+        for protocol in ("baseline", "hades"):
+            path = str(tmp_path / f"{protocol}.json")
+            main(["run", "--protocol", protocol, "--workload", "ycsb",
+                  "--scale", "0.05", "--duration-us", "60", "--seed", "5",
+                  "--spans-out", path])
+            paths.append(path)
+        capsys.readouterr()
+        assert main(["report"] + paths) == 0
+        out = capsys.readouterr().out
+        assert "2 span dump(s)" in out
+        assert "baseline p50" in out and "hades p50" in out
+
+    def test_report_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit, match="unknown protocol"):
+            main(["report", "--protocols", "spanner"])
