@@ -34,10 +34,24 @@ def load_span_file(path: str) -> SpanRecorder:
     return SpanRecorder.from_dict(dump)
 
 
+def protocol_sort_key(name: str) -> tuple:
+    """Deterministic protocol ordering for report columns: the paper's
+    order (:data:`REPORT_PROTOCOLS`) first, anything else alphabetical
+    after it."""
+    try:
+        return (0, REPORT_PROTOCOLS.index(name), name)
+    except ValueError:
+        return (1, 0, name)
+
+
 def merge_span_files(paths: Sequence[str]) -> Dict[str, SpanRecorder]:
     """Merge saved span dumps, grouped by the protocol that produced
-    them.  Several runs of the same protocol fold into one recorder;
-    the result keys are protocol names in first-seen order."""
+    them.  Several runs of the same protocol fold into one recorder.
+
+    The result keys are sorted with :func:`protocol_sort_key`, never
+    first-seen order: the input may come from a shell glob over
+    per-worker dumps, and report columns must not depend on directory
+    enumeration or sweep completion order."""
     if not paths:
         raise ValueError("need at least one span file")
     merged: Dict[str, SpanRecorder] = {}
@@ -48,7 +62,8 @@ def merge_span_files(paths: Sequence[str]) -> Dict[str, SpanRecorder]:
             merged[name].merge(recorder)
         else:
             merged[name] = recorder
-    return merged
+    return {name: merged[name]
+            for name in sorted(merged, key=protocol_sort_key)}
 
 
 def collect_lifecycle(

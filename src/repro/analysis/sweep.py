@@ -1,0 +1,83 @@
+"""Cross-grid comparison tables for sweep artifacts (``repro sweep``).
+
+Renders a merged sweep report (see :mod:`repro.sweep.orchestrator`)
+as two tables: the per-cell grid — throughput, abort taxonomy, SLO
+verdict for every (scenario, protocol, seed) — and the per-(scenario,
+protocol) aggregates merged across seeds.  Row order is the grid-key
+order the artifact already carries, so the table is as deterministic as
+the JSON.
+
+Not imported from the :mod:`repro.analysis` package root for the same
+reason as :mod:`repro.analysis.lifecycle`: keep the analysis root free
+of runner-adjacent imports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.obs.histogram import LogHistogram
+
+
+def _top_abort_class(row: Dict[str, object]) -> str:
+    spans = row.get("spans")
+    if not spans or not spans.get("abort_classes"):
+        return "-"
+    totals: Dict[str, int] = {}
+    for key, count in spans["abort_classes"].items():
+        cls, _, _node = key.rpartition(":")
+        totals[cls] = totals.get(cls, 0) + count
+    cls, count = max(totals.items(), key=lambda item: (item[1], item[0]))
+    return f"{cls} x{count}"
+
+
+def _slo_verdict(row: Dict[str, object]) -> str:
+    slo = row.get("slo")
+    if slo is None:
+        return "-"
+    return "PASS" if slo["passed"] else "FAIL"
+
+
+def format_sweep_table(report: Dict[str, object]) -> str:
+    """The cross-grid comparison: per-cell rows, then aggregates."""
+    cells: List[Dict[str, object]] = report.get("cells", [])
+    if not cells:
+        raise ValueError("sweep report has no cells")
+    sections = []
+
+    cell_rows = []
+    for row in cells:
+        if "error" in row:
+            cell_rows.append([row["scenario"], row["protocol"], row["seed"],
+                              "-", "-", f"ERROR: {row['error']}", "-"])
+            continue
+        cell_rows.append([
+            row["scenario"], row["protocol"], row["seed"],
+            row["throughput_tps"], row["abort_rate"],
+            _top_abort_class(row), _slo_verdict(row),
+        ])
+    sections.append(format_table(
+        ["scenario", "protocol", "seed", "txn/s", "abort rate",
+         "top abort class", "slo"],
+        cell_rows, title="sweep grid"))
+
+    agg_rows = []
+    for key in sorted(report.get("aggregates", {})):
+        group = report["aggregates"][key]
+        hist = LogHistogram.from_dict(group["latency_hist"])
+        agg_rows.append([
+            group["scenario"], group["protocol"], len(group["seeds"]),
+            group["mean_throughput_tps"], group["abort_rate"],
+            hist.p95() / 1e3, group["committed"],
+        ])
+    if agg_rows:
+        sections.append(format_table(
+            ["scenario", "protocol", "seeds", "mean txn/s", "abort rate",
+             "p95 us", "committed"],
+            agg_rows, title="aggregates (merged across seeds)"))
+
+    if report.get("partial"):
+        sections.append(f"PARTIAL sweep: {report.get('failed_cells', 0)} "
+                        "cell(s) failed or never ran")
+    return "\n\n".join(sections)

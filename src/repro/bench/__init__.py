@@ -7,6 +7,7 @@ from repro.bench.harness import (
     SCENARIOS,
     BenchScenario,
     compare_to_baseline,
+    compare_trajectories,
     merge_reports,
     run_bench,
     write_report,
@@ -16,6 +17,7 @@ __all__ = [
     "SCENARIOS",
     "BenchScenario",
     "compare_to_baseline",
+    "compare_trajectories",
     "merge_reports",
     "run_bench",
     "write_report",

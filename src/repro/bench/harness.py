@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.config import ClusterConfig
+from repro.obs.artifacts import sanitize_tag
 from repro.runner import run_experiment
 from repro.workloads import MicroWorkload, TpccWorkload, YcsbWorkload
 
@@ -170,6 +171,87 @@ def write_report(report: Dict[str, object], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
         fh.write("\n")
+
+
+def _cell_identity(cell: Dict[str, object]) -> tuple:
+    """A sweep cell's grid identity: the key trajectories match on.
+    Two cells with the same identity must (by the determinism contract)
+    have identical simulated results."""
+    return (cell.get("scenario"), cell.get("protocol"), cell.get("seed"),
+            cell.get("shape"), cell.get("scale"), cell.get("duration_ns"),
+            tuple(cell.get("overrides", ())))
+
+
+def compare_trajectories(report: Dict[str, object],
+                         baseline: Dict[str, object],
+                         max_regression: float = 0.30,
+                         max_rate_drift: float = 0.02,
+                         timing: Optional[Dict[str, object]] = None,
+                         baseline_timing: Optional[Dict[str, object]] = None,
+                         ) -> List[str]:
+    """Regression-gate one *sweep* against a baseline sweep.
+
+    The point-mode gate (:func:`compare_to_baseline`) watches three
+    pinned scenarios; trajectory mode feeds it a whole grid instead:
+    every cell present in both sweeps (matched on grid identity, so a
+    grown grid never fails against an older baseline) is gated on
+    behavioral drift — abort-rate moves beyond ``max_rate_drift`` and
+    simulated-throughput drops beyond ``max_regression``, both exact
+    under pinned seeds.  When both ``*.timing.json`` sidecars are
+    supplied, cells are additionally gated on wall-clock events/sec,
+    the same budget as point mode.  Returns failure messages; empty
+    means the gate passes.
+    """
+    failures: List[str] = []
+    base_cells = {_cell_identity(cell): cell
+                  for cell in baseline.get("cells", [])
+                  if "error" not in cell}
+    wall = (timing or {}).get("cells", {})
+    base_wall = (baseline_timing or {}).get("cells", {})
+    if (timing and baseline_timing
+            and timing.get("workers") != baseline_timing.get("workers")):
+        # Per-cell wall clock under a 4-worker pool includes contention
+        # a serial run doesn't have; events/sec across different pool
+        # sizes would gate on the machine, not the simulator.
+        wall = base_wall = {}
+    for cell in report.get("cells", []):
+        identity = _cell_identity(cell)
+        base = base_cells.get(identity)
+        if base is None:
+            continue
+        label = f"{cell['scenario']}/{cell['protocol']}/s{cell['seed']}"
+        if "error" in cell:
+            failures.append(f"{label}: cell failed ({cell['error']})")
+            continue
+        drift = abs(cell["abort_rate"] - base["abort_rate"])
+        if drift > max_rate_drift:
+            failures.append(
+                f"{label}: abort_rate {cell['abort_rate']:.4f} drifted "
+                f"{drift:.4f} from baseline {base['abort_rate']:.4f} "
+                f"(limit {max_rate_drift}) — behavioral change")
+        reference_tps = base["throughput_tps"]
+        if reference_tps > 0:
+            drop = 1.0 - cell["throughput_tps"] / reference_tps
+            if drop > max_regression:
+                failures.append(
+                    f"{label}: simulated throughput "
+                    f"{cell['throughput_tps']:,.0f} txn/s is {drop:.1%} "
+                    f"below baseline {reference_tps:,.0f} "
+                    f"(limit {max_regression:.0%})")
+        cell_id = sanitize_tag(
+            f"{cell['scenario']}.{cell['protocol']}.s{cell['seed']}")
+        if cell_id in wall and cell_id in base_wall:
+            wall_s, base_s = wall[cell_id], base_wall[cell_id]
+            if wall_s > 0 and base_s > 0 and base["events"] > 0:
+                current_eps = cell["events"] / wall_s
+                base_eps = base["events"] / base_s
+                drop = 1.0 - current_eps / base_eps
+                if drop > max_regression:
+                    failures.append(
+                        f"{label}: {current_eps:,.0f} events/s is "
+                        f"{drop:.1%} below baseline {base_eps:,.0f} "
+                        f"(limit {max_regression:.0%})")
+    return failures
 
 
 def compare_to_baseline(report: Dict[str, object],

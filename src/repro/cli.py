@@ -21,7 +21,12 @@ Subcommands:
 * ``bench`` — pinned seeded wall-clock benchmarks of the simulator hot
   path; writes ``BENCH_hotpath.json`` and optionally gates on an
   events/sec regression versus a committed baseline
-  (see docs/PERFORMANCE.md).
+  (see docs/PERFORMANCE.md).  ``--trajectory`` gates a whole sweep
+  artifact against a baseline sweep instead of the point scenarios.
+* ``sweep`` — expand a (scenario × seed × protocol × override) grid,
+  shard it across a multiprocessing worker pool, and merge the results
+  into one JSON artifact plus a cross-grid comparison table; the merged
+  artifact is bit-identical for any ``--workers N`` (see docs/SWEEP.md).
 """
 
 from __future__ import annotations
@@ -108,7 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="cross-protocol lifecycle comparison "
                                 "(phase breakdown + abort taxonomy)")
     rep_p.add_argument("spans", nargs="*", metavar="SPANS.json",
-                       help="saved 'run --spans-out' dumps to merge; "
+                       help="saved 'run --spans-out' dumps to merge "
+                            "(glob patterns like 'spans.*.json' expand "
+                            "to the per-cell family a sweep wrote); "
                             "omit to run the protocols live")
     rep_p.add_argument("--workload", default="HT-wA")
     rep_p.add_argument("--scale", type=float, default=0.1)
@@ -152,11 +159,57 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--max-regression", type=float, default=0.30,
                          help="events/sec drop vs --baseline that fails "
                               "the gate (fraction, default 0.30)")
+    bench_p.add_argument("--trajectory", metavar="SWEEP.json", default=None,
+                         help="gate a sweep artifact against a baseline "
+                              "sweep (--baseline) instead of running the "
+                              "point scenarios; *.timing.json sidecars "
+                              "are picked up automatically")
+
+    sweep_p = sub.add_parser("sweep",
+                             help="run a (scenario x seed x protocol) grid "
+                                  "across a worker pool")
+    sweep_p.add_argument("--spec", metavar="SPEC.json", default=None,
+                         help="JSON sweep spec (grammar in docs/SWEEP.md); "
+                              "CLI flags below override nothing when set")
+    sweep_p.add_argument("--scenarios", default="quick-ht,quick-btree",
+                         help="comma-separated scenario names (presets or "
+                              "workload labels)")
+    sweep_p.add_argument("--protocols", default="baseline,hades-h,hades",
+                         help="comma-separated protocols")
+    sweep_p.add_argument("--seeds", default="42",
+                         help="comma-separated integer seeds")
+    sweep_p.add_argument("--scale", type=float, default=0.05)
+    sweep_p.add_argument("--duration-us", type=float, default=200.0)
+    sweep_p.add_argument("--shape", choices=sorted(CLUSTER_SHAPES),
+                         default="default")
+    sweep_p.add_argument("--slo", metavar="SPEC", default="",
+                         help="latency objectives evaluated per cell, "
+                              "e.g. 'p99<50us'")
+    sweep_p.add_argument("--set", dest="overrides", metavar="KEY=VALUE",
+                         action="append", default=[],
+                         help="config override on every cell, dotted path "
+                              "into ClusterConfig (repeatable), e.g. "
+                              "network.rt_latency_ns=1000")
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial in-process; "
+                              "results are bit-identical either way)")
+    sweep_p.add_argument("--out", metavar="PATH", default="SWEEP.json",
+                         help="merged artifact path ('-' to skip writing); "
+                              "wall-clock data goes to a *.timing.json "
+                              "sidecar next to it")
+    sweep_p.add_argument("--spans", action="store_true",
+                         help="record lifecycle spans per cell (abort "
+                              "taxonomy columns in the table)")
+    sweep_p.add_argument("--spans-out", metavar="PATH", default=None,
+                         help="also dump each cell's spans to a unique "
+                              "per-cell file derived from PATH (implies "
+                              "--spans); merge with 'repro report PATH-"
+                              "derived glob'")
     return parser
 
 
 def cmd_run(args) -> int:
-    from repro.hardware.energy import energy_report, reset_energy_counters
+    from repro.hardware.energy import energy_report
     from repro.obs import EventTracer
 
     config = _apply_recovery(args, make_cluster_config(args.shape))
@@ -174,7 +227,6 @@ def cmd_run(args) -> int:
         spans = SpanRecorder()
     sample_interval_ns = (args.sample_us * 1000.0 if args.metrics else None)
     fault_plan = _parse_fault_plan(args)
-    reset_energy_counters()
     result = run_experiment(args.protocol, workload, config=config,
                             duration_ns=args.duration_us * 1000.0,
                             seed=args.seed, llc_sets=2048,
@@ -184,7 +236,9 @@ def cmd_run(args) -> int:
                             fault_plan=fault_plan,
                             spans=spans)
     energy = energy_report(config, args.duration_us * 1000.0,
-                           result.metrics.meter.committed)
+                           result.metrics.meter.committed,
+                           read_ops=result.bloom_read_ops,
+                           write_ops=result.bloom_write_ops)
     summary = result.metrics.summary()
     print(format_table(["metric", "value"], [
         ["protocol", args.protocol],
@@ -268,8 +322,11 @@ def cmd_report(args) -> int:
     )
 
     if args.spans:
-        recorders = merge_span_files(args.spans)
-        source = f"{len(args.spans)} span dump(s)"
+        from repro.obs.artifacts import expand_artifact_globs
+
+        paths = expand_artifact_globs(args.spans)
+        recorders = merge_span_files(paths)
+        source = f"{len(paths)} span dump(s)"
     else:
         protocols = [name.strip() for name in args.protocols.split(",")
                      if name.strip()]
@@ -390,11 +447,49 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.analysis.sweep import format_sweep_table
+    from repro.sweep import SweepSpec, parse_override, run_sweep
+
+    if args.spec:
+        spec = SweepSpec.from_file(args.spec)
+    else:
+        spec = SweepSpec(
+            scenarios=tuple(_split_csv(args.scenarios)),
+            protocols=tuple(_split_csv(args.protocols)),
+            seeds=tuple(int(seed) for seed in _split_csv(args.seeds)),
+            shape=args.shape,
+            scale=args.scale,
+            duration_ns=args.duration_us * 1000.0,
+            slo=args.slo,
+            overrides=tuple(parse_override(item)
+                            for item in args.overrides))
+    cells = spec.expand()
+    print(f"sweep: {len(cells)} cells "
+          f"({len(spec.scenarios)} scenarios x {len(spec.protocols)} "
+          f"protocols x {len(spec.seeds)} seeds), "
+          f"{args.workers} worker(s)")
+    report = run_sweep(spec, workers=args.workers,
+                       out=(None if args.out == "-" else args.out),
+                       spans=args.spans, spans_out=args.spans_out,
+                       log=print)
+    print()
+    print(format_sweep_table(report))
+    return 1 if report["partial"] else 0
+
+
+def _split_csv(value: str) -> List[str]:
+    """Comma-separated CLI list -> stripped non-empty items."""
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
 def cmd_bench(args) -> int:
     import json
 
     from repro.bench import compare_to_baseline, run_bench, write_report
 
+    if args.trajectory:
+        return _bench_trajectory(args)
     mode = "smoke" if args.smoke else "full"
     print(f"hot-path benchmark ({mode}, best of {args.repeats}):")
     report = run_bench(smoke=args.smoke, repeats=args.repeats)
@@ -418,6 +513,42 @@ def cmd_bench(args) -> int:
     return status
 
 
+def _bench_trajectory(args) -> int:
+    """``repro bench --trajectory``: gate a sweep against a baseline sweep."""
+    import json
+    import os
+
+    from repro.bench import compare_trajectories
+    from repro.obs.artifacts import tagged_path
+
+    if not args.baseline:
+        raise SystemExit("--trajectory needs --baseline BASELINE_SWEEP.json")
+
+    def _load(path):
+        with open(path) as fh:
+            return json.load(fh)
+
+    def _sidecar(path):
+        sidecar = tagged_path(path, "timing")
+        return _load(sidecar) if os.path.exists(sidecar) else None
+
+    report = _load(args.trajectory)
+    baseline = _load(args.baseline)
+    failures = compare_trajectories(report, baseline,
+                                    max_regression=args.max_regression,
+                                    timing=_sidecar(args.trajectory),
+                                    baseline_timing=_sidecar(args.baseline))
+    matched = sum(1 for cell in report.get("cells", []))
+    if failures:
+        print(f"trajectory gate FAILED vs {args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"trajectory gate passed vs {args.baseline} "
+          f"({matched} cells, limit {args.max_regression:.0%})")
+    return 0
+
+
 def cmd_cost(args) -> int:
     report = compute_cost(args.cores, args.multiplexing, args.remote_nodes)
     print(format_table(["structure", "value"], [
@@ -436,7 +567,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": cmd_run, "profile": cmd_profile,
                 "report": cmd_report, "compare": cmd_compare,
                 "figures": cmd_figures, "cost": cmd_cost,
-                "bench": cmd_bench}
+                "bench": cmd_bench, "sweep": cmd_sweep}
     return handlers[args.command](args)
 
 

@@ -73,6 +73,12 @@ class RecordMetadata:
         self.lock_owner: Optional[Tuple[int, int]] = None
         self.incarnation = 0
         self.line_versions: List[int] = [0] * line_count
+        #: True between begin_write and complete_write: a remote commit
+        #: write is being applied over simulated time.
+        self.applying = False
+        #: Owner whose unlock arrived mid-apply and must wait for
+        #: complete_write (see unlock_after_apply).
+        self.pending_unlock: Optional[Tuple[int, int]] = None
 
     @property
     def locked(self) -> bool:
@@ -97,6 +103,7 @@ class RecordMetadata:
         Models the window in which a reader can observe mixed per-line
         versions.  ``complete_write`` closes the window.
         """
+        self.applying = True
         for index in range(len(self.line_versions)):
             self.line_versions[index] = self.version + 1 if index == 0 else self.line_versions[index]
 
@@ -105,6 +112,31 @@ class RecordMetadata:
         self.version += 1
         for index in range(len(self.line_versions)):
             self.line_versions[index] = self.version
+        self.applying = False
+        if self.pending_unlock is not None:
+            if self.lock_owner == self.pending_unlock:
+                self.lock_owner = None
+            self.pending_unlock = None
+
+    def unlock_after_apply(self, owner: Tuple[int, int]) -> None:
+        """Owner-keyed unlock that cannot overtake an in-flight write.
+
+        FaRM packs version and lock into one metadata word, so the
+        commit write that installs the new version and the unlock that
+        clears the lock bit can never be observed out of order.  The
+        simulation splits them into an RdmaWriteRequest (applied over a
+        torn window) and a BatchedUnlockRequest (applied instantly), so
+        an unlock arriving mid-apply must wait for ``complete_write`` —
+        otherwise a concurrent validation sees the *old* version with
+        the lock already clear and admits a serializability violation.
+        """
+        if self.lock_owner != owner:
+            raise RuntimeError(
+                f"{owner} unlocking a record held by {self.lock_owner}")
+        if self.applying:
+            self.pending_unlock = owner
+        else:
+            self.lock_owner = None
 
     def lines_consistent(self) -> bool:
         """Read-atomicity check: all line versions equal (Section III)."""
@@ -115,5 +147,7 @@ class RecordMetadata:
         self.incarnation += 1
         self.version = 0
         self.lock_owner = None
+        self.applying = False
+        self.pending_unlock = None
         for index in range(len(self.line_versions)):
             self.line_versions[index] = 0

@@ -679,11 +679,15 @@ class BaselineProtocol(ProtocolBase):
         # Idempotent by owner: defensive unlocks after a request timeout
         # may target records the owner never actually locked (or locks
         # another transaction has since acquired) — skip those instead
-        # of tripping RecordMetadata's non-owner assertion.
+        # of tripping RecordMetadata's non-owner assertion.  An unlock
+        # following the owner's own commit write (same pair, FIFO) may
+        # arrive while that write is still applying; unlock_after_apply
+        # defers it to complete_write so the lock never clears before
+        # the version bump (FaRM's combined version+lock word).
         for address in message.record_addresses:
             meta = node.memory.metadata(address)
             if meta.locked and meta.lock_owner == message.owner:
-                meta.unlock(message.owner)
+                meta.unlock_after_apply(message.owner)
 
     # ------------------------------------------------------------------
     # helpers

@@ -51,6 +51,19 @@ SUITE_FULL = ("TPC-C", "TATP", "Smallbank",
 #: Representative subset for quick runs.
 SUITE_QUICK = ("TPC-C", "TATP", "Smallbank", "HT-wA", "BTree-wB")
 
+#: Named sweep scenarios (``repro sweep --scenarios ...``).  Plain
+#: dicts consumed lazily by :func:`repro.sweep.grid.resolve_scenario`;
+#: a preset may pin its own scale/locality, and any plain workload
+#: label (``HT-wA``, ``TPC-C``, ...) works as a scenario without an
+#: entry here.
+SWEEP_SCENARIOS: Dict[str, Dict] = {
+    "quick-ht": {"workload": "HT-wA", "scale": 0.05},
+    "quick-btree": {"workload": "BTree-wB", "scale": 0.05},
+    "quick-tpcc": {"workload": "TPC-C", "scale": 0.03},
+    "quick-tatp": {"workload": "TATP", "scale": 0.05},
+    "local-ht": {"workload": "HT-wA", "scale": 0.05, "locality": 0.9},
+}
+
 
 @dataclass(frozen=True)
 class ExperimentSettings:

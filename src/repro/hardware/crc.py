@@ -141,8 +141,33 @@ def shared_hash_family(count: int, modulus: int) -> HashFamily:
 
     Every Bloom filter of a given shape shares one family so the mask
     cache is warmed once per key per shape, not once per filter.
+
+    Sharing across *runs* is safe because a mask is a pure function of
+    ``(count, modulus, key)``: a warm cache changes wall-clock time
+    only, never a simulated result.  A sweep worker that executes many
+    runs back-to-back therefore keeps the cache warm by default;
+    :func:`clear_shared_families` (via
+    :func:`repro.isolation.reset_process_caches`) exists for tests that
+    prove run-order independence and for bounding worker memory.
     """
     family = _FAMILIES.get((count, modulus))
     if family is None:
         family = _FAMILIES[(count, modulus)] = HashFamily(count, modulus)
     return family
+
+
+def shared_family_stats() -> dict:
+    """Occupancy of the process-wide mask caches, keyed by
+    ``"count x modulus"`` — the audit half of the run-isolation
+    contract (see :mod:`repro.isolation`)."""
+    return {f"{count}x{modulus}": len(family._masks)
+            for (count, modulus), family in sorted(_FAMILIES.items())}
+
+
+def clear_shared_families() -> None:
+    """Drop every process-wide hash family and its mask cache.
+
+    Existing filters keep their (now unshared) family references and
+    stay correct; new filters rebuild cold families on demand.
+    """
+    _FAMILIES.clear()

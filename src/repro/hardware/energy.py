@@ -68,15 +68,26 @@ def reset_energy_counters() -> None:
 
 def energy_report(config: ClusterConfig, elapsed_ns: float,
                   committed: int,
-                  bloom: BloomParams = None) -> EnergyReport:
-    """Energy estimate from the current global BF counters."""
+                  bloom: BloomParams = None,
+                  read_ops: int = None,
+                  write_ops: int = None) -> EnergyReport:
+    """Energy estimate for one run.
+
+    Pass ``read_ops``/``write_ops`` explicitly — the per-run deltas
+    every :class:`~repro.runner.ExperimentResult` now carries as
+    ``bloom_read_ops``/``bloom_write_ops`` — so back-to-back runs in
+    one process each report their own accesses.  When omitted, the
+    process-global counters are used (the legacy behavior), which is
+    only correct if :func:`reset_energy_counters` ran right before the
+    measured run.
+    """
     if elapsed_ns < 0:
         raise ValueError(f"negative elapsed time: {elapsed_ns}")
     if committed < 0:
         raise ValueError(f"negative commit count: {committed}")
     bloom = bloom if bloom is not None else config.bloom
-    reads = BloomFilter.total_read_ops
-    writes = BloomFilter.total_write_ops
+    reads = BloomFilter.total_read_ops if read_ops is None else read_ops
+    writes = BloomFilter.total_write_ops if write_ops is None else write_ops
     dynamic = reads * bloom.read_energy_pj + writes * bloom.write_energy_pj
     # 1 mW = 1e-3 J/s = 1e9 pJ / 1e9 ns = 1 pJ/ns.
     pairs = provisioned_filter_pairs(config)

@@ -1,0 +1,63 @@
+"""In-process run isolation: the audit of process-wide state.
+
+One ``repro sweep`` worker process executes many experiment runs
+back-to-back, so anything memoized at module or class level is shared
+between runs.  This module is the closed inventory of that state and
+the contract each entry must honor:
+
+* ``repro.hardware.crc`` — the shared :class:`~repro.hardware.crc.HashFamily`
+  mask caches (:func:`~repro.hardware.crc.shared_hash_family`).  A mask
+  is a pure function of ``(hash count, modulus, key)``, so warmth can
+  change wall-clock time only, never a simulated result.  **Safe to
+  share; kept warm across runs.**
+* ``repro.hardware.bloom`` — :class:`~repro.hardware.bloom.BloomFilter`'s
+  class-level ``total_read_ops``/``total_write_ops`` energy counters.
+  These accumulate forever, so any consumer reading the raw totals sees
+  every previous run's accesses.  **Not safe to read raw**:
+  :func:`~repro.runner.run_experiment` snapshots them and reports
+  per-run deltas (``ExperimentResult.bloom_read_ops``/``bloom_write_ops``),
+  which are what the energy report consumes.
+* The CRC lookup table (``repro.hardware.crc._TABLE``) and similar
+  computed constants — immutable after import, trivially safe.
+
+Everything else an experiment touches (engine, cluster, protocol,
+metrics, workloads, fault injectors, recovery managers) is constructed
+fresh inside :func:`~repro.runner.run_experiment` per call.
+
+``tests/test_isolation.py`` pins the contract: running A then B in one
+process must be bit-identical to running B in a fresh process.  Any new
+module-level cache must either be a pure value cache (document it here)
+or be registered in :func:`reset_process_caches`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def process_state_report() -> Dict[str, object]:
+    """Sizes of every known process-wide cache/counter, for the audit
+    tests and for memory diagnostics of long-lived sweep workers."""
+    from repro.hardware.bloom import BloomFilter
+    from repro.hardware.crc import shared_family_stats
+
+    return {
+        "hash_family_masks": shared_family_stats(),
+        "bloom_total_read_ops": BloomFilter.total_read_ops,
+        "bloom_total_write_ops": BloomFilter.total_write_ops,
+    }
+
+
+def reset_process_caches() -> None:
+    """Restore every process-wide cache/counter to import-time state.
+
+    Run-to-run isolation does *not* require calling this (see the
+    module docstring); it exists so tests can prove that claim — a run
+    after ``reset_process_caches()`` must equal the same run on a warm
+    process — and so a long-lived worker can bound mask-cache memory.
+    """
+    from repro.hardware.bloom import BloomFilter
+    from repro.hardware.crc import clear_shared_families
+
+    clear_shared_families()
+    BloomFilter.reset_stats()

@@ -1,6 +1,6 @@
 """Observability: tracing, metrics, histograms, spans, SLOs.
 
-The package has six modules:
+The package has seven modules:
 
 * :mod:`repro.obs.tracer` — structured event tracer (JSONL and Chrome
   ``trace_event`` output; open the latter in Perfetto).
@@ -14,6 +14,9 @@ The package has six modules:
   ``repro report``.
 * :mod:`repro.obs.slo` — latency objectives (:class:`SLOParams`)
   declared on the cluster config and evaluated per run.
+* :mod:`repro.obs.artifacts` — per-worker/per-cell artifact paths
+  (:func:`tagged_path`) and the glob expansion readers use to merge
+  the family back (:func:`expand_artifact_globs`).
 * :mod:`repro.obs.profile` — ``repro profile``'s attribution report.
   **Not** imported here: it pulls in the runner, and ``sim.stats``
   imports this package for :class:`LogHistogram` — importing the
@@ -23,6 +26,12 @@ The package has six modules:
 See ``docs/OBSERVABILITY.md`` for the event schema and usage.
 """
 
+from repro.obs.artifacts import (
+    expand_artifact_globs,
+    is_glob,
+    sanitize_tag,
+    tagged_path,
+)
 from repro.obs.histogram import LogHistogram
 from repro.obs.metrics import (
     MessageStats,
@@ -53,10 +62,14 @@ __all__ = [
     "SpanRecorder",
     "TimeSeriesSampler",
     "classify_abort",
+    "expand_artifact_globs",
     "format_slo",
     "format_spans",
+    "is_glob",
     "load_jsonl",
+    "sanitize_tag",
     "save_samples_csv",
+    "tagged_path",
     "validate_jsonl",
     "validate_spans",
 ]

@@ -61,6 +61,13 @@ class ExperimentResult:
     #: Engine callbacks executed during the run — the numerator of the
     #: benchmark harness's events/sec (see docs/PERFORMANCE.md).
     events_processed: int = 0
+    #: Bloom-filter accesses *this run* performed (deltas of the
+    #: process-global counters, so back-to-back runs in one process
+    #: don't inherit each other's energy accounting — see
+    #: :mod:`repro.isolation`).  Feed these to
+    #: :func:`repro.hardware.energy.energy_report`.
+    bloom_read_ops: int = 0
+    bloom_write_ops: int = 0
 
     @property
     def throughput(self) -> float:
@@ -122,6 +129,8 @@ def run_experiment(
     replicas.  :attr:`~ExperimentResult.recovery_summary` reports what
     the recovery plane did.
     """
+    from repro.hardware.bloom import BloomFilter
+
     if isinstance(workloads, Workload):
         workloads = [workloads]
     else:
@@ -129,6 +138,12 @@ def run_experiment(
     if not workloads:
         raise ValueError("need at least one workload")
     config = config if config is not None else ClusterConfig()
+
+    # Snapshot the process-global energy counters so the result can
+    # report this run's accesses as deltas (run isolation — the global
+    # totals keep growing across back-to-back runs in one process).
+    bloom_reads_before = BloomFilter.total_read_ops
+    bloom_writes_before = BloomFilter.total_write_ops
 
     engine = Engine()
     cluster = Cluster(engine, config, llc_sets=llc_sets)
@@ -224,7 +239,11 @@ def run_experiment(
                             recovery_summary=(recovery_manager.summary()
                                               if recovery_manager is not None
                                               else None),
-                            events_processed=engine.events_processed)
+                            events_processed=engine.events_processed,
+                            bloom_read_ops=(BloomFilter.total_read_ops
+                                            - bloom_reads_before),
+                            bloom_write_ops=(BloomFilter.total_write_ops
+                                             - bloom_writes_before))
 
 
 def _client_driver(protocol, workload: Workload, node_id: int, slot: int,
@@ -261,13 +280,35 @@ def compare_protocols(
     """Run the same workload under several protocols.
 
     ``workload_factory`` is a zero-argument callable returning fresh
-    workload instance(s) — each protocol needs its own cluster, so
-    workloads cannot be shared between runs.
+    workload instance(s) — each protocol needs its own cluster, and
+    workload instances carry mutable generator state (the zipfian RNG
+    advances as transactions are drawn), so sharing one instance would
+    let the first leg's draws reseed the second leg's key stream.  A
+    factory that hands back an object it already handed out is rejected
+    rather than silently producing order-dependent results; each leg's
+    result must equal a standalone :func:`run_experiment` of the same
+    (protocol, seed).
     """
     results = {}
+    # Strong references keep ids unique for the duration of the compare
+    # (a GC'd workload could otherwise hand its id to a fresh one).
+    seen: List[tuple] = []
     for protocol in protocols:
+        workloads = workload_factory()
+        instances = ([workloads] if isinstance(workloads, Workload)
+                     else list(workloads))
+        for workload in instances:
+            for earlier, earlier_protocol in seen:
+                if workload is earlier:
+                    raise ValueError(
+                        f"workload_factory returned the same "
+                        f"{type(workload).__name__} instance for "
+                        f"{earlier_protocol!r} and {protocol!r}; each "
+                        "protocol leg needs a fresh workload (generator "
+                        "state is mutable)")
+            seen.append((workload, protocol))
         results[protocol] = run_experiment(
-            protocol, workload_factory(), config=config,
+            protocol, workloads, config=config,
             duration_ns=duration_ns, seed=seed, llc_sets=llc_sets)
     return results
 

@@ -1,0 +1,37 @@
+"""Multiprocess experiment sweeps (``repro sweep``).
+
+A sweep expands a (scenario × seed × protocol × config-override) grid
+into :class:`~repro.sweep.grid.GridCell`\\ s, shards the cells across a
+``multiprocessing`` worker pool (workers are long-lived and reuse their
+process across cells — safe by the :mod:`repro.isolation` audit), and
+folds the per-cell results into one merged JSON artifact plus a
+cross-grid comparison table.
+
+The determinism contract extends docs/PERFORMANCE.md's no-op rule to
+parallelism: the same grid with the same seeds produces a bit-identical
+merged artifact for *any* ``--workers N``, because every cell result is
+a pure function of its grid coordinates and the merge sorts by grid key
+rather than completion order.  Wall-clock data (inherently
+nondeterministic) lives in a separate ``*.timing.json`` sidecar.  See
+docs/SWEEP.md.
+"""
+
+from repro.sweep.grid import (
+    GridCell,
+    SweepSpec,
+    apply_overrides,
+    parse_override,
+)
+from repro.sweep.orchestrator import build_report, run_sweep, write_sweep
+from repro.sweep.worker import run_cell
+
+__all__ = [
+    "GridCell",
+    "SweepSpec",
+    "apply_overrides",
+    "build_report",
+    "parse_override",
+    "run_cell",
+    "run_sweep",
+    "write_sweep",
+]

@@ -1,0 +1,229 @@
+"""Sweep grids: cells, specs, and config overrides.
+
+A :class:`SweepSpec` names the axes — scenarios, protocols, seeds —
+plus the knobs every cell shares (cluster shape, population scale, run
+length, SLO, config overrides).  :meth:`SweepSpec.expand` is the *only*
+place the cross product is taken, and it returns cells sorted by grid
+key ``(scenario, protocol, seed)``, so every consumer (orchestrator,
+merged artifact, comparison table) sees the same order regardless of
+which worker finished which cell first.
+
+Config overrides are dotted paths into the frozen
+:class:`~repro.config.ClusterConfig` tree: ``network.rt_latency_ns=1000``
+rebuilds the config with :func:`dataclasses.replace` at each level, and
+the raw string is coerced to the type of the field it replaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import CLUSTER_SHAPES, ClusterConfig, make_cluster_config
+from repro.obs.artifacts import sanitize_tag
+
+#: Overrides are (dotted key, raw value string) pairs — hashable, and
+#: the string form round-trips through spec files and artifacts.
+Override = Tuple[str, str]
+
+
+def parse_override(item: str) -> Override:
+    """``"network.rt_latency_ns=1000"`` → ``("network.rt_latency_ns", "1000")``."""
+    key, sep, value = item.partition("=")
+    key = key.strip()
+    value = value.strip()
+    if not sep or not key or not value:
+        raise ValueError(f"bad override {item!r} (expected key=value)")
+    return key, value
+
+
+def _coerce(raw: str, current: object, key: str) -> object:
+    """Coerce a raw override string to the replaced field's type."""
+    if isinstance(current, bool):
+        lowered = raw.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"override {key!r}: {raw!r} is not a boolean")
+    if isinstance(current, int):
+        return int(raw)
+    if isinstance(current, float):
+        return float(raw)
+    if isinstance(current, str) or current is None:
+        return raw
+    raise ValueError(
+        f"override {key!r} targets a {type(current).__name__}, not a "
+        "scalar field; override its leaves instead "
+        f"(e.g. {key}.<field>=<value>)")
+
+
+def _apply_one(obj: object, path: Sequence[str], raw: str,
+               key: str) -> object:
+    head, rest = path[0], path[1:]
+    try:
+        current = getattr(obj, head)
+    except AttributeError:
+        names = [f.name for f in dataclasses.fields(obj)]
+        raise ValueError(f"override {key!r}: {type(obj).__name__} has no "
+                         f"field {head!r}; pick from {sorted(names)}")
+    if rest:
+        if not dataclasses.is_dataclass(current):
+            raise ValueError(f"override {key!r}: {head!r} is a scalar, "
+                             "cannot descend further")
+        return dataclasses.replace(
+            obj, **{head: _apply_one(current, rest, raw, key)})
+    return dataclasses.replace(obj, **{head: _coerce(raw, current, key)})
+
+
+def apply_overrides(config: ClusterConfig,
+                    overrides: Sequence[Override]) -> ClusterConfig:
+    """Apply dotted-path overrides to a config, outermost first."""
+    for key, raw in overrides:
+        config = _apply_one(config, key.split("."), raw, key)
+    return config
+
+
+@dataclass(frozen=True, order=True)
+class GridCell:
+    """One point of the sweep grid: everything one worker needs to run
+    one experiment, picklable and orderable by grid key."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    shape: str = "default"
+    scale: float = 0.05
+    duration_ns: float = 200_000.0
+    slo: str = ""
+    overrides: Tuple[Override, ...] = ()
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """The grid sort key every merged artifact orders by."""
+        return (self.scenario, self.protocol, self.seed)
+
+    @property
+    def cell_id(self) -> str:
+        """Path-safe identity, used to tag per-cell artifact files."""
+        return sanitize_tag(f"{self.scenario}.{self.protocol}.s{self.seed}")
+
+    def config(self) -> ClusterConfig:
+        """The cell's cluster config: shape + SLO + overrides."""
+        config = make_cluster_config(self.shape)
+        if self.slo:
+            from repro.obs.slo import SLOParams
+
+            config = config.replace(slo=SLOParams.parse(self.slo))
+        return apply_overrides(config, self.overrides)
+
+    def workloads(self):
+        """Fresh workload instance(s) for this cell (never cached — the
+        generators are mutable; see ``compare_protocols``)."""
+        return resolve_scenario(self.scenario, self.scale)
+
+
+def resolve_scenario(name: str, scale: float):
+    """A scenario name → fresh workload(s).
+
+    Names resolve through :data:`repro.experiments.SWEEP_SCENARIOS`
+    presets first (which may pin their own scale), then fall through to
+    :func:`~repro.workloads.make_workload` figure labels, so any
+    ``repro run --workload`` label works as a scenario.  Imported
+    lazily: :mod:`repro.experiments` pulls in the runner.
+    """
+    from repro.experiments import SWEEP_SCENARIOS
+    from repro.workloads import make_workload
+
+    preset = SWEEP_SCENARIOS.get(name)
+    if preset is not None:
+        return make_workload(preset["workload"],
+                             scale=preset.get("scale", scale),
+                             locality=preset.get("locality"))
+    return make_workload(name, scale=scale)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The sweep grid before expansion.
+
+    Built from CLI flags or loaded from a JSON spec file
+    (:meth:`from_file`); :meth:`as_dict` round-trips and is embedded in
+    the merged artifact so a report names the grid that produced it.
+    """
+
+    scenarios: Tuple[str, ...]
+    protocols: Tuple[str, ...] = ("baseline", "hades-h", "hades")
+    seeds: Tuple[int, ...] = (42,)
+    shape: str = "default"
+    scale: float = 0.05
+    duration_ns: float = 200_000.0
+    slo: str = ""
+    overrides: Tuple[Override, ...] = ()
+
+    def __post_init__(self) -> None:
+        from repro.core import PROTOCOLS
+
+        if not self.scenarios:
+            raise ValueError("sweep needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("sweep needs at least one seed")
+        for protocol in self.protocols:
+            if protocol not in PROTOCOLS:
+                raise ValueError(f"unknown protocol {protocol!r}; pick "
+                                 f"from {sorted(PROTOCOLS)}")
+        if self.shape not in CLUSTER_SHAPES:
+            raise ValueError(f"unknown cluster shape {self.shape!r}; pick "
+                             f"from {sorted(CLUSTER_SHAPES)}")
+        if self.duration_ns <= 0:
+            raise ValueError(f"duration must be positive: {self.duration_ns}")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds: {list(self.seeds)}")
+
+    def expand(self) -> List[GridCell]:
+        """The full grid, sorted by grid key — never insertion order."""
+        cells = [
+            GridCell(scenario=scenario, protocol=protocol, seed=seed,
+                     shape=self.shape, scale=self.scale,
+                     duration_ns=self.duration_ns, slo=self.slo,
+                     overrides=self.overrides)
+            for scenario in self.scenarios
+            for protocol in self.protocols
+            for seed in self.seeds
+        ]
+        return sorted(cells, key=lambda cell: cell.key)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenarios": list(self.scenarios),
+            "protocols": list(self.protocols),
+            "seeds": list(self.seeds),
+            "shape": self.shape,
+            "scale": self.scale,
+            "duration_ns": self.duration_ns,
+            "slo": self.slo,
+            "overrides": [f"{key}={value}" for key, value in self.overrides],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown sweep spec keys: {unknown}")
+        kwargs = dict(data)
+        for axis in ("scenarios", "protocols", "seeds"):
+            if axis in kwargs:
+                kwargs[axis] = tuple(kwargs[axis])
+        if "overrides" in kwargs:
+            kwargs["overrides"] = tuple(
+                parse_override(item) for item in kwargs["overrides"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepSpec":
+        """Load a JSON spec file (grammar in docs/SWEEP.md)."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

@@ -91,3 +91,52 @@ class TestRecordMetadata:
         assert meta.version == 0
         assert not meta.locked
         assert meta.lines_consistent()
+
+
+class TestUnlockAfterApply:
+    """The unlock that trails a commit write must not overtake it.
+
+    FaRM packs version+lock into one word; the simulation splits them
+    into a write (applied over a torn window) and an unlock (instant),
+    so an unlock landing mid-apply must defer to complete_write.  The
+    pre-fix behavior let a concurrent validation observe the old
+    version with the lock already clear — a serializability hole (see
+    tests/verify/test_serializability.py's pinned seeds).
+    """
+
+    def test_unlock_outside_apply_window_is_immediate(self):
+        meta = RecordMetadata(1)
+        meta.try_lock((0, 1))
+        meta.unlock_after_apply((0, 1))
+        assert not meta.locked
+
+    def test_unlock_mid_apply_defers_until_complete_write(self):
+        meta = RecordMetadata(1)
+        meta.try_lock((0, 1))
+        meta.begin_write()
+        meta.unlock_after_apply((0, 1))
+        # Still locked: a validator inside the window must see either
+        # the lock or (after complete_write) the new version.
+        assert meta.locked
+        assert meta.version == 0
+        meta.complete_write()
+        assert not meta.locked
+        assert meta.version == 1
+        assert meta.pending_unlock is None
+
+    def test_deferred_unlock_by_wrong_owner_is_bug(self):
+        meta = RecordMetadata(1)
+        meta.try_lock((0, 1))
+        meta.begin_write()
+        with pytest.raises(RuntimeError):
+            meta.unlock_after_apply((0, 2))
+
+    def test_free_clears_apply_window_state(self):
+        meta = RecordMetadata(1)
+        meta.try_lock((0, 1))
+        meta.begin_write()
+        meta.unlock_after_apply((0, 1))
+        meta.free()
+        assert not meta.applying
+        assert meta.pending_unlock is None
+        assert not meta.locked

@@ -1,0 +1,62 @@
+"""Tests for per-worker artifact paths and reader-side glob expansion."""
+
+import pytest
+
+from repro.obs.artifacts import (
+    expand_artifact_globs,
+    is_glob,
+    sanitize_tag,
+    tagged_path,
+)
+
+
+class TestTaggedPath:
+    def test_tag_lands_before_final_suffix(self):
+        assert tagged_path("out.jsonl", "w3") == "out.w3.jsonl"
+        assert tagged_path("dir/spans.json", "cell-0") == "dir/spans.cell-0.json"
+
+    def test_no_suffix_appends_tag(self):
+        assert tagged_path("spans", "cell-0") == "spans.cell-0"
+
+    def test_tags_are_sanitized(self):
+        assert tagged_path("out.json", "B+Tree-wB/s1") == "out.B-Tree-wB-s1.json"
+
+    def test_distinct_tags_never_collide(self):
+        tags = ["w0", "w1", "HT-wA.hades.s1", "HT-wA.hades.s2"]
+        paths = {tagged_path("report.json", tag) for tag in tags}
+        assert len(paths) == len(tags)
+
+
+class TestSanitizeTag:
+    def test_path_separators_collapse(self):
+        assert sanitize_tag("a/b\\c d") == "a-b-c-d"
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_tag("///")
+
+    def test_leading_dots_stripped(self):
+        assert ".." not in sanitize_tag("../etc")
+        assert not sanitize_tag("../x").startswith(".")
+
+
+class TestExpandArtifactGlobs:
+    def test_literal_paths_pass_through(self, tmp_path):
+        assert expand_artifact_globs(["a.json", "b.json"]) == ["a.json",
+                                                              "b.json"]
+
+    def test_glob_expands_sorted(self, tmp_path):
+        for name in ("spans.b.json", "spans.a.json", "spans.c.json"):
+            (tmp_path / name).write_text("{}")
+        result = expand_artifact_globs([str(tmp_path / "spans.*.json")])
+        assert [p.rsplit("/", 1)[1] for p in result] == [
+            "spans.a.json", "spans.b.json", "spans.c.json"]
+
+    def test_empty_glob_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            expand_artifact_globs([str(tmp_path / "nothing.*.json")])
+
+    def test_is_glob(self):
+        assert is_glob("spans.*.json")
+        assert is_glob("spans.[ab].json")
+        assert not is_glob("spans.a.json")

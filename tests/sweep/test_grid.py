@@ -1,0 +1,121 @@
+"""Tests for sweep grid expansion, sorting, and config overrides."""
+
+import json
+
+import pytest
+
+from repro.sweep.grid import (
+    GridCell,
+    SweepSpec,
+    apply_overrides,
+    parse_override,
+)
+from repro.config import ClusterConfig
+
+
+class TestParseOverride:
+    def test_splits_on_first_equals(self):
+        assert parse_override("network.rt_latency_ns=1000") == (
+            "network.rt_latency_ns", "1000")
+
+    @pytest.mark.parametrize("bad", ["no-equals", "=value", "key=", "="])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_override(bad)
+
+
+class TestApplyOverrides:
+    def test_nested_float_field(self):
+        config = apply_overrides(ClusterConfig(),
+                                 [("network.rt_latency_ns", "1000")])
+        assert config.network.rt_latency_ns == 1000.0
+        # The original default is untouched (configs are frozen).
+        assert ClusterConfig().network.rt_latency_ns == 2000.0
+
+    def test_top_level_int_field(self):
+        config = apply_overrides(ClusterConfig(), [("nodes", "3")])
+        assert config.nodes == 3
+
+    def test_bool_field(self):
+        config = apply_overrides(ClusterConfig(),
+                                 [("partial_locking", "false")])
+        assert config.partial_locking is False
+        with pytest.raises(ValueError):
+            apply_overrides(ClusterConfig(), [("partial_locking", "maybe")])
+
+    def test_unknown_field_names_candidates(self):
+        with pytest.raises(ValueError, match="rt_latency_ns"):
+            apply_overrides(ClusterConfig(), [("network.nope", "1")])
+
+    def test_cannot_descend_into_scalar(self):
+        with pytest.raises(ValueError, match="scalar"):
+            apply_overrides(ClusterConfig(), [("nodes.deeper", "1")])
+
+    def test_cannot_replace_whole_subtree(self):
+        with pytest.raises(ValueError, match="leaves"):
+            apply_overrides(ClusterConfig(), [("network", "fast")])
+
+
+class TestGridCell:
+    def test_sorts_by_grid_key(self):
+        cells = [GridCell("b", "hades", 2), GridCell("a", "hades", 9),
+                 GridCell("a", "baseline", 1), GridCell("a", "hades", 1)]
+        assert sorted(cells, key=lambda c: c.key) == [
+            GridCell("a", "baseline", 1), GridCell("a", "hades", 1),
+            GridCell("a", "hades", 9), GridCell("b", "hades", 2)]
+
+    def test_cell_id_is_path_safe(self):
+        cell = GridCell("B+Tree-wB", "hades-h", 42)
+        assert "/" not in cell.cell_id
+        assert "+" not in cell.cell_id
+        assert cell.cell_id == "B-Tree-wB.hades-h.s42"
+
+    def test_config_applies_slo_and_overrides(self):
+        cell = GridCell("HT-wA", "hades", 1, slo="p99<50us",
+                        overrides=(("network.rt_latency_ns", "500"),))
+        config = cell.config()
+        assert config.slo.enabled
+        assert config.network.rt_latency_ns == 500.0
+
+
+class TestSweepSpec:
+    def test_expand_is_sorted_cross_product(self):
+        spec = SweepSpec(scenarios=("z-last", "a-first"),
+                         protocols=("hades", "baseline"), seeds=(2, 1))
+        cells = spec.expand()
+        assert len(cells) == 8
+        assert [cell.key for cell in cells] == sorted(
+            cell.key for cell in cells)
+        assert cells[0].key == ("a-first", "baseline", 1)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            SweepSpec(scenarios=("a",), protocols=("nope",))
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            SweepSpec(scenarios=("a",), shape="mega")
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(scenarios=("a",), seeds=(1, 1))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(scenarios=())
+        with pytest.raises(ValueError):
+            SweepSpec(scenarios=("a",), seeds=())
+
+    def test_round_trips_through_dict_and_file(self, tmp_path):
+        spec = SweepSpec(scenarios=("HT-wA",), protocols=("hades",),
+                         seeds=(1, 2), scale=0.02, duration_ns=30_000.0,
+                         slo="p99<99us",
+                         overrides=(("network.rt_latency_ns", "500"),))
+        assert SweepSpec.from_dict(spec.as_dict()) == spec
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.as_dict()))
+        assert SweepSpec.from_file(str(path)) == spec
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep spec keys"):
+            SweepSpec.from_dict({"scenarios": ["a"], "worker_count": 4})

@@ -1,0 +1,230 @@
+"""Tests for the sweep orchestrator: determinism across worker counts,
+failure handling, interruption, and the CLI surface."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.sweep import SweepSpec, build_report, run_sweep
+from repro.sweep import worker as worker_mod
+from repro.sweep.orchestrator import write_sweep
+
+#: A grid small enough for the suite: 2 scenarios x 2 protocols x 1 seed.
+TINY = SweepSpec(scenarios=("HT-wA", "Smallbank"),
+                 protocols=("baseline", "hades"), seeds=(7,),
+                 scale=0.02, duration_ns=15_000.0)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _quiet(_message):
+    pass
+
+
+def _dump(report):
+    return json.dumps(report, indent=1, sort_keys=True)
+
+
+class TestDeterminism:
+    def test_workers_1_vs_2_bit_identical(self, tmp_path):
+        serial = tmp_path / "serial.json"
+        pooled = tmp_path / "pooled.json"
+        run_sweep(TINY, workers=1, out=str(serial), log=_quiet)
+        run_sweep(TINY, workers=2, out=str(pooled), log=_quiet)
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_cells_sorted_by_grid_key_not_completion(self):
+        report = run_sweep(TINY, workers=1, log=_quiet)
+        keys = [(cell["scenario"], cell["protocol"], cell["seed"])
+                for cell in report["cells"]]
+        assert keys == sorted(keys)
+        assert not report["partial"]
+
+    def test_aggregates_merge_across_seeds(self):
+        spec = SweepSpec(scenarios=("HT-wA",), protocols=("hades",),
+                         seeds=(1, 2), scale=0.02, duration_ns=15_000.0)
+        report = run_sweep(spec, workers=1, log=_quiet)
+        group = report["aggregates"]["HT-wA/hades"]
+        assert group["seeds"] == [1, 2]
+        assert group["committed"] == sum(cell["committed"]
+                                         for cell in report["cells"])
+        merged_count = group["latency_hist"]["count"]
+        assert merged_count == sum(cell["latency_hist"]["count"]
+                                   for cell in report["cells"])
+
+    def test_timing_stays_out_of_the_artifact(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        report = run_sweep(TINY, workers=1, out=str(out), log=_quiet)
+        assert "wall" not in out.read_text()
+        assert "workers" not in report
+        sidecar = json.loads((tmp_path / "sweep.timing.json").read_text())
+        assert sidecar["workers"] == 1
+        assert len(sidecar["cells"]) == len(report["cells"])
+
+
+class TestFailureHandling:
+    def test_error_cell_marks_report_partial(self, monkeypatch):
+        real = worker_mod.run_cell
+
+        def flaky(cell, **kwargs):
+            if cell.protocol == "hades":
+                raise RuntimeError("boom")
+            return real(cell, **kwargs)
+
+        monkeypatch.setattr(worker_mod, "run_cell", flaky)
+        report = run_sweep(TINY, workers=1, log=_quiet)
+        assert report["partial"]
+        assert report["failed_cells"] == 2
+        errors = [cell for cell in report["cells"] if "error" in cell]
+        assert len(errors) == 2
+        assert all("RuntimeError: boom" in cell["error"] for cell in errors)
+        # The failed cells still carry their grid coordinates.
+        assert {cell["protocol"] for cell in errors} == {"hades"}
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_pool_error_cells_flow_back(self, monkeypatch):
+        real = worker_mod.run_cell
+
+        def flaky(cell, **kwargs):
+            if cell.scenario == "Smallbank":
+                raise ValueError("injected")
+            return real(cell, **kwargs)
+
+        # Forked workers inherit the patched module.
+        monkeypatch.setattr(worker_mod, "run_cell", flaky)
+        report = run_sweep(TINY, workers=2, log=_quiet)
+        assert report["partial"]
+        assert report["failed_cells"] == 2
+        ok = [cell for cell in report["cells"] if "error" not in cell]
+        assert {cell["scenario"] for cell in ok} == {"HT-wA"}
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_dead_workers_mark_remaining_cells(self, monkeypatch):
+        monkeypatch.setattr(worker_mod, "run_cell",
+                            lambda cell, **kwargs: os._exit(1))
+        report = run_sweep(TINY, workers=2, log=_quiet)
+        assert report["partial"]
+        assert report["failed_cells"] == len(report["cells"])
+        assert all("error" in cell for cell in report["cells"])
+
+    def test_interrupt_flushes_partial_report(self, tmp_path):
+        out = tmp_path / "partial.json"
+        seen = []
+
+        def interrupt_after_first(cell, kind, payload):
+            seen.append(payload)
+            raise KeyboardInterrupt
+
+        report = run_sweep(TINY, workers=1, out=str(out),
+                           on_result=interrupt_after_first, log=_quiet)
+        assert report["partial"]
+        assert len(seen) == 1
+        flushed = json.loads(out.read_text())
+        assert flushed["partial"]
+        # Every grid cell is accounted for: one ran, the rest are error
+        # rows, so the partial artifact still describes the full grid.
+        assert len(flushed["cells"]) == 4
+        assert sum("error" not in cell for cell in flushed["cells"]) == 1
+
+    def test_build_report_covers_unrun_cells(self):
+        cells = TINY.expand()
+        report = build_report(TINY, cells, [None] * len(cells))
+        assert report["partial"]
+        assert all(cell["error"] == "cell never ran"
+                   for cell in report["cells"])
+
+
+class TestSpansAndSlo:
+    def test_per_cell_span_files_merge_via_report_glob(self, tmp_path,
+                                                       capsys):
+        from repro.cli import main
+
+        spec = SweepSpec(scenarios=("HT-wA",),
+                         protocols=("baseline", "hades"), seeds=(3,),
+                         scale=0.02, duration_ns=15_000.0)
+        base = tmp_path / "spans.json"
+        report = run_sweep(spec, workers=1, spans_out=str(base), log=_quiet)
+        files = sorted(tmp_path.glob("spans.*.json"))
+        assert len(files) == 2  # one per cell, no clobbering
+        assert [cell["spans_file"] for cell in report["cells"]] == [
+            str(path) for path in files]
+        code = main(["report", str(tmp_path / "spans.*.json")])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "2 span dump(s)" in captured
+        assert "abort taxonomy" in captured
+
+    def test_slo_verdict_per_cell(self):
+        spec = SweepSpec(scenarios=("HT-wA",), protocols=("hades",),
+                         seeds=(3,), scale=0.02, duration_ns=15_000.0,
+                         slo="p50<1ns")
+        report = run_sweep(spec, workers=1, log=_quiet)
+        assert report["cells"][0]["slo"]["passed"] is False
+
+
+class TestCli:
+    def test_sweep_command_prints_grid_and_aggregates(self, tmp_path,
+                                                      capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--scenarios", "HT-wA",
+                     "--protocols", "baseline,hades", "--seeds", "5",
+                     "--scale", "0.02", "--duration-us", "15",
+                     "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "sweep grid" in captured
+        assert "aggregates (merged across seeds)" in captured
+        assert out.exists()
+        assert (tmp_path / "sweep.timing.json").exists()
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "scenarios": ["HT-wA"], "protocols": ["hades"], "seeds": [5],
+            "scale": 0.02, "duration_ns": 15_000.0}))
+        code = main(["sweep", "--spec", str(spec_path), "--out", "-"])
+        assert code == 0
+        assert "1 cells" in capsys.readouterr().out
+
+    def test_sweep_exit_nonzero_on_partial(self, tmp_path, monkeypatch,
+                                           capsys):
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            worker_mod, "run_cell",
+            lambda cell, **kwargs: (_ for _ in ()).throw(RuntimeError("x")))
+        code = main(["sweep", "--scenarios", "HT-wA", "--protocols",
+                     "hades", "--seeds", "5", "--duration-us", "15",
+                     "--out", str(tmp_path / "s.json"), "--workers", "1"])
+        assert code == 1
+        assert "PARTIAL" in capsys.readouterr().out
+
+    def test_sweep_override_flag(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--scenarios", "HT-wA", "--protocols",
+                     "hades", "--seeds", "5", "--scale", "0.02",
+                     "--duration-us", "15", "--set",
+                     "network.rt_latency_ns=500", "--out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["spec"]["overrides"] == ["network.rt_latency_ns=500"]
+        assert report["cells"][0]["overrides"] == [
+            "network.rt_latency_ns=500"]
+
+
+class TestWriteSweep:
+    def test_stable_serialization(self, tmp_path):
+        report = {"b": 1, "a": {"z": 2, "y": 3}}
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        write_sweep(report, str(first))
+        write_sweep({"a": {"y": 3, "z": 2}, "b": 1}, str(second))
+        assert first.read_bytes() == second.read_bytes()

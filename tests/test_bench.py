@@ -211,3 +211,106 @@ class TestCli:
                      "--baseline", str(slow_path)]) == 0
         assert main(["bench", "--smoke", "--repeats", "1", "--out", "-",
                      "--baseline", str(fast_path)]) == 1
+
+
+def _cell(scenario="HT-wA", protocol="hades", seed=1, abort_rate=0.25,
+          tps=1000.0, events=5000, **extra):
+    cell = {"scenario": scenario, "protocol": protocol, "seed": seed,
+            "shape": "default", "scale": 0.05, "duration_ns": 15_000.0,
+            "overrides": [], "abort_rate": abort_rate,
+            "throughput_tps": tps, "events": events}
+    cell.update(extra)
+    return cell
+
+
+class TestCompareTrajectories:
+    def test_identical_sweeps_pass(self):
+        from repro.bench import compare_trajectories
+
+        report = {"cells": [_cell(), _cell(protocol="baseline", tps=400.0)]}
+        assert compare_trajectories(report, report) == []
+
+    def test_abort_rate_drift_fails(self):
+        from repro.bench import compare_trajectories
+
+        baseline = {"cells": [_cell(abort_rate=0.25)]}
+        report = {"cells": [_cell(abort_rate=0.30)]}
+        failures = compare_trajectories(report, baseline)
+        assert len(failures) == 1
+        assert "abort_rate" in failures[0]
+        assert "behavioral" in failures[0]
+
+    def test_throughput_drop_fails(self):
+        from repro.bench import compare_trajectories
+
+        baseline = {"cells": [_cell(tps=1000.0)]}
+        report = {"cells": [_cell(tps=500.0)]}
+        failures = compare_trajectories(report, baseline)
+        assert len(failures) == 1
+        assert "simulated throughput" in failures[0]
+
+    def test_new_cells_skip_the_gate(self):
+        from repro.bench import compare_trajectories
+
+        baseline = {"cells": [_cell(seed=1)]}
+        report = {"cells": [_cell(seed=1), _cell(seed=2, abort_rate=0.9)]}
+        assert compare_trajectories(report, baseline) == []
+
+    def test_error_cell_fails(self):
+        from repro.bench import compare_trajectories
+
+        baseline = {"cells": [_cell()]}
+        report = {"cells": [dict(_cell(), error="RuntimeError: boom")]}
+        failures = compare_trajectories(report, baseline)
+        assert len(failures) == 1
+        assert "cell failed" in failures[0]
+
+    def test_wall_clock_gate_uses_timing_sidecars(self):
+        from repro.bench import compare_trajectories
+
+        cells = {"HT-wA.hades.s1": 1.0}
+        baseline = {"cells": [_cell(events=10_000)]}
+        report = {"cells": [_cell(events=10_000)]}
+        slow = {"workers": 1, "cells": {"HT-wA.hades.s1": 2.0}}
+        fast = {"workers": 1, "cells": cells}
+        failures = compare_trajectories(report, baseline, timing=slow,
+                                        baseline_timing=fast)
+        assert len(failures) == 1
+        assert "events/s" in failures[0]
+
+    def test_wall_clock_gate_skipped_across_worker_counts(self):
+        from repro.bench import compare_trajectories
+
+        baseline = {"cells": [_cell(events=10_000)]}
+        report = {"cells": [_cell(events=10_000)]}
+        slow = {"workers": 4, "cells": {"HT-wA.hades.s1": 9.0}}
+        fast = {"workers": 1, "cells": {"HT-wA.hades.s1": 1.0}}
+        assert compare_trajectories(report, baseline, timing=slow,
+                                    baseline_timing=fast) == []
+
+
+class TestBenchTrajectoryCli:
+    def test_trajectory_gate_passes_against_itself(self, tmp_path, capsys):
+        report = {"cells": [_cell()]}
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(report))
+        code = main(["bench", "--trajectory", str(path),
+                     "--baseline", str(path)])
+        assert code == 0
+        assert "trajectory gate passed" in capsys.readouterr().out
+
+    def test_trajectory_gate_fails_on_drift(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        base = tmp_path / "base.json"
+        current.write_text(json.dumps({"cells": [_cell(abort_rate=0.5)]}))
+        base.write_text(json.dumps({"cells": [_cell(abort_rate=0.1)]}))
+        code = main(["bench", "--trajectory", str(current),
+                     "--baseline", str(base)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_trajectory_requires_baseline(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(["bench", "--trajectory", str(path)])

@@ -91,3 +91,42 @@ def test_custom_cluster_config_respected():
 
 def test_default_duration_is_reasonable():
     assert DEFAULT_DURATION_NS >= 1_000_000.0
+
+
+def test_compare_legs_equal_standalone_runs():
+    """Each compare_protocols leg gets a fresh workload, so its result
+    is bit-identical to a standalone run of the same (protocol, seed) —
+    the first leg's generator draws must not reseed the second leg's."""
+    results = compare_protocols(lambda: tiny_workload(),
+                                protocols=("baseline", "hades"),
+                                duration_ns=60_000.0, seed=7, llc_sets=256)
+    for protocol in ("baseline", "hades"):
+        standalone = run_experiment(protocol, tiny_workload(),
+                                    duration_ns=60_000.0, seed=7,
+                                    llc_sets=256)
+        leg = results[protocol]
+        assert leg.metrics.meter.committed == standalone.metrics.meter.committed
+        assert leg.metrics.meter.aborted == standalone.metrics.meter.aborted
+        assert leg.mean_latency_ns == standalone.mean_latency_ns
+        assert (leg.metrics.counters.as_dict()
+                == standalone.metrics.counters.as_dict())
+
+
+def test_compare_rejects_reused_workload_instance():
+    """A factory that hands back the same instance would let run order
+    leak between legs through the workload's mutable generator state."""
+    shared = tiny_workload()
+    with pytest.raises(ValueError, match="same MicroWorkload instance"):
+        compare_protocols(lambda: shared,
+                          protocols=("baseline", "hades"),
+                          duration_ns=20_000.0, seed=7, llc_sets=256)
+
+
+def test_bloom_ops_reported_as_per_run_deltas():
+    first = run_experiment("hades", tiny_workload(), duration_ns=30_000.0,
+                           seed=7, llc_sets=256)
+    second = run_experiment("hades", tiny_workload(), duration_ns=30_000.0,
+                            seed=7, llc_sets=256)
+    assert first.bloom_read_ops > 0
+    assert second.bloom_read_ops == first.bloom_read_ops
+    assert second.bloom_write_ops == first.bloom_write_ops

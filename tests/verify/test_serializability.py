@@ -162,3 +162,19 @@ def test_serializability_under_random_seeds(protocol_name, seed):
                            records=3, seed=seed)
     assert not result.anomalies, result.anomalies
     assert result.serializable, f"cycle: {result.cycle}"
+
+
+#: Seeds where the pre-fix baseline admitted write skew: the batched
+#: unlock trailing a remote commit write landed during the write's
+#: apply window, so a concurrent read-set validation saw the *old*
+#: version with the lock already clear and passed.  Pinned so the
+#: unlock_after_apply deferral (cluster/record.py) cannot regress.
+WRITE_SKEW_SEEDS = [2772, 2942, 4134]
+
+
+@pytest.mark.parametrize("seed", WRITE_SKEW_SEEDS)
+def test_unlock_cannot_overtake_commit_write(seed):
+    result = run_contended("baseline", clients=4, txns_per_client=4,
+                           records=3, seed=seed)
+    assert not result.anomalies, result.anomalies
+    assert result.serializable, f"cycle: {result.cycle}"
