@@ -1,0 +1,102 @@
+"""Tables for the open-loop load layer (``repro loadtest`` / ``run --load``).
+
+Two views over the same machinery:
+
+* :func:`format_load_summary` — the admission/overload section a
+  ``repro run --load ...`` appends to its report: offered vs. admitted
+  vs. completed, the shed taxonomy, queue-delay and sojourn tails, and
+  how long the overload controller spent degraded.
+* :func:`format_loadtest` — the ``repro loadtest`` report: closed-loop
+  capacity, the binary-search probe ladder, the max sustainable rate
+  under the SLO, and the graceful-degradation verdict at overload.
+
+Not imported from the :mod:`repro.analysis` package root for the same
+reason as :mod:`repro.analysis.sweep`: keep the analysis root free of
+runner-adjacent imports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.obs.histogram import LogHistogram
+
+
+def format_load_summary(load: Dict[str, object]) -> str:
+    """One run's open-loop admission summary (``LoadStats.as_dict``)."""
+    sojourn = LogHistogram.from_dict(load["sojourn"])
+    queue_delay = LogHistogram.from_dict(load["queue_delay"])
+    rows: List[List[object]] = [
+        ["offered", int(load["offered"])],
+        ["admitted", int(load["admitted"])],
+        ["completed", int(load["completed"])],
+        ["shed (total)", int(load["shed_total"])],
+    ]
+    for reason in sorted(load["shed"]):
+        count = load["shed"][reason]
+        if count:
+            rows.append([f"  {reason}", int(count)])
+    rows += [
+        ["queue-deadline timeouts", int(load["timeouts"])],
+        ["retry-budget abandons", int(load["retry_denied"])],
+        ["loss rate", load["loss_rate"]],
+        ["queue delay p50 (us)", queue_delay.percentile(0.5) / 1e3],
+        ["queue delay p99 (us)", queue_delay.p99() / 1e3],
+        ["sojourn p50 (us)", sojourn.percentile(0.5) / 1e3],
+        ["sojourn p99 (us)", sojourn.p99() / 1e3],
+        ["max queue depth", max(load["max_queue_depth"].values())],
+        ["backpressure engagements", int(load["backpressure_engagements"])],
+        ["degraded transitions", int(load["degraded_transitions"])],
+        ["time degraded (us)", load["degraded_ns"] / 1e3],
+    ]
+    return format_table(["open-loop load", "value"], rows,
+                        title="open-loop load")
+
+
+def _probe_row(entry: Dict[str, object], label: str) -> List[object]:
+    return [
+        label,
+        entry["rate_tps"],
+        entry["goodput_tps"],
+        entry["sojourn_p99_ns"] / 1e3,
+        entry["queue_delay_p99_ns"] / 1e3,
+        entry["loss_rate"],
+        entry["shed_rate"],
+        entry["timeout_rate"],
+        entry["max_queue_depth"],
+        "yes" if entry["sustainable"] else "no",
+    ]
+
+
+def format_loadtest(report: Dict[str, object]) -> str:
+    """The full ``repro loadtest`` report as aligned tables."""
+    sections = []
+    overload = report["overload"]
+    sections.append(format_table(["loadtest", "value"], [
+        ["protocol", report["protocol"]],
+        ["workload", report["workload"]],
+        ["arrival / policy", f"{report['arrival']} / "
+                             f"{report['shed_policy']} "
+                             f"(capacity {report['queue_capacity']})"],
+        ["SLO (sojourn)", report["slo"]],
+        ["max loss", report["max_loss"]],
+        ["faults", "on" if report["faults"] else "off"],
+        ["closed-loop capacity (txn/s)", report["capacity_tps"]],
+        ["max sustainable (txn/s)", report["max_sustainable_tps"]],
+        ["utilization at SLO", report["utilization_at_slo"]],
+        ["overload rate (txn/s)", overload["rate_tps"]],
+        ["overload goodput vs capacity", overload["goodput_vs_capacity"]],
+        ["overload shed rate", overload["shed_rate"]],
+        ["overload timeout rate", overload["timeout_rate"]],
+    ], title=f"loadtest: {report['workload']} under {report['protocol']} "
+             f"(seed {report['seed']})"))
+
+    probe_rows = [_probe_row(entry, f"search {index + 1}")
+                  for index, entry in enumerate(report["probes"])]
+    probe_rows.append(_probe_row(overload, "overload"))
+    sections.append(format_table(
+        ["probe", "rate", "goodput", "sojourn p99 us", "queue p99 us",
+         "loss", "shed", "timeout", "max depth", "sustainable"],
+        probe_rows, title="probe ladder"))
+    return "\n\n".join(sections)

@@ -46,35 +46,43 @@ def format_sweep_table(report: Dict[str, object]) -> str:
         raise ValueError("sweep report has no cells")
     sections = []
 
+    # A rate-axis sweep (docs/LOAD.md) grows a rate column; closed-loop
+    # sweeps keep the historical table byte-for-byte.
+    rated = any("rate" in row for row in cells)
+
     cell_rows = []
     for row in cells:
+        rate = [row.get("rate", "-")] if rated else []
         if "error" in row:
-            cell_rows.append([row["scenario"], row["protocol"], row["seed"],
-                              "-", "-", f"ERROR: {row['error']}", "-"])
+            cell_rows.append([row["scenario"], row["protocol"], row["seed"]]
+                             + rate + ["-", "-", f"ERROR: {row['error']}",
+                                       "-"])
             continue
-        cell_rows.append([
-            row["scenario"], row["protocol"], row["seed"],
-            row["throughput_tps"], row["abort_rate"],
-            _top_abort_class(row), _slo_verdict(row),
-        ])
+        cell_rows.append(
+            [row["scenario"], row["protocol"], row["seed"]] + rate + [
+                row["throughput_tps"], row["abort_rate"],
+                _top_abort_class(row), _slo_verdict(row),
+            ])
     sections.append(format_table(
-        ["scenario", "protocol", "seed", "txn/s", "abort rate",
-         "top abort class", "slo"],
+        ["scenario", "protocol", "seed"] + (["rate"] if rated else []) + [
+            "txn/s", "abort rate", "top abort class", "slo"],
         cell_rows, title="sweep grid"))
 
     agg_rows = []
     for key in sorted(report.get("aggregates", {})):
         group = report["aggregates"][key]
         hist = LogHistogram.from_dict(group["latency_hist"])
-        agg_rows.append([
-            group["scenario"], group["protocol"], len(group["seeds"]),
-            group["mean_throughput_tps"], group["abort_rate"],
-            hist.p95() / 1e3, group["committed"],
-        ])
+        rate = [group.get("rate", "-")] if rated else []
+        agg_rows.append(
+            [group["scenario"], group["protocol"], len(group["seeds"])]
+            + rate + [
+                group["mean_throughput_tps"], group["abort_rate"],
+                hist.p95() / 1e3, group["committed"],
+            ])
     if agg_rows:
         sections.append(format_table(
-            ["scenario", "protocol", "seeds", "mean txn/s", "abort rate",
-             "p95 us", "committed"],
+            ["scenario", "protocol", "seeds"] + (["rate"] if rated else [])
+            + ["mean txn/s", "abort rate", "p95 us", "committed"],
             agg_rows, title="aggregates (merged across seeds)"))
 
     if report.get("partial"):

@@ -23,7 +23,12 @@ Subcommands:
   events/sec regression versus a committed baseline
   (see docs/PERFORMANCE.md).  ``--trajectory`` gates a whole sweep
   artifact against a baseline sweep instead of the point scenarios.
-* ``sweep`` — expand a (scenario × seed × protocol × override) grid,
+* ``loadtest`` — binary-search the maximum sustainable open-loop
+  arrival rate meeting an SLO, then probe graceful degradation at a
+  multiple of it (admission queues, shedding, retry budgets; see
+  docs/LOAD.md).  Writes a byte-stable ``LOADTEST.json`` artifact.
+* ``sweep`` — expand a (scenario × seed × protocol × override × rate)
+  grid,
   shard it across a multiprocessing worker pool, and merge the results
   into one JSON artifact plus a cross-grid comparison table; the merged
   artifact is bit-identical for any ``--workers N`` (see docs/SWEEP.md).
@@ -91,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fault-seed", type=int, default=None,
                        help="seed of the fault injector's random stream "
                             "(overrides a seed= key in --faults)")
+    run_p.add_argument("--warmup-ns", type=float, default=0.0,
+                       help="simulated warm-up trimmed before measurement "
+                            "(statistics reset; system state kept)")
+    run_p.add_argument("--load", metavar="SPEC", default=None,
+                       help="open-loop arrival layer, e.g. "
+                            "'rate=2e6,arrival=bursty,policy=deadline' "
+                            "(see docs/LOAD.md); omit for closed loop")
     _add_recovery_arguments(run_p)
 
     prof_p = sub.add_parser("profile",
@@ -139,6 +151,52 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--fidelity", choices=("quick", "medium"),
                        default="quick")
 
+    lt_p = sub.add_parser("loadtest",
+                          help="binary-search the max sustainable "
+                               "open-loop arrival rate under an SLO")
+    lt_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                      default="hades")
+    lt_p.add_argument("--workload", default="HT-wB",
+                      help="figure label (default: the YCSB-B hash-table "
+                           "mix)")
+    lt_p.add_argument("--scale", type=float, default=0.05)
+    lt_p.add_argument("--duration-us", type=float, default=300.0,
+                      help="measured duration per probe (simulated us)")
+    lt_p.add_argument("--warmup-ns", type=float, default=50_000.0,
+                      help="simulated warm-up trimmed from every probe")
+    lt_p.add_argument("--shape", choices=sorted(CLUSTER_SHAPES),
+                      default="default")
+    lt_p.add_argument("--seed", type=int, default=42)
+    lt_p.add_argument("--slo", metavar="SPEC", default="p99<20us",
+                      help="sojourn-latency objective a sustainable rate "
+                           "must meet (grammar in docs/OBSERVABILITY.md)")
+    lt_p.add_argument("--load", metavar="SPEC", default=None,
+                      help="load-layer template (arrival process, shed "
+                           "policy, queue capacity, ...); the search "
+                           "owns rate= (see docs/LOAD.md)")
+    lt_p.add_argument("--iters", type=int, default=6,
+                      help="binary-search probes")
+    lt_p.add_argument("--max-loss", type=float, default=0.02,
+                      help="max fraction of offered jobs lost (shed + "
+                           "timed out + abandoned) at a sustainable rate")
+    lt_p.add_argument("--overload-factor", type=float, default=2.0,
+                      help="overload probe rate as a multiple of "
+                           "max(sustainable, capacity)")
+    lt_p.add_argument("--rate-max", type=float, default=None,
+                      help="search ceiling in txn/s (default: 1.25x the "
+                           "measured closed-loop capacity)")
+    lt_p.add_argument("--faults", metavar="SPEC", default=None,
+                      help="fault-injection spec applied to every probe "
+                           "(see docs/FAULTS.md)")
+    lt_p.add_argument("--fault-seed", type=int, default=None,
+                      help="seed of the fault injector's random stream")
+    lt_p.add_argument("--smoke", action="store_true",
+                      help="reduced-scale preset for CI (short probes, "
+                           "4 search iterations)")
+    lt_p.add_argument("--out", metavar="PATH", default="LOADTEST.json",
+                      help="report artifact path ('-' to skip writing); "
+                           "byte-identical for the same inputs")
+
     cost_p = sub.add_parser("cost", help="Section VI storage calculator")
     cost_p.add_argument("--cores", type=int, default=5)
     cost_p.add_argument("--multiplexing", type=int, default=2)
@@ -185,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--slo", metavar="SPEC", default="",
                          help="latency objectives evaluated per cell, "
                               "e.g. 'p99<50us'")
+    sweep_p.add_argument("--rates", default="",
+                         help="comma-separated open-loop arrival rates "
+                              "(txn/s) to cross the grid with; every "
+                              "cell then runs under the load layer "
+                              "(docs/LOAD.md)")
     sweep_p.add_argument("--set", dest="overrides", metavar="KEY=VALUE",
                          action="append", default=[],
                          help="config override on every cell, dotted path "
@@ -217,6 +280,10 @@ def cmd_run(args) -> int:
         from repro.obs.slo import SLOParams
 
         config = config.replace(slo=SLOParams.parse(args.slo))
+    if args.load:
+        from repro.config import LoadParams
+
+        config = config.replace(load=LoadParams.parse(args.load))
     workload = make_workload(args.workload, scale=args.scale,
                              locality=args.locality)
     tracer = EventTracer() if args.trace else None
@@ -229,6 +296,7 @@ def cmd_run(args) -> int:
     fault_plan = _parse_fault_plan(args)
     result = run_experiment(args.protocol, workload, config=config,
                             duration_ns=args.duration_us * 1000.0,
+                            warmup_ns=args.warmup_ns,
                             seed=args.seed, llc_sets=2048,
                             tracer=tracer,
                             sample_interval_ns=sample_interval_ns,
@@ -271,6 +339,11 @@ def cmd_run(args) -> int:
         print(format_table(["recovery", "value"],
                            _recovery_rows(result.recovery_summary),
                            title="crash recovery"))
+    if result.load is not None:
+        from repro.analysis.load import format_load_summary
+
+        print()
+        print(format_load_summary(result.load))
     if spans is not None:
         from repro.obs.spans import format_spans
 
@@ -463,12 +536,14 @@ def cmd_sweep(args) -> int:
             duration_ns=args.duration_us * 1000.0,
             slo=args.slo,
             overrides=tuple(parse_override(item)
-                            for item in args.overrides))
+                            for item in args.overrides),
+            rates=tuple(float(rate) for rate in _split_csv(args.rates)))
     cells = spec.expand()
-    print(f"sweep: {len(cells)} cells "
-          f"({len(spec.scenarios)} scenarios x {len(spec.protocols)} "
-          f"protocols x {len(spec.seeds)} seeds), "
-          f"{args.workers} worker(s)")
+    axes = (f"{len(spec.scenarios)} scenarios x {len(spec.protocols)} "
+            f"protocols x {len(spec.seeds)} seeds")
+    if spec.rates:
+        axes += f" x {len(spec.rates)} rates"
+    print(f"sweep: {len(cells)} cells ({axes}), {args.workers} worker(s)")
     report = run_sweep(spec, workers=args.workers,
                        out=(None if args.out == "-" else args.out),
                        spans=args.spans, spans_out=args.spans_out,
@@ -549,6 +624,36 @@ def _bench_trajectory(args) -> int:
     return 0
 
 
+def cmd_loadtest(args) -> int:
+    from repro.analysis.load import format_loadtest
+    from repro.config import LoadParams
+    from repro.load import run_loadtest, write_loadtest
+
+    duration_us, warmup_ns, iters = (args.duration_us, args.warmup_ns,
+                                     args.iters)
+    if args.smoke:
+        # The CI preset: short probes, a coarse search — enough to
+        # exercise every stage and the artifact's byte-stability.
+        duration_us, warmup_ns, iters = 120.0, 30_000.0, 4
+    template = (LoadParams.parse(args.load) if args.load else LoadParams())
+    report = run_loadtest(
+        args.protocol, args.workload,
+        workload_factory=lambda: make_workload(args.workload,
+                                               scale=args.scale),
+        shape=args.shape, scale=args.scale, seed=args.seed,
+        duration_ns=duration_us * 1000.0, warmup_ns=warmup_ns,
+        slo=args.slo, load_template=template, iters=iters,
+        max_loss=args.max_loss, overload_factor=args.overload_factor,
+        rate_max=args.rate_max, fault_plan=_parse_fault_plan(args),
+        log=print)
+    print()
+    print(format_loadtest(report))
+    if args.out != "-":
+        write_loadtest(report, args.out)
+        print(f"\nreport -> {args.out}")
+    return 0
+
+
 def cmd_cost(args) -> int:
     report = compute_cost(args.cores, args.multiplexing, args.remote_nodes)
     print(format_table(["structure", "value"], [
@@ -567,7 +672,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": cmd_run, "profile": cmd_profile,
                 "report": cmd_report, "compare": cmd_compare,
                 "figures": cmd_figures, "cost": cmd_cost,
-                "bench": cmd_bench, "sweep": cmd_sweep}
+                "bench": cmd_bench, "sweep": cmd_sweep,
+                "loadtest": cmd_loadtest}
     return handlers[args.command](args)
 
 

@@ -404,6 +404,169 @@ class FaultPlan:
 
 
 @dataclass(frozen=True)
+class LoadParams:
+    """Open-loop arrival layer over a simulated user population.
+
+    Disabled by default: experiments stay closed-loop (each protocol
+    slot issues its next transaction when the previous finishes) and
+    the runner's behaviour is bit-identical to a build without this
+    layer.  With ``enabled=True`` the runner replaces the closed-loop
+    drivers with per-node arrival processes feeding bounded admission
+    queues that the protocol slots drain — see docs/LOAD.md.
+
+    Rates are offered transactions per second across the whole cluster;
+    each node's arrival process runs at ``rate_tps / nodes``.
+    """
+
+    enabled: bool = False
+    #: Arrival process: ``poisson`` (memoryless), ``bursty`` (on/off
+    #: modulated Poisson), or ``diurnal`` (sinusoidally ramped Poisson).
+    arrival: str = "poisson"
+    #: Offered load across the cluster, transactions per second.
+    rate_tps: float = 1_000_000.0
+    #: Bounded admission queue capacity per node.
+    queue_capacity: int = 64
+    #: Shedding policy when the queue is full: ``fifo`` (drop-tail:
+    #: reject the newcomer), ``lifo`` (serve newest first, evict the
+    #: oldest waiter), or ``deadline`` (earliest-deadline-first service,
+    #: evict the job with the least-urgent deadline).
+    shed_policy: str = "fifo"
+    #: Queued jobs older than this are abandoned (``queue_deadline``
+    #: timeouts); 0 disables expiry.
+    queue_deadline_ns: float = 200_000.0
+    #: Backpressure latch (fraction of capacity): at or above ``high``
+    #: the admission door refuses *all* newcomers until the queue drains
+    #: to ``low`` (hysteresis).  Set ``high`` > 1 to disable.
+    backpressure_high: float = 0.75
+    backpressure_low: float = 0.5
+    #: Graceful-degradation watermarks (fraction of capacity): at or
+    #: above ``high`` the overload controller enters degraded mode and
+    #: sheds sheddable (read-only / low-priority) jobs at the door until
+    #: the queue drains to ``low``.  Set ``high`` > 1 to disable.
+    degrade_high: float = 0.5
+    degrade_low: float = 0.25
+    #: Fraction of jobs tagged low-priority (sheddable regardless of
+    #: their read/write mix) by a deterministic per-arrival draw.
+    low_priority_fraction: float = 0.0
+    #: Whether read-only jobs count as sheddable in degraded mode.
+    shed_read_only: bool = True
+    #: Retry budget: a per-node token bucket refilled at
+    #: ``retry_budget_fraction x`` the node's arrival rate; every
+    #: protocol retry spends one token and a dry bucket abandons the
+    #: transaction (``retry_budget_exhausted``).  0 disables the bucket.
+    retry_budget_fraction: float = 0.1
+    #: Token bucket burst capacity.
+    retry_burst: float = 16.0
+    #: Hard cap on attempts per admitted job; 0 means unlimited.
+    max_attempts: int = 16
+    #: ``bursty`` process: ON window length, OFF window length, and the
+    #: ON-rate multiplier (OFF rate is derived so the long-run mean
+    #: stays ``rate_tps``).
+    burst_on_ns: float = 50_000.0
+    burst_off_ns: float = 50_000.0
+    burst_factor: float = 1.8
+    #: ``diurnal`` process: sinusoid period and the trough rate as a
+    #: fraction of the peak (mean stays ``rate_tps``).
+    diurnal_period_ns: float = 1_000_000.0
+    diurnal_min_fraction: float = 0.2
+
+    ARRIVALS = ("poisson", "bursty", "diurnal")
+    POLICIES = ("fifo", "lifo", "deadline")
+
+    def __post_init__(self) -> None:
+        if self.arrival not in self.ARRIVALS:
+            raise ValueError(f"unknown arrival process {self.arrival!r}; "
+                             f"pick from {self.ARRIVALS}")
+        if self.shed_policy not in self.POLICIES:
+            raise ValueError(f"unknown shed policy {self.shed_policy!r}; "
+                             f"pick from {self.POLICIES}")
+        if self.rate_tps <= 0.0:
+            raise ValueError(f"arrival rate must be positive: {self.rate_tps}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue capacity must be >= 1: {self.queue_capacity}")
+        if self.queue_deadline_ns < 0.0:
+            raise ValueError(
+                f"negative queue deadline: {self.queue_deadline_ns}")
+        for name in ("backpressure", "degrade"):
+            high = getattr(self, f"{name}_high")
+            low = getattr(self, f"{name}_low")
+            if low < 0.0 or high <= 0.0 or low > high:
+                raise ValueError(
+                    f"bad {name} watermarks: low={low}, high={high}")
+        if not 0.0 <= self.low_priority_fraction <= 1.0:
+            raise ValueError(f"low-priority fraction must be in [0, 1]: "
+                             f"{self.low_priority_fraction}")
+        if self.retry_budget_fraction < 0.0:
+            raise ValueError(
+                f"negative retry budget: {self.retry_budget_fraction}")
+        if self.retry_burst < 1.0:
+            raise ValueError(f"retry burst must be >= 1: {self.retry_burst}")
+        if self.max_attempts < 0:
+            raise ValueError(f"negative max attempts: {self.max_attempts}")
+        if self.burst_on_ns <= 0.0 or self.burst_off_ns < 0.0:
+            raise ValueError(
+                f"bad burst windows: on={self.burst_on_ns}, "
+                f"off={self.burst_off_ns}")
+        if self.burst_factor < 1.0:
+            raise ValueError(f"burst factor must be >= 1: {self.burst_factor}")
+        if self.diurnal_period_ns <= 0.0:
+            raise ValueError(
+                f"diurnal period must be positive: {self.diurnal_period_ns}")
+        if not 0.0 < self.diurnal_min_fraction <= 1.0:
+            raise ValueError(f"diurnal min fraction must be in (0, 1]: "
+                             f"{self.diurnal_min_fraction}")
+
+    def node_rate_per_ns(self, nodes: int) -> float:
+        """Per-node arrival rate in jobs per nanosecond."""
+        return self.rate_tps / 1e9 / nodes
+
+    @classmethod
+    def parse(cls, spec: str) -> "LoadParams":
+        """Build params from a ``--load`` CLI spec string.
+
+        Comma-separated ``key=value`` pairs; ``rate`` (txn/s) alone is
+        enough to enable the layer.  Keys: ``rate``, ``arrival``,
+        ``policy``, ``capacity``, ``deadline`` (ns), ``lowprio``,
+        ``budget`` (retry budget fraction), ``attempts``.  Example:
+        ``rate=2e6,arrival=bursty,policy=deadline,capacity=128``.
+        """
+        kwargs: Dict[str, object] = {"enabled": True}
+        spec = spec.strip()
+        if not spec or spec.lower() in ("none", "off"):
+            return cls()
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad load spec item {part!r} "
+                                 "(expected key=value)")
+            key, value = part.split("=", 1)
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "rate":
+                kwargs["rate_tps"] = float(value)
+            elif key == "arrival":
+                kwargs["arrival"] = value
+            elif key == "policy":
+                kwargs["shed_policy"] = value
+            elif key == "capacity":
+                kwargs["queue_capacity"] = int(value)
+            elif key == "deadline":
+                kwargs["queue_deadline_ns"] = float(value)
+            elif key == "lowprio":
+                kwargs["low_priority_fraction"] = float(value)
+            elif key == "budget":
+                kwargs["retry_budget_fraction"] = float(value)
+            elif key == "attempts":
+                kwargs["max_attempts"] = int(value)
+            else:
+                raise ValueError(f"unknown load spec key {key!r}")
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """One experiment's full machine description.
 
@@ -430,6 +593,10 @@ class ClusterConfig:
     #: latency after every run (``SLOParams.parse("p99<20us")``); empty
     #: (no objectives) by default.  See docs/OBSERVABILITY.md.
     slo: SLOParams = field(default_factory=SLOParams)
+    #: Open-loop arrival layer (admission queues, shedding, retry
+    #: budgets); disabled by default — closed-loop behaviour is then
+    #: bit-identical to a build without the layer.  See docs/LOAD.md.
+    load: LoadParams = field(default_factory=LoadParams)
     #: Average number of distinct remote nodes per transaction (D in
     #: Section VI) — used only by the hardware cost calculator.
     remote_nodes_per_txn: float = 4.0

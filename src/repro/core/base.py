@@ -103,7 +103,7 @@ class ProtocolBase:
     # public driver
     # ------------------------------------------------------------------
 
-    def execute(self, node_id: int, slot: int, requests):
+    def execute(self, node_id: int, slot: int, requests, retry_policy=None):
         """Run one transaction to commit; generator returning the final ctx.
 
         ``requests`` is either a list of :class:`Request` objects, or a
@@ -122,6 +122,16 @@ class ProtocolBase:
         retrying optimistically).  Records metrics (commit, per-attempt
         aborts, end-to-end latency, committed attempt's phase breakdown
         and overhead categories).
+
+        ``retry_policy`` (open-loop runs only — docs/LOAD.md) is
+        consulted after every aborted attempt via ``allow(now_ns,
+        attempts)``; a refusal abandons the transaction: the final
+        attempt is recorded as ``retry_budget_exhausted`` with no
+        backoff draw, and the generator returns None instead of a ctx.
+        Crash resolution is exempt — a post-restart resubmission is new
+        offered load, not a retry storm.  Closed-loop runs pass None
+        and take the exact pre-existing path (no extra rng draws, no
+        behaviour change).
         """
         if not callable(requests):
             requests = list(requests)
@@ -168,8 +178,14 @@ class ProtocolBase:
                 footprint_set |= ctx.touched_records
                 footprint = sorted(footprint_set)
                 yield from self._drain_pending_interrupt(ctx, interrupted=False)
-                yield from self._abort_attempt(ctx, error.reason, attempts,
-                                               parent_txid=prev_txid)
+                denied = (retry_policy is not None and
+                          not retry_policy.allow(self.engine.now, attempts))
+                yield from self._abort_attempt(
+                    ctx,
+                    "retry_budget_exhausted" if denied else error.reason,
+                    attempts, parent_txid=prev_txid, backoff=not denied)
+                if denied:
+                    return None
                 prev_txid = ctx.txid
                 attempts += 1
                 continue
@@ -191,8 +207,13 @@ class ProtocolBase:
                     prev_txid = ctx.txid
                     attempts += 1
                     continue
-                yield from self._abort_attempt(ctx, reason, attempts,
-                                               parent_txid=prev_txid)
+                denied = (retry_policy is not None and
+                          not retry_policy.allow(self.engine.now, attempts))
+                yield from self._abort_attempt(
+                    ctx, "retry_budget_exhausted" if denied else reason,
+                    attempts, parent_txid=prev_txid, backoff=not denied)
+                if denied:
+                    return None
                 prev_txid = ctx.txid
                 attempts += 1
                 continue
@@ -342,8 +363,23 @@ class ProtocolBase:
         self.metrics.counters.add("abort_reason_node_crash")
         return False
 
+    def note_retry_wait(self, delay_ns: float) -> None:
+        """Attribute a retry-backoff wait to the ``retry_backoff`` span.
+
+        Every wait a transaction spends *deciding to try again* funnels
+        through here so retry time is uniformly attributed regardless of
+        cause: the between-attempt exponential backoff below covers
+        squash, timeout, and fault retries alike, and protocol-internal
+        retry backoffs (the pessimistic lock-retry wait in
+        ``core/hades.py``) call this instead of silently folding the
+        wait into whatever phase was open.  Observation only — never
+        advances time or consumes randomness.
+        """
+        if self.spans is not None and delay_ns > 0:
+            self.spans.record_phase(SPAN_RETRY, delay_ns)
+
     def _abort_attempt(self, ctx: TxContext, reason: str, attempts: int,
-                       parent_txid=None):
+                       parent_txid=None, backoff: bool = True):
         ctx.finish(TxStatus.SQUASHED)
         if self.tracer is not None:
             self.tracer.txn_squash(self.engine.now, ctx.node_id, ctx.slot,
@@ -362,6 +398,10 @@ class ProtocolBase:
         self.metrics.meter.abort()
         self.metrics.counters.add("aborts")
         self.metrics.counters.add(f"abort_reason_{reason}")
+        if not backoff:
+            # Retry denied (budget exhausted): no backoff draw, so the
+            # closed-loop rng stream is untouched by the policy check.
+            return
         delay = exponential_backoff(
             self.rng,
             attempt=attempts,
@@ -369,8 +409,7 @@ class ProtocolBase:
             cap_ns=self.config.livelock.backoff_cap_ns,
         )
         if delay > 0:
-            if self.spans is not None:
-                self.spans.record_phase(SPAN_RETRY, delay)
+            self.note_retry_wait(delay)
             yield delay
 
     def _record_commit(self, ctx: TxContext, first_started: float,

@@ -537,7 +537,9 @@ class HadesProtocol(ProtocolBase):
             for node_id in acquired:
                 self._release_directory_lock(ctx, node_id)
             self.metrics.counters.add("pessimistic_lock_retries")
-            yield BLOCKED_RETRY_NS * 8 * (1.0 + self.rng.random())
+            lock_backoff = BLOCKED_RETRY_NS * 8 * (1.0 + self.rng.random())
+            self.note_retry_wait(lock_backoff)
+            yield lock_backoff
         ctx.pessimistic_locked_nodes = list(involved)
         ctx.holding_local_dirlock = ctx.node_id in involved
         if ctx.spans is not None:

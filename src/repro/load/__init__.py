@@ -1,0 +1,51 @@
+"""Open-loop traffic layer: arrivals, admission control, overload.
+
+The load package models a configurable simulated user population
+submitting transactions at rates the cluster does not control — the
+regime where a production transaction system lives or dies, and one a
+closed-loop driver can never reach (docs/LOAD.md):
+
+* :mod:`repro.load.arrivals` — deterministic Poisson, bursty on/off,
+  and diurnal-ramp arrival processes.
+* :mod:`repro.load.admission` — per-node bounded admission queues with
+  pluggable shedding policies (fifo drop-tail / adaptive lifo /
+  deadline) and a hysteresis backpressure latch.
+* :mod:`repro.load.budget` — per-node retry budgets (token buckets
+  over simulated time) that stop retry storms from metastably
+  collapsing an overloaded node.
+* :mod:`repro.load.controller` — overload detection and graceful
+  degradation: shed read-only / low-priority traffic first.
+* :mod:`repro.load.driver` — the open-loop driver the runner installs
+  when ``config.load.enabled``, plus :class:`LoadStats`.
+* :mod:`repro.load.loadtest` — ``repro loadtest``: binary-search the
+  max sustainable arrival rate meeting the configured SLO.
+"""
+
+from repro.load.admission import AdmissionQueue, Job
+from repro.load.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.load.budget import RetryBudget
+from repro.load.controller import OverloadController
+from repro.load.driver import LoadStats, OpenLoopDriver
+from repro.load.loadtest import run_loadtest, write_loadtest
+
+__all__ = [
+    "AdmissionQueue",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "Job",
+    "LoadStats",
+    "OpenLoopDriver",
+    "OverloadController",
+    "PoissonArrivals",
+    "RetryBudget",
+    "make_arrivals",
+    "run_loadtest",
+    "write_loadtest",
+]

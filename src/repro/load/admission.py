@@ -1,0 +1,148 @@
+"""Bounded per-node admission queues with pluggable shedding policies.
+
+The admission queue sits between a node's arrival process and its
+protocol slots (docs/LOAD.md).  It is bounded — depth can never exceed
+``capacity`` — and exposes two signals back to the admission door:
+
+* :attr:`AdmissionQueue.backpressure` — a hysteresis latch on depth:
+  set when depth reaches the high watermark, cleared only once the
+  queue drains to the low watermark.  While latched, the driver refuses
+  *all* newcomers, absorbing bursts without letting the queue thrash at
+  its rim.
+* the depth itself, which the :class:`~repro.load.controller.
+  OverloadController` watches for graceful degradation.
+
+When an offer meets a full queue the shedding policy picks the victim:
+
+* ``fifo`` — drop-tail: serve oldest first, reject the newcomer.
+* ``lifo`` — adaptive LIFO: serve *newest* first (fresh requests still
+  meet their deadlines under overload), evict the oldest waiter.
+* ``deadline`` — earliest-deadline-first service, evict the
+  least-urgent job (largest deadline, the newcomer included).
+
+All tie-breaks are by arrival sequence number, so queue behaviour is a
+pure function of the arrival stream — no hash order, no wall clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.config import LoadParams
+from repro.sim.events import Event
+
+#: Shed reasons the admission layer reports (all map into the ``shed``
+#: abort class — see ``repro.obs.spans``).
+SHED_BACKPRESSURE = "backpressure_shed"
+SHED_DEGRADED = "degraded_shed"
+SHED_QUEUE_FULL = "queue_full_shed"
+#: Overload reasons for admitted work the load layer gave up on (the
+#: ``overload`` abort class).
+TIMEOUT_QUEUE_DEADLINE = "queue_deadline"
+RETRY_BUDGET_EXHAUSTED = "retry_budget_exhausted"
+
+
+@dataclass
+class Job:
+    """One arrival: a transaction the open population submitted."""
+
+    #: Cluster-unique arrival id (used as the shed record's txid, negated
+    #: so it can never collide with protocol txids).
+    uid: int
+    #: Per-node arrival sequence (workload round-robin, tie-breaks).
+    seq: int
+    node: int
+    #: Request list or interactive body, drawn at arrival time.
+    spec: object
+    #: Workload name, for per-workload metrics.
+    workload: str
+    arrival_ns: float
+    #: Sheddable under graceful degradation (read-only / low-priority).
+    sheddable: bool
+    #: Absolute queue deadline; None when expiry is disabled.
+    deadline_ns: Optional[float]
+
+
+class AdmissionQueue:
+    """One node's bounded queue between arrivals and protocol slots."""
+
+    def __init__(self, params: LoadParams):
+        self.capacity = params.queue_capacity
+        self.policy = params.shed_policy
+        self._jobs: List[Job] = []
+        self._bp_high = params.backpressure_high * self.capacity
+        self._bp_low = params.backpressure_low * self.capacity
+        #: Hysteresis latch: True while the door refuses all newcomers.
+        self.backpressure = False
+        #: Times the latch engaged (reset at the warmup boundary).
+        self.backpressure_engagements = 0
+        self.max_depth = 0
+        #: Idle workers parked on events, woken FIFO one per admit.
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def depth(self) -> int:
+        return len(self._jobs)
+
+    def offer(self, job: Job) -> Optional[Job]:
+        """Admit ``job`` if there is room; returns the shed victim.
+
+        The victim is ``job`` itself (drop-tail), an evicted older
+        waiter (lifo / deadline), or None when nothing was shed.  The
+        backpressure latch is *not* consulted here — the driver checks
+        it before offering, so a latched door never reaches the policy.
+        """
+        victim: Optional[Job] = None
+        if len(self._jobs) >= self.capacity:
+            if self.policy == "fifo":
+                victim = job
+            elif self.policy == "lifo":
+                victim = self._jobs.pop(0)
+                self._jobs.append(job)
+            else:  # deadline: evict the least-urgent, newcomer included
+                victim = max(self._jobs,
+                             key=lambda j: (_deadline_key(j), j.uid))
+                if (_deadline_key(victim), victim.uid) \
+                        >= (_deadline_key(job), job.uid):
+                    self._jobs.remove(victim)
+                    self._jobs.append(job)
+                else:
+                    victim = job
+        else:
+            self._jobs.append(job)
+        if victim is not job:
+            if self._waiters:
+                self._waiters.popleft().succeed()
+        if self.depth >= self._bp_high and not self.backpressure:
+            self.backpressure = True
+            self.backpressure_engagements += 1
+        if self.depth > self.max_depth:
+            self.max_depth = self.depth
+        return victim
+
+    def pop(self) -> Optional[Job]:
+        """Next job in policy service order, or None when empty."""
+        if not self._jobs:
+            return None
+        if self.policy == "fifo":
+            job = self._jobs.pop(0)
+        elif self.policy == "lifo":
+            job = self._jobs.pop()
+        else:  # deadline: earliest-deadline-first
+            job = min(self._jobs, key=lambda j: (_deadline_key(j), j.uid))
+            self._jobs.remove(job)
+        if self.backpressure and self.depth <= self._bp_low:
+            self.backpressure = False
+        return job
+
+    def wait_event(self, engine) -> Event:
+        """Park an idle worker; the next admit wakes the oldest waiter."""
+        event = engine.event()
+        self._waiters.append(event)
+        return event
+
+
+def _deadline_key(job: Job) -> float:
+    return job.deadline_ns if job.deadline_ns is not None else float("inf")

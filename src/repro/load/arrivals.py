@@ -1,0 +1,144 @@
+"""Deterministic open-loop arrival processes (docs/LOAD.md).
+
+An arrival process models the aggregate request stream of a large user
+population hitting one node: inter-arrival gaps are drawn from a
+dedicated :class:`~repro.sim.random.DeterministicRandom` stream, so a
+(seed, rate, process) triple replays the exact same arrival times.
+
+Three processes cover the regimes the overload experiments need:
+
+* :class:`PoissonArrivals` — memoryless, the M/G/k baseline.
+* :class:`BurstyArrivals` — on/off modulated Poisson (Markov-modulated
+  with deterministic phase windows): the ON rate is ``burst_factor``
+  times the mean and the OFF rate is derived so the long-run mean stays
+  the configured rate.  Exponential clocks are memoryless, so a gap
+  that would cross a phase boundary restarts the draw at the boundary
+  — this samples the modulated process exactly, not approximately.
+* :class:`DiurnalArrivals` — sinusoidally ramped Poisson sampled by
+  Ogata thinning against the peak rate (exact for any bounded
+  intensity function), modeling a compressed day/night cycle.
+
+All rates are in events per **nanosecond** (the engine's clock unit).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import LoadParams
+from repro.sim.random import DeterministicRandom
+
+
+class ArrivalProcess:
+    """Draws successive inter-arrival gaps for one node."""
+
+    def next_gap_ns(self, now_ns: float) -> float:
+        """Gap from ``now_ns`` to the next arrival (ns, > 0)."""
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant rate."""
+
+    def __init__(self, rng: DeterministicRandom, rate_per_ns: float):
+        if rate_per_ns <= 0.0:
+            raise ValueError(f"arrival rate must be positive: {rate_per_ns}")
+        self.rng = rng
+        self.rate = rate_per_ns
+
+    def next_gap_ns(self, now_ns: float) -> float:
+        return self.rng.expovariate(self.rate)
+
+
+class BurstyArrivals(ArrivalProcess):
+    """On/off modulated Poisson with deterministic phase windows.
+
+    Time is tiled with ``[ON: on_ns][OFF: off_ns]`` cycles anchored at
+    t=0.  The ON rate is ``burst_factor * rate``; the OFF rate is
+    derived from the duty cycle so the long-run mean stays ``rate`` —
+    clamped at zero when the factor saturates the ON window (the mean
+    then falls short, which the loadtest sees as extra headroom, not an
+    error).
+    """
+
+    def __init__(self, rng: DeterministicRandom, rate_per_ns: float,
+                 on_ns: float, off_ns: float, burst_factor: float):
+        if rate_per_ns <= 0.0:
+            raise ValueError(f"arrival rate must be positive: {rate_per_ns}")
+        self.rng = rng
+        self.on_ns = on_ns
+        self.cycle_ns = on_ns + off_ns
+        duty = on_ns / self.cycle_ns
+        self.rate_on = burst_factor * rate_per_ns
+        if duty >= 1.0:
+            self.rate_off = self.rate_on
+        else:
+            self.rate_off = max(
+                0.0, (rate_per_ns - duty * self.rate_on) / (1.0 - duty))
+
+    def next_gap_ns(self, now_ns: float) -> float:
+        t = now_ns
+        while True:
+            pos = t % self.cycle_ns
+            if pos < self.on_ns:
+                rate, remaining = self.rate_on, self.on_ns - pos
+            else:
+                rate, remaining = self.rate_off, self.cycle_ns - pos
+            if rate <= 0.0:
+                t += remaining
+                continue
+            gap = self.rng.expovariate(rate)
+            if gap < remaining:
+                return (t + gap) - now_ns
+            t += remaining
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally ramped Poisson (compressed day/night cycle).
+
+    The intensity is ``peak * (f + (1 - f) * (1 - cos(2 pi t / T)) / 2)``
+    with trough fraction ``f``, so it ramps from ``peak * f`` to
+    ``peak`` once per period; ``peak`` is chosen so the long-run mean is
+    the configured rate.  Sampled by thinning: candidate gaps are drawn
+    at the peak rate and accepted with probability ``intensity / peak``.
+    """
+
+    def __init__(self, rng: DeterministicRandom, rate_per_ns: float,
+                 period_ns: float, min_fraction: float):
+        if rate_per_ns <= 0.0:
+            raise ValueError(f"arrival rate must be positive: {rate_per_ns}")
+        self.rng = rng
+        self.period_ns = period_ns
+        self.min_fraction = min_fraction
+        mean_modulation = min_fraction + (1.0 - min_fraction) / 2.0
+        self.peak = rate_per_ns / mean_modulation
+        self._two_pi = 2.0 * math.pi
+
+    def intensity(self, t_ns: float) -> float:
+        """Instantaneous arrival rate at absolute time ``t_ns``."""
+        wave = (1.0 - math.cos(self._two_pi * t_ns / self.period_ns)) / 2.0
+        return self.peak * (self.min_fraction
+                            + (1.0 - self.min_fraction) * wave)
+
+    def next_gap_ns(self, now_ns: float) -> float:
+        t = now_ns
+        while True:
+            t += self.rng.expovariate(self.peak)
+            if self.rng.random() * self.peak <= self.intensity(t):
+                return t - now_ns
+
+
+def make_arrivals(params: LoadParams, rng: DeterministicRandom,
+                  nodes: int) -> ArrivalProcess:
+    """Build one node's arrival process from the cluster load config."""
+    rate = params.node_rate_per_ns(nodes)
+    if params.arrival == "poisson":
+        return PoissonArrivals(rng, rate)
+    if params.arrival == "bursty":
+        return BurstyArrivals(rng, rate, on_ns=params.burst_on_ns,
+                              off_ns=params.burst_off_ns,
+                              burst_factor=params.burst_factor)
+    if params.arrival == "diurnal":
+        return DiurnalArrivals(rng, rate, period_ns=params.diurnal_period_ns,
+                               min_fraction=params.diurnal_min_fraction)
+    raise ValueError(f"unknown arrival process {params.arrival!r}")

@@ -1,0 +1,69 @@
+"""Per-node retry budgets: token buckets over simulated time.
+
+Under overload, squash-and-retry amplifies offered load — every abort
+re-enters the system as another attempt, and the retry storm can hold a
+node in a metastable collapsed state long after the original burst has
+passed (the classic retry-storm failure mode SRE playbooks guard
+against with client retry budgets).  The budget caps that
+amplification: every protocol retry spends one token from a per-node
+bucket that refills at a fixed fraction of the node's arrival rate, and
+a dry bucket abandons the transaction instead of retrying
+(``retry_budget_exhausted``, classed ``overload``).
+
+The bucket is driven entirely by ``engine.now`` — no randomness, no
+wall clock — so same-seed runs replay identical budget decisions.
+:class:`RetryBudget` satisfies the ``retry_policy`` protocol of
+:meth:`repro.core.base.ProtocolBase.execute`: a single ``allow(now_ns,
+attempts)`` hook consulted after every aborted attempt.
+"""
+
+from __future__ import annotations
+
+
+class RetryBudget:
+    """Token bucket deciding whether an aborted attempt may retry."""
+
+    def __init__(self, refill_per_ns: float, burst: float,
+                 max_attempts: int = 0):
+        if refill_per_ns < 0.0:
+            raise ValueError(f"negative refill rate: {refill_per_ns}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1: {burst}")
+        if max_attempts < 0:
+            raise ValueError(f"negative attempt cap: {max_attempts}")
+        self.refill_per_ns = refill_per_ns
+        self.burst = burst
+        self.max_attempts = max_attempts
+        self.tokens = burst
+        self._last_ns = 0.0
+        #: Retries granted / refused (reset at the warmup boundary).
+        self.granted = 0
+        self.denied = 0
+
+    def allow(self, now_ns: float, attempts: int) -> bool:
+        """May the attempt that just failed (index ``attempts``) retry?
+
+        ``attempts`` counts completed attempts, so the retry would be
+        attempt ``attempts + 1``; the hard cap bounds that index and the
+        bucket charges one token when a rate is configured.
+        """
+        if self.max_attempts and attempts + 1 >= self.max_attempts:
+            self.denied += 1
+            return False
+        if self.refill_per_ns > 0.0:
+            elapsed = now_ns - self._last_ns
+            if elapsed > 0.0:
+                self.tokens = min(self.burst,
+                                  self.tokens + elapsed * self.refill_per_ns)
+                self._last_ns = now_ns
+            if self.tokens < 1.0:
+                self.denied += 1
+                return False
+            self.tokens -= 1.0
+        self.granted += 1
+        return True
+
+    def reset_stats(self) -> None:
+        """Forget warmup-era grant/deny counts (bucket level persists)."""
+        self.granted = 0
+        self.denied = 0

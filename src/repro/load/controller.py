@@ -1,0 +1,73 @@
+"""Overload detection and graceful degradation (docs/LOAD.md).
+
+One controller per node watches its admission-queue depth and runs a
+two-state machine with hysteresis:
+
+* ``normal`` → ``degraded`` when depth reaches the high watermark;
+* ``degraded`` → ``normal`` once the queue drains to the low watermark.
+
+While degraded, the admission door sheds *sheddable* jobs — read-only
+and/or low-priority traffic, per config — so the queue's remaining
+capacity is reserved for the write traffic whose loss is expensive.
+This is the "shed cheap traffic first" half of graceful degradation;
+the backpressure latch on the queue itself (which refuses everything)
+is the last-resort half and engages at a higher watermark.
+
+The controller reads only depths and ``engine.now`` — no randomness —
+and its mode is *system* state, not statistics: a warmup reset clears
+the transition counts and accumulated degraded time but keeps the
+current mode, exactly like a real controller whose counters are
+scraped mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import LoadParams
+
+MODE_NORMAL = "normal"
+MODE_DEGRADED = "degraded"
+
+
+class OverloadController:
+    """Per-node normal/degraded state machine over queue depth."""
+
+    def __init__(self, params: LoadParams):
+        capacity = params.queue_capacity
+        self._high = params.degrade_high * capacity
+        self._low = params.degrade_low * capacity
+        self.mode = MODE_NORMAL
+        self.transitions = 0
+        self.degraded_ns = 0.0
+        self._degraded_since: Optional[float] = None
+
+    def observe(self, now_ns: float, depth: int) -> None:
+        """Fold one depth observation into the state machine."""
+        if self.mode == MODE_NORMAL:
+            if depth >= self._high:
+                self.mode = MODE_DEGRADED
+                self.transitions += 1
+                self._degraded_since = now_ns
+        elif depth <= self._low:
+            self.mode = MODE_NORMAL
+            if self._degraded_since is not None:
+                self.degraded_ns += now_ns - self._degraded_since
+                self._degraded_since = None
+
+    def should_shed(self, job) -> bool:
+        """Shed ``job`` at the door?  Only sheddable jobs, only degraded."""
+        return self.mode == MODE_DEGRADED and job.sheddable
+
+    def finalize(self, now_ns: float) -> None:
+        """Close an open degraded interval at run end (mode unchanged)."""
+        if self._degraded_since is not None:
+            self.degraded_ns += now_ns - self._degraded_since
+            self._degraded_since = now_ns
+
+    def reset_stats(self, now_ns: float) -> None:
+        """Warmup boundary: drop counts, keep the current mode."""
+        self.transitions = 0
+        self.degraded_ns = 0.0
+        if self._degraded_since is not None:
+            self._degraded_since = now_ns

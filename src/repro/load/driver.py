@@ -1,0 +1,312 @@
+"""The open-loop driver: arrivals → admission → protocol slots.
+
+When ``config.load.enabled`` the runner installs one
+:class:`OpenLoopDriver` instead of the closed-loop ``_client_driver``
+processes.  Per node it runs:
+
+* one **arrival process** drawing inter-arrival gaps from a dedicated
+  ``DeterministicRandom(f"{seed}:arrivals:{node}")`` stream and
+  transaction specs from ``f"{seed}:load:{node}"`` (so arrival timing
+  and workload content are independent, replayable streams);
+* one bounded :class:`~repro.load.admission.AdmissionQueue` guarded by
+  the backpressure latch and the per-node
+  :class:`~repro.load.controller.OverloadController`;
+* ``transactions_per_node`` **workers** — the same protocol slots the
+  closed-loop driver uses — that drain the queue and execute admitted
+  jobs under a shared per-node
+  :class:`~repro.load.budget.RetryBudget`.
+
+Latency semantics change under open loop: the SLO is evaluated against
+**sojourn time** (arrival → commit, queue wait included), not the
+protocol service latency — an overloaded system with fast service but
+unbounded queues must *fail* its SLO.  ``metrics.latency`` keeps its
+closed-loop meaning (execute start → commit) so protocol-level
+comparisons stay valid; :class:`LoadStats` carries the sojourn and
+queue-delay histograms plus every shed/timeout count.
+
+Sheds and give-ups land in the span taxonomy (classes ``shed`` /
+``overload``) when a recorder is attached, under the same ``is not
+None`` zero-overhead contract as every other hook.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.load.admission import (
+    AdmissionQueue,
+    Job,
+    RETRY_BUDGET_EXHAUSTED,
+    SHED_BACKPRESSURE,
+    SHED_DEGRADED,
+    SHED_QUEUE_FULL,
+    TIMEOUT_QUEUE_DEADLINE,
+)
+from repro.load.arrivals import make_arrivals
+from repro.load.budget import RetryBudget
+from repro.load.controller import MODE_DEGRADED, OverloadController
+from repro.obs.histogram import LogHistogram
+from repro.obs.spans import SPAN_QUEUE_WAIT, classify_abort
+from repro.sim.random import DeterministicRandom
+from repro.sim.stats import RunMetrics
+from repro.workloads.base import Workload
+
+
+class LoadStats:
+    """Aggregates one open-loop run's admission-layer numbers."""
+
+    def __init__(self):
+        self.reset(0.0)
+
+    def reset(self, now_ns: float) -> None:
+        self.reset_at_ns = now_ns
+        self.offered = 0
+        self.admitted = 0
+        self.completed = 0
+        #: shed reason -> count (admission-door refusals).
+        self.shed: Dict[str, int] = {}
+        #: Admitted jobs whose queue deadline expired before service.
+        self.timeouts = 0
+        #: Admitted jobs abandoned mid-flight by the retry budget.
+        self.retry_denied = 0
+        self.queue_delay = LogHistogram()
+        self.sojourn = LogHistogram()
+        #: Filled by finalize(): per-node max depth, controller totals.
+        self.max_queue_depth: Dict[int, int] = {}
+        self.backpressure_engagements = 0
+        self.degraded_transitions = 0
+        self.degraded_ns = 0.0
+        self.degraded_nodes_at_end = 0
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def lost_total(self) -> int:
+        """Everything offered that never committed a transaction."""
+        return self.shed_total + self.timeouts + self.retry_denied
+
+    def loss_rate(self) -> float:
+        """Lost fraction of offered jobs (0 when nothing was offered)."""
+        if self.offered == 0:
+            return 0.0
+        return self.lost_total / self.offered
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic summary for artifacts (no wall clock)."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": dict(sorted(self.shed.items())),
+            "shed_total": self.shed_total,
+            "timeouts": self.timeouts,
+            "retry_denied": self.retry_denied,
+            "loss_rate": self.loss_rate(),
+            "queue_delay": self.queue_delay.as_dict(),
+            "sojourn": self.sojourn.as_dict(),
+            "max_queue_depth": {str(node): depth for node, depth
+                                in sorted(self.max_queue_depth.items())},
+            "backpressure_engagements": self.backpressure_engagements,
+            "degraded_transitions": self.degraded_transitions,
+            "degraded_ns": self.degraded_ns,
+            "degraded_nodes_at_end": self.degraded_nodes_at_end,
+        }
+
+
+class OpenLoopDriver:
+    """Installs and runs the open-loop load layer for one experiment."""
+
+    def __init__(self, protocol, workloads: List[Workload],
+                 per_workload: Dict[str, RunMetrics], seed: int):
+        self.protocol = protocol
+        self.engine = protocol.engine
+        self.cluster = protocol.cluster
+        self.params = protocol.config.load
+        self.workloads = workloads
+        self.per_workload = per_workload
+        self.stats = LoadStats()
+        config = protocol.config
+        nodes = config.nodes
+        self.slots_per_node = config.transactions_per_node
+        node_rate = self.params.node_rate_per_ns(nodes)
+        self.queues: Dict[int, AdmissionQueue] = {}
+        self.controllers: Dict[int, OverloadController] = {}
+        self.budgets: Dict[int, RetryBudget] = {}
+        self._arrival_rngs: Dict[int, DeterministicRandom] = {}
+        self._spec_rngs: Dict[int, DeterministicRandom] = {}
+        self._prio_rngs: Dict[int, DeterministicRandom] = {}
+        for node in range(nodes):
+            self.queues[node] = AdmissionQueue(self.params)
+            self.controllers[node] = OverloadController(self.params)
+            self.budgets[node] = RetryBudget(
+                refill_per_ns=self.params.retry_budget_fraction * node_rate,
+                burst=self.params.retry_burst,
+                max_attempts=self.params.max_attempts)
+            self._arrival_rngs[node] = DeterministicRandom(
+                f"{seed}:arrivals:{node}")
+            self._spec_rngs[node] = DeterministicRandom(f"{seed}:load:{node}")
+            self._prio_rngs[node] = DeterministicRandom(f"{seed}:prio:{node}")
+        self._uid_counter = itertools.count(1)
+
+    def start(self) -> None:
+        """Spawn arrival + worker processes (same slot layout as the
+        closed-loop driver: one worker per (node, slot))."""
+        for node in self.cluster.nodes:
+            node_id = node.node_id
+            self.engine.process(self._arrival_proc(node_id),
+                                name=f"arrivals-n{node_id}")
+        for node in self.cluster.nodes:
+            for slot in range(self.slots_per_node):
+                self.engine.process(self._worker(node.node_id, slot),
+                                    name=f"loadworker-n{node.node_id}-s{slot}")
+
+    # -- arrivals --------------------------------------------------------
+
+    def _arrival_proc(self, node_id: int):
+        params = self.params
+        arrivals = make_arrivals(params, self._arrival_rngs[node_id],
+                                 self.protocol.config.nodes)
+        spec_rng = self._spec_rngs[node_id]
+        prio_rng = self._prio_rngs[node_id]
+        engine = self.engine
+        seq = 0
+        while True:
+            yield arrivals.next_gap_ns(engine.now)
+            workload = self.workloads[seq % len(self.workloads)]
+            client_id = (node_id, seq % self.slots_per_node)
+            spec = workload.next_transaction(spec_rng, node_id, self.cluster,
+                                             client_id=client_id)
+            low_priority = (prio_rng.random() < params.low_priority_fraction
+                            if params.low_priority_fraction > 0.0 else False)
+            read_only = (not callable(spec)
+                         and not any(r.is_write for r in spec))
+            now = engine.now
+            job = Job(
+                uid=next(self._uid_counter), seq=seq, node=node_id,
+                spec=spec, workload=workload.name, arrival_ns=now,
+                sheddable=low_priority or (params.shed_read_only
+                                           and read_only),
+                deadline_ns=(now + params.queue_deadline_ns
+                             if params.queue_deadline_ns > 0.0 else None))
+            seq += 1
+            self.stats.offered += 1
+            self._admit(node_id, job)
+
+    def _admit(self, node_id: int, job: Job) -> None:
+        queue = self.queues[node_id]
+        controller = self.controllers[node_id]
+        controller.observe(self.engine.now, queue.depth)
+        if queue.backpressure:
+            self._record_shed(job, SHED_BACKPRESSURE)
+            return
+        if controller.should_shed(job):
+            self._record_shed(job, SHED_DEGRADED)
+            return
+        victim = queue.offer(job)
+        if victim is not job:
+            self.stats.admitted += 1
+        if victim is not None:
+            self._record_shed(victim, SHED_QUEUE_FULL)
+        controller.observe(self.engine.now, queue.depth)
+
+    # -- workers ---------------------------------------------------------
+
+    def _worker(self, node_id: int, slot: int):
+        queue = self.queues[node_id]
+        controller = self.controllers[node_id]
+        budget = self.budgets[node_id]
+        protocol = self.protocol
+        engine = self.engine
+        stats = self.stats
+        while True:
+            job = queue.pop()
+            if job is None:
+                yield queue.wait_event(engine)
+                continue
+            now = engine.now
+            controller.observe(now, queue.depth)
+            waited = now - job.arrival_ns
+            stats.queue_delay.record(waited)
+            if protocol.spans is not None:
+                protocol.spans.record_phase(SPAN_QUEUE_WAIT, waited)
+            if job.deadline_ns is not None and now > job.deadline_ns:
+                self._record_overload(job, TIMEOUT_QUEUE_DEADLINE,
+                                      slot=slot)
+                continue
+            ctx = yield from protocol.execute(node_id, slot, job.spec,
+                                              retry_policy=budget)
+            if ctx is None:
+                # The retry budget abandoned the transaction; the final
+                # aborted attempt is already in the span taxonomy as
+                # retry_budget_exhausted (core/base.py).
+                stats.retry_denied += 1
+                protocol.metrics.counters.add("load_retry_denied")
+                continue
+            sojourn = engine.now - job.arrival_ns
+            stats.completed += 1
+            stats.sojourn.record(sojourn)
+            workload_metrics = self.per_workload[job.workload]
+            workload_metrics.meter.commit()
+            workload_metrics.latency.record(sojourn)
+
+    # -- accounting ------------------------------------------------------
+
+    def _record_shed(self, job: Job, reason: str) -> None:
+        stats = self.stats
+        stats.shed[reason] = stats.shed.get(reason, 0) + 1
+        protocol = self.protocol
+        protocol.metrics.counters.add(f"load_{reason}")
+        if protocol.spans is not None:
+            protocol.spans.record_attempt(
+                job.node, slot=-1, txid=-job.uid, attempt=0,
+                committed=False, phases={}, reason=reason,
+                abort_class=classify_abort(reason))
+
+    def _record_overload(self, job: Job, reason: str, slot: int) -> None:
+        """An admitted job the load layer gave up on before execution."""
+        self.stats.timeouts += 1
+        protocol = self.protocol
+        protocol.metrics.counters.add(f"load_{reason}")
+        if protocol.spans is not None:
+            protocol.spans.record_attempt(
+                job.node, slot=slot, txid=-job.uid, attempt=0,
+                committed=False, phases={}, reason=reason,
+                abort_class=classify_abort(reason))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Warmup boundary: discard transient-era numbers, keep state
+        (queue contents, latch, controller mode, bucket level)."""
+        now = self.engine.now
+        self.stats.reset(now)
+        for queue in self.queues.values():
+            queue.max_depth = queue.depth
+            queue.backpressure_engagements = 0
+        for controller in self.controllers.values():
+            controller.reset_stats(now)
+        for budget in self.budgets.values():
+            budget.reset_stats()
+
+    def finalize(self) -> None:
+        """Close open intervals and fold per-node state into the stats."""
+        now = self.engine.now
+        stats = self.stats
+        for node_id in sorted(self.queues):
+            queue = self.queues[node_id]
+            controller = self.controllers[node_id]
+            controller.finalize(now)
+            stats.max_queue_depth[node_id] = queue.max_depth
+            stats.backpressure_engagements += queue.backpressure_engagements
+            stats.degraded_transitions += controller.transitions
+            stats.degraded_ns += controller.degraded_ns
+            if controller.mode == MODE_DEGRADED:
+                stats.degraded_nodes_at_end += 1
+
+    @property
+    def retry_denials(self) -> int:
+        """Budget-refused retries across nodes (diagnostics)."""
+        return sum(budget.denied for budget in self.budgets.values())

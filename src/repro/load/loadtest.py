@@ -1,0 +1,199 @@
+"""``repro loadtest``: max sustainable load under an SLO (docs/LOAD.md).
+
+The loadtest turns the paper's "throughput at saturation" question into
+the production one — *what offered load can this system carry while
+meeting its latency objective?* — in three deterministic stages:
+
+1. **Calibrate**: one closed-loop run measures raw capacity (the
+   saturation throughput the paper reports).
+2. **Search**: binary-search the offered arrival rate on
+   ``[0, headroom x capacity]``; a rate is *sustainable* when the
+   open-loop run meets the SLO on sojourn latency **and** loses (sheds
+   + times out + abandons) at most ``max_loss`` of offered jobs.
+3. **Overload probe**: run at ``overload_factor x`` the larger of the
+   sustainable rate and capacity, and report how gracefully the
+   admission layer degrades — goodput retention vs. capacity, shed and
+   timeout rates, queue-depth bounds, time spent degraded.
+
+Every stage is seeded and driven entirely by simulated time, so the
+report — and the ``LOADTEST.json`` artifact, written with the same
+sorted-keys/indent discipline as the sweep artifact — is byte-identical
+for the same inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.config import ClusterConfig, FaultPlan, LoadParams, \
+    make_cluster_config
+from repro.obs.histogram import LogHistogram
+from repro.obs.slo import SLOParams
+from repro.runner import run_experiment
+
+#: Artifact schema version.
+SCHEMA_VERSION = 1
+
+#: Search ceiling as a multiple of measured closed-loop capacity: an
+#: open-loop system can briefly sustain more than closed-loop saturation
+#: (queues absorb bursts), but not 25% more for a whole run.
+DEFAULT_HEADROOM = 1.25
+
+
+def run_loadtest(
+    protocol: str = "hades",
+    workload: str = "HT-wB",
+    *,
+    workload_factory: Callable[[], object],
+    shape: str = "default",
+    scale: float = 0.05,
+    seed: int = 42,
+    duration_ns: float = 300_000.0,
+    warmup_ns: float = 50_000.0,
+    slo: str = "p99<20us",
+    load_template: Optional[LoadParams] = None,
+    base_config: Optional[ClusterConfig] = None,
+    iters: int = 6,
+    max_loss: float = 0.02,
+    overload_factor: float = 2.0,
+    rate_max: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Binary-search the max sustainable arrival rate; returns the report.
+
+    ``workload_factory`` returns a fresh workload instance (or list) per
+    probe — workload generator state is mutable, so probes must not
+    share instances (same contract as ``compare_protocols``).
+    ``load_template`` carries every load knob except ``rate_tps`` and
+    ``enabled``, which the search sets per probe.
+    """
+    slo_params = SLOParams.parse(slo)
+    template = load_template if load_template is not None else LoadParams()
+    config = (base_config if base_config is not None
+              else make_cluster_config(shape))
+    config = config.replace(slo=slo_params)
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    def probe(rate_tps: float) -> Dict[str, object]:
+        cfg = config.replace(load=dataclasses.replace(
+            template, enabled=True, rate_tps=rate_tps))
+        result = run_experiment(protocol, workload_factory(), config=cfg,
+                                duration_ns=duration_ns, warmup_ns=warmup_ns,
+                                seed=seed, fault_plan=fault_plan)
+        load = result.load
+        sojourn = LogHistogram.from_dict(load["sojourn"])
+        queue_delay = LogHistogram.from_dict(load["queue_delay"])
+        slo_dict = result.slo.as_dict()
+        entry = {
+            "rate_tps": rate_tps,
+            "goodput_tps": result.throughput,
+            "offered": load["offered"],
+            "completed": load["completed"],
+            "shed_total": load["shed_total"],
+            "shed": load["shed"],
+            "timeouts": load["timeouts"],
+            "retry_denied": load["retry_denied"],
+            "loss_rate": load["loss_rate"],
+            "shed_rate": (load["shed_total"] / load["offered"]
+                          if load["offered"] else 0.0),
+            "timeout_rate": ((load["timeouts"] + load["retry_denied"])
+                             / load["offered"] if load["offered"] else 0.0),
+            "max_queue_depth": max(load["max_queue_depth"].values()),
+            "backpressure_engagements": load["backpressure_engagements"],
+            "degraded_transitions": load["degraded_transitions"],
+            "degraded_ns": load["degraded_ns"],
+            "sojourn_p50_ns": sojourn.percentile(0.5),
+            "sojourn_p99_ns": sojourn.p99(),
+            "queue_delay_p50_ns": queue_delay.percentile(0.5),
+            "queue_delay_p99_ns": queue_delay.p99(),
+            "slo": slo_dict,
+            "sustainable": bool(slo_dict["passed"]
+                                and load["loss_rate"] <= max_loss
+                                and load["completed"] > 0),
+        }
+        say(f"  probe {rate_tps:>12,.0f} tps: goodput "
+            f"{entry['goodput_tps']:>12,.0f}, sojourn p99 "
+            f"{entry['sojourn_p99_ns'] / 1e3:7.2f} us, loss "
+            f"{entry['loss_rate']:6.1%} -> "
+            f"{'sustainable' if entry['sustainable'] else 'unsustainable'}")
+        return entry
+
+    # Stage 1: closed-loop capacity calibration.
+    say(f"calibrating closed-loop capacity ({protocol} / {workload})...")
+    calibration = run_experiment(protocol, workload_factory(), config=config,
+                                 duration_ns=duration_ns,
+                                 warmup_ns=warmup_ns, seed=seed,
+                                 fault_plan=fault_plan)
+    capacity = calibration.throughput
+    say(f"  capacity {capacity:,.0f} tps "
+        f"(committed {calibration.metrics.meter.committed}, abort rate "
+        f"{calibration.metrics.meter.abort_rate():.2f})")
+    if capacity <= 0.0:
+        raise RuntimeError("closed-loop calibration committed nothing; "
+                           "the scenario cannot make progress")
+
+    # Stage 2: binary search for the max sustainable rate.
+    lo, hi = 0.0, (rate_max if rate_max is not None
+                   else DEFAULT_HEADROOM * capacity)
+    probes: List[Dict[str, object]] = []
+    say(f"searching [0, {hi:,.0f}] tps, {iters} probes, "
+        f"SLO {slo!r}, max loss {max_loss:.1%}...")
+    for _ in range(iters):
+        mid = (lo + hi) / 2.0
+        entry = probe(mid)
+        probes.append(entry)
+        if entry["sustainable"]:
+            lo = mid
+        else:
+            hi = mid
+    max_sustainable = lo
+
+    # Stage 3: graceful-degradation probe at overload.
+    overload_rate = overload_factor * max(max_sustainable, capacity)
+    say(f"overload probe at {overload_rate:,.0f} tps "
+        f"({overload_factor:g}x {'capacity' if max_sustainable < capacity else 'sustainable'})...")
+    overload = probe(overload_rate)
+    overload["goodput_vs_capacity"] = (overload["goodput_tps"] / capacity
+                                       if capacity else 0.0)
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "loadtest",
+        "protocol": protocol,
+        "workload": workload,
+        "shape": shape,
+        "scale": scale,
+        "seed": seed,
+        "duration_ns": duration_ns,
+        "warmup_ns": warmup_ns,
+        "slo": slo,
+        "max_loss": max_loss,
+        "iters": iters,
+        "overload_factor": overload_factor,
+        "arrival": template.arrival,
+        "shed_policy": template.shed_policy,
+        "queue_capacity": template.queue_capacity,
+        "faults": fault_plan is not None and fault_plan.enabled,
+        "capacity_tps": capacity,
+        "capacity_committed": calibration.metrics.meter.committed,
+        "capacity_abort_rate": calibration.metrics.meter.abort_rate(),
+        "max_sustainable_tps": max_sustainable,
+        "utilization_at_slo": (max_sustainable / capacity if capacity
+                               else 0.0),
+        "probes": probes,
+        "overload": overload,
+    }
+
+
+def write_loadtest(report: Dict[str, object], path: str) -> None:
+    """Write the artifact with the sweep's byte-stability discipline:
+    sorted keys, indent 1, trailing newline, no wall-clock fields."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -36,6 +36,7 @@ FORMAT_VERSION = 1
 
 # -- lifecycle phases ----------------------------------------------------
 
+SPAN_QUEUE_WAIT = "queue_wait"
 SPAN_EXECUTE = "execute"
 SPAN_LOCK_ACQUIRE = "lock_acquire"
 SPAN_VALIDATE = "validate"
@@ -44,8 +45,11 @@ SPAN_PUBLISH = "publish"
 SPAN_RETRY = "retry_backoff"
 SPAN_RECOVERY = "recovery_resolution"
 
-#: Every phase a span dump may contain, in report order.
+#: Every phase a span dump may contain, in report order.  ``queue_wait``
+#: only appears in open-loop runs (docs/LOAD.md): time between a job's
+#: arrival at the admission queue and a worker slot picking it up.
 SPAN_PHASES = (
+    SPAN_QUEUE_WAIT,
     SPAN_EXECUTE,
     SPAN_LOCK_ACQUIRE,
     SPAN_VALIDATE,
@@ -64,9 +68,15 @@ ABORT_TIMEOUT = "timeout"
 ABORT_FAULT = "fault"
 ABORT_CRASH = "crash"
 ABORT_LIVELOCK = "livelock"
+ABORT_SHED = "shed"
+ABORT_OVERLOAD = "overload"
 ABORT_UNKNOWN = "unknown"
 
 #: The closed enum: every abort lands in exactly one of these.
+#: ``shed`` and ``overload`` only appear in open-loop runs: ``shed`` is
+#: work the admission layer refused before it ever reached a protocol
+#: slot; ``overload`` is admitted work the load layer gave up on
+#: (queue-deadline expiry, retry budget exhausted).  See docs/LOAD.md.
 ABORT_CLASSES = (
     ABORT_LL_CONFLICT,
     ABORT_LR_CONFLICT,
@@ -75,6 +85,8 @@ ABORT_CLASSES = (
     ABORT_FAULT,
     ABORT_CRASH,
     ABORT_LIVELOCK,
+    ABORT_SHED,
+    ABORT_OVERLOAD,
     ABORT_UNKNOWN,
 )
 
@@ -109,6 +121,15 @@ _REASON_CLASSES = {
     # Livelock-avoidance machinery gave up on the optimistic path.
     "footprint_miss": ABORT_LIVELOCK,
     "read_retries_exhausted": ABORT_LIVELOCK,
+    # Open-loop admission layer refused the job at the door
+    # (docs/LOAD.md): queue overflow, backpressure latch, or the
+    # degradation controller shedding low-priority traffic.
+    "queue_full_shed": ABORT_SHED,
+    "backpressure_shed": ABORT_SHED,
+    "degraded_shed": ABORT_SHED,
+    # Admitted work the load layer gave up on under overload.
+    "queue_deadline": ABORT_OVERLOAD,
+    "retry_budget_exhausted": ABORT_OVERLOAD,
 }
 
 

@@ -57,7 +57,13 @@ class ExperimentResult:
     #: (``repro run --spans``); else None.
     spans: Optional[SpanRecorder] = None
     #: SLO evaluation when ``config.slo`` declares objectives; else None.
+    #: Open-loop runs evaluate the objectives against **sojourn** time
+    #: (arrival → commit, queue wait included); closed-loop runs keep
+    #: the protocol service latency.  See docs/LOAD.md.
     slo: Optional[SLOReport] = None
+    #: Open-loop load-layer summary (``LoadStats.as_dict()``) when
+    #: ``config.load.enabled``; else None.
+    load: Optional[Dict[str, object]] = None
     #: Engine callbacks executed during the run — the numerator of the
     #: benchmark harness's events/sec (see docs/PERFORMANCE.md).
     events_processed: int = 0
@@ -193,16 +199,27 @@ def run_experiment(
             recovery_manager.spans = spans
 
     # One driver per transaction slot; slots are partitioned round-robin
-    # between the workloads of a mix (space sharing).
-    for node in cluster.nodes:
-        for slot in range(config.transactions_per_node):
-            workload = workloads[slot % len(workloads)]
-            rng = DeterministicRandom(f"{seed}:{node.node_id}:{slot}")
-            engine.process(
-                _client_driver(proto, workload, node.node_id, slot, rng,
-                               per_workload[workload.name]),
-                name=f"client-n{node.node_id}-s{slot}",
-            )
+    # between the workloads of a mix (space sharing).  With the open-loop
+    # load layer enabled the closed-loop drivers are replaced wholesale:
+    # arrivals feed bounded admission queues that the same (node, slot)
+    # worker grid drains (docs/LOAD.md).
+    load_driver = None
+    if config.load.enabled:
+        from repro.load.driver import OpenLoopDriver
+
+        load_driver = OpenLoopDriver(proto, workloads, per_workload,
+                                     seed=seed)
+        load_driver.start()
+    else:
+        for node in cluster.nodes:
+            for slot in range(config.transactions_per_node):
+                workload = workloads[slot % len(workloads)]
+                rng = DeterministicRandom(f"{seed}:{node.node_id}:{slot}")
+                engine.process(
+                    _client_driver(proto, workload, node.node_id, slot, rng,
+                                   per_workload[workload.name]),
+                    name=f"client-n{node.node_id}-s{slot}",
+                )
 
     if warmup_ns > 0:
         engine.run(until=warmup_ns)
@@ -212,6 +229,10 @@ def run_experiment(
         if spans is not None:
             # Warm-up spans are discarded along with the warm-up metrics.
             spans.reset()
+        if load_driver is not None:
+            # Queue contents / latch / controller mode persist (they are
+            # system state); only the transient-era numbers are dropped.
+            load_driver.reset_stats()
     sampler = None
     if sample_interval_ns is not None:
         # Installed after the warm-up so the series starts at the same
@@ -226,14 +247,24 @@ def run_experiment(
         workload_metrics.elapsed_ns = duration_ns
     workload_name = (workloads[0].name if len(workloads) == 1
                      else "+".join(w.name for w in workloads))
-    slo_report = (config.slo.evaluate(metrics.latency)
-                  if config.slo.enabled else None)
+    load_summary = None
+    if load_driver is not None:
+        load_driver.finalize()
+        load_summary = load_driver.stats.as_dict()
+    slo_report = None
+    if config.slo.enabled:
+        # Open loop: the user-visible latency is sojourn (arrival →
+        # commit, queue wait included), so the SLO judges that; closed
+        # loop keeps the protocol service latency.
+        slo_target = (load_driver.stats.sojourn if load_driver is not None
+                      else metrics.latency)
+        slo_report = config.slo.evaluate(slo_target)
     return ExperimentResult(protocol=protocol, workload=workload_name,
                             config=config, metrics=metrics,
                             per_workload=per_workload,
                             samples=sampler.samples if sampler else None,
                             message_stats=message_stats,
-                            spans=spans, slo=slo_report,
+                            spans=spans, slo=slo_report, load=load_summary,
                             fault_summary=(injector.summary()
                                            if injector is not None else None),
                             recovery_summary=(recovery_manager.summary()

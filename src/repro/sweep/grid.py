@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import CLUSTER_SHAPES, ClusterConfig, make_cluster_config
 from repro.obs.artifacts import sanitize_tag
@@ -99,25 +99,48 @@ class GridCell:
     duration_ns: float = 200_000.0
     slo: str = ""
     overrides: Tuple[Override, ...] = ()
+    #: Open-loop arrival rate (txn/s) when the sweep has a ``rates``
+    #: axis; ``None`` keeps the cell closed-loop.
+    rate: Optional[float] = None
 
     @property
-    def key(self) -> Tuple[str, str, int]:
-        """The grid sort key every merged artifact orders by."""
-        return (self.scenario, self.protocol, self.seed)
+    def key(self) -> Tuple:
+        """The grid sort key every merged artifact orders by.
+
+        Closed-loop cells keep the historical 3-tuple so existing
+        artifacts and baselines stay byte-identical; a ``rates`` axis
+        extends the key (a grid mixes rated and unrated cells never —
+        the spec either has the axis or it does not).
+        """
+        base = (self.scenario, self.protocol, self.seed)
+        return base if self.rate is None else base + (self.rate,)
 
     @property
     def cell_id(self) -> str:
         """Path-safe identity, used to tag per-cell artifact files."""
-        return sanitize_tag(f"{self.scenario}.{self.protocol}.s{self.seed}")
+        tag = f"{self.scenario}.{self.protocol}.s{self.seed}"
+        if self.rate is not None:
+            # Plain digits: %g's exponent sign would be mangled by
+            # sanitize_tag ("1e+06" -> "1e-06").
+            tag += f".r{self.rate:.0f}"
+        return sanitize_tag(tag)
 
     def config(self) -> ClusterConfig:
-        """The cell's cluster config: shape + SLO + overrides."""
+        """The cell's cluster config: shape + SLO + overrides + rate.
+
+        The rate axis is applied *after* the overrides, so ``load.*``
+        overrides (shed policy, queue capacity, ...) compose with it.
+        """
         config = make_cluster_config(self.shape)
         if self.slo:
             from repro.obs.slo import SLOParams
 
             config = config.replace(slo=SLOParams.parse(self.slo))
-        return apply_overrides(config, self.overrides)
+        config = apply_overrides(config, self.overrides)
+        if self.rate is not None:
+            config = config.replace(load=dataclasses.replace(
+                config.load, enabled=True, rate_tps=self.rate))
+        return config
 
     def workloads(self):
         """Fresh workload instance(s) for this cell (never cached — the
@@ -162,6 +185,10 @@ class SweepSpec:
     duration_ns: float = 200_000.0
     slo: str = ""
     overrides: Tuple[Override, ...] = ()
+    #: Optional open-loop arrival-rate axis (txn/s).  Empty keeps every
+    #: cell closed-loop; non-empty crosses the grid with the rates and
+    #: runs each cell under the load layer (docs/LOAD.md).
+    rates: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         from repro.core import PROTOCOLS
@@ -181,22 +208,30 @@ class SweepSpec:
             raise ValueError(f"duration must be positive: {self.duration_ns}")
         if len(set(self.seeds)) != len(self.seeds):
             raise ValueError(f"duplicate seeds: {list(self.seeds)}")
+        for rate in self.rates:
+            if rate <= 0.0:
+                raise ValueError(f"arrival rates must be positive: "
+                                 f"{list(self.rates)}")
+        if len(set(self.rates)) != len(self.rates):
+            raise ValueError(f"duplicate rates: {list(self.rates)}")
 
     def expand(self) -> List[GridCell]:
         """The full grid, sorted by grid key — never insertion order."""
+        rates: Tuple[Optional[float], ...] = self.rates or (None,)
         cells = [
             GridCell(scenario=scenario, protocol=protocol, seed=seed,
                      shape=self.shape, scale=self.scale,
                      duration_ns=self.duration_ns, slo=self.slo,
-                     overrides=self.overrides)
+                     overrides=self.overrides, rate=rate)
             for scenario in self.scenarios
             for protocol in self.protocols
             for seed in self.seeds
+            for rate in rates
         ]
         return sorted(cells, key=lambda cell: cell.key)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "scenarios": list(self.scenarios),
             "protocols": list(self.protocols),
             "seeds": list(self.seeds),
@@ -206,6 +241,11 @@ class SweepSpec:
             "slo": self.slo,
             "overrides": [f"{key}={value}" for key, value in self.overrides],
         }
+        # Only emitted when the axis is used: pre-axis artifacts (and
+        # trajectory baselines built from them) stay byte-identical.
+        if self.rates:
+            data["rates"] = list(self.rates)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
@@ -217,6 +257,8 @@ class SweepSpec:
         for axis in ("scenarios", "protocols", "seeds"):
             if axis in kwargs:
                 kwargs[axis] = tuple(kwargs[axis])
+        if "rates" in kwargs:
+            kwargs["rates"] = tuple(float(rate) for rate in kwargs["rates"])
         if "overrides" in kwargs:
             kwargs["overrides"] = tuple(
                 parse_override(item) for item in kwargs["overrides"])

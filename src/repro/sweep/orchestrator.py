@@ -202,6 +202,10 @@ def _aggregate(rows: List[Dict[str, object]]) -> Dict[str, Dict]:
         if "error" in row:
             continue
         key = f"{row['scenario']}/{row['protocol']}"
+        if "rate" in row:
+            # Rate-axis cells aggregate per rate — merging latency
+            # histograms across offered loads would be meaningless.
+            key += f"/r{row['rate']:g}"
         group = groups.get(key)
         if group is None:
             group = groups[key] = {
@@ -215,6 +219,8 @@ def _aggregate(rows: List[Dict[str, object]]) -> Dict[str, Dict]:
                 "_spans": None,
                 "_tps": [],
             }
+            if "rate" in row:
+                group["rate"] = row["rate"]
         group["seeds"].append(row["seed"])
         group["committed"] += row["committed"]
         group["aborted"] += row["aborted"]

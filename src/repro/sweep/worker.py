@@ -70,6 +70,12 @@ def run_cell(cell, spans: bool = False,
         "latency_hist": result.metrics.latency.as_dict(),
         "counters": result.metrics.counters.as_dict(),
     }
+    # Rate-axis cells carry their open-loop coordinates and the load
+    # summary; closed-loop cells keep the historical payload shape.
+    if cell.rate is not None:
+        payload["rate"] = cell.rate
+    if result.load is not None:
+        payload["load"] = result.load
     if recorder is not None:
         payload["spans"] = recorder.as_dict()
         if spans_out:
@@ -85,7 +91,7 @@ def run_cell(cell, spans: bool = False,
 def error_payload(cell, message: str) -> Dict[str, object]:
     """The result dict for a cell that failed: grid coordinates plus the
     error, so the merged report still covers the full grid."""
-    return {
+    payload = {
         "schema": CELL_SCHEMA,
         "scenario": cell.scenario,
         "protocol": cell.protocol,
@@ -96,6 +102,9 @@ def error_payload(cell, message: str) -> Dict[str, object]:
         "overrides": [f"{key}={value}" for key, value in cell.overrides],
         "error": message,
     }
+    if cell.rate is not None:
+        payload["rate"] = cell.rate
+    return payload
 
 
 def worker_main(tasks, results, spans: bool = False,

@@ -1,0 +1,1 @@
+"""Tests for the open-loop traffic layer (repro.load)."""

@@ -1,0 +1,132 @@
+"""Admission queues: shedding policies, hysteresis backpressure, waiters."""
+
+from repro.config import LoadParams
+from repro.load.admission import AdmissionQueue, Job
+from repro.sim.engine import Engine
+
+
+def params(**kwargs):
+    defaults = dict(enabled=True, queue_capacity=2,
+                    backpressure_high=2.0, backpressure_low=1.0)
+    defaults.update(kwargs)
+    return LoadParams(**defaults)
+
+
+def job(uid, deadline=None):
+    return Job(uid=uid, seq=uid, node=0, spec=[], workload="w",
+               arrival_ns=float(uid), sheddable=True, deadline_ns=deadline)
+
+
+class TestFifo:
+    def test_drop_tail_rejects_newcomer(self):
+        queue = AdmissionQueue(params(shed_policy="fifo"))
+        assert queue.offer(job(1)) is None
+        assert queue.offer(job(2)) is None
+        newcomer = job(3)
+        assert queue.offer(newcomer) is newcomer
+        assert queue.depth == 2
+
+    def test_serves_oldest_first(self):
+        queue = AdmissionQueue(params(shed_policy="fifo"))
+        queue.offer(job(1))
+        queue.offer(job(2))
+        assert queue.pop().uid == 1
+        assert queue.pop().uid == 2
+        assert queue.pop() is None
+
+
+class TestLifo:
+    def test_evicts_oldest_waiter(self):
+        queue = AdmissionQueue(params(shed_policy="lifo"))
+        queue.offer(job(1))
+        queue.offer(job(2))
+        victim = queue.offer(job(3))
+        assert victim.uid == 1
+        assert queue.depth == 2
+
+    def test_serves_newest_first(self):
+        queue = AdmissionQueue(params(shed_policy="lifo"))
+        queue.offer(job(1))
+        queue.offer(job(2))
+        assert queue.pop().uid == 2
+        assert queue.pop().uid == 1
+
+
+class TestDeadline:
+    def test_evicts_least_urgent_waiter(self):
+        queue = AdmissionQueue(params(shed_policy="deadline"))
+        queue.offer(job(1, deadline=50.0))
+        queue.offer(job(2, deadline=10.0))
+        victim = queue.offer(job(3, deadline=30.0))
+        assert victim.uid == 1  # deadline 50 is least urgent
+
+    def test_rejects_least_urgent_newcomer(self):
+        queue = AdmissionQueue(params(shed_policy="deadline"))
+        queue.offer(job(1, deadline=50.0))
+        queue.offer(job(2, deadline=10.0))
+        newcomer = job(3, deadline=100.0)
+        assert queue.offer(newcomer) is newcomer
+
+    def test_serves_earliest_deadline_first(self):
+        queue = AdmissionQueue(params(shed_policy="deadline",
+                                      queue_capacity=3))
+        queue.offer(job(1, deadline=50.0))
+        queue.offer(job(2, deadline=10.0))
+        queue.offer(job(3, deadline=30.0))
+        assert [queue.pop().uid for _ in range(3)] == [2, 3, 1]
+
+    def test_no_deadline_means_least_urgent(self):
+        queue = AdmissionQueue(params(shed_policy="deadline"))
+        queue.offer(job(1, deadline=None))
+        queue.offer(job(2, deadline=10.0))
+        victim = queue.offer(job(3, deadline=30.0))
+        assert victim.uid == 1
+
+
+class TestBackpressure:
+    def test_hysteresis_latch(self):
+        # capacity 4, high at 3 (0.75), clear at 2 (0.5).
+        queue = AdmissionQueue(params(queue_capacity=4,
+                                      backpressure_high=0.75,
+                                      backpressure_low=0.5))
+        for uid in (1, 2):
+            queue.offer(job(uid))
+        assert not queue.backpressure
+        queue.offer(job(3))
+        assert queue.backpressure
+        assert queue.backpressure_engagements == 1
+        queue.pop()
+        assert not queue.backpressure  # depth 2 == low -> cleared
+        # ... and re-engages on the next crossing.
+        queue.offer(job(4))
+        assert queue.backpressure
+        assert queue.backpressure_engagements == 2
+
+    def test_max_depth_tracked(self):
+        queue = AdmissionQueue(params(queue_capacity=8))
+        for uid in range(5):
+            queue.offer(job(uid))
+        queue.pop()
+        assert queue.max_depth == 5
+
+
+class TestWaiters:
+    def test_admit_wakes_oldest_waiter(self):
+        engine = Engine()
+        queue = AdmissionQueue(params())
+        first = queue.wait_event(engine)
+        second = queue.wait_event(engine)
+        queue.offer(job(1))
+        assert first.triggered
+        assert not second.triggered
+        queue.offer(job(2))
+        assert second.triggered
+
+    def test_shed_offer_wakes_nobody(self):
+        engine = Engine()
+        queue = AdmissionQueue(params(shed_policy="fifo"))
+        queue.offer(job(1))
+        queue.offer(job(2))
+        waiter = queue.wait_event(engine)
+        queue.offer(job(3))  # drop-tail: nothing admitted
+        assert not waiter.triggered

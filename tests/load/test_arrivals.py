@@ -1,0 +1,110 @@
+"""Arrival processes: determinism, long-run rates, modulation."""
+
+import pytest
+
+from repro.config import LoadParams
+from repro.load.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.sim.random import DeterministicRandom
+
+
+def arrival_times(process, horizon_ns, start=0.0):
+    """Absolute arrival times up to ``horizon_ns``."""
+    t, times = start, []
+    while True:
+        t += process.next_gap_ns(t)
+        if t >= horizon_ns:
+            return times
+        times.append(t)
+
+
+def processes(seed):
+    rng = lambda tag: DeterministicRandom(f"{seed}:{tag}")  # noqa: E731
+    return [
+        PoissonArrivals(rng("p"), 0.01),
+        BurstyArrivals(rng("b"), 0.01, on_ns=50_000.0, off_ns=50_000.0,
+                       burst_factor=1.8),
+        DiurnalArrivals(rng("d"), 0.01, period_ns=1_000_000.0,
+                        min_fraction=0.2),
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        for a, b in zip(processes(7), processes(7)):
+            assert arrival_times(a, 200_000.0) == arrival_times(b, 200_000.0)
+
+    def test_different_seed_different_stream(self):
+        for a, b in zip(processes(7), processes(8)):
+            assert arrival_times(a, 200_000.0) != arrival_times(b, 200_000.0)
+
+    def test_gaps_positive(self):
+        for process in processes(3):
+            t = 0.0
+            for _ in range(500):
+                gap = process.next_gap_ns(t)
+                assert gap > 0.0
+                t += gap
+
+
+class TestLongRunRate:
+    """Every process keeps the configured long-run mean rate."""
+
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_mean_rate(self, index):
+        process = processes(11)[index]
+        horizon = 3_000_000.0  # 3 diurnal periods / 30 burst cycles
+        count = len(arrival_times(process, horizon))
+        expected = 0.01 * horizon
+        assert abs(count - expected) / expected < 0.05
+
+    def test_bursty_on_windows_are_denser(self):
+        process = processes(11)[1]
+        on = off = 0
+        for t in arrival_times(process, 2_000_000.0):
+            if t % 100_000.0 < 50_000.0:
+                on += 1
+            else:
+                off += 1
+        # ON rate is 1.8x the mean, OFF is derived (0.2x): strongly skewed.
+        assert on > 3 * off
+
+    def test_diurnal_peak_is_denser_than_trough(self):
+        process = processes(11)[2]
+        # Intensity peaks at T/2 and troughs at 0/T.
+        peak = trough = 0
+        for t in arrival_times(process, 4_000_000.0):
+            pos = (t % 1_000_000.0) / 1_000_000.0
+            if 0.35 < pos < 0.65:
+                peak += 1
+            elif pos < 0.15 or pos > 0.85:
+                trough += 1
+        assert peak > 2 * trough
+
+    def test_diurnal_intensity_bounds(self):
+        process = processes(2)[2]
+        for t in (0.0, 250_000.0, 500_000.0, 999_999.0):
+            assert 0.0 < process.intensity(t) <= process.peak + 1e-12
+
+
+class TestMakeArrivals:
+    def test_dispatch(self):
+        rng = DeterministicRandom("x")
+        cases = [("poisson", PoissonArrivals), ("bursty", BurstyArrivals),
+                 ("diurnal", DiurnalArrivals)]
+        for name, cls in cases:
+            params = LoadParams(enabled=True, arrival=name)
+            assert isinstance(make_arrivals(params, rng, nodes=4), cls)
+
+    def test_rate_split_across_nodes(self):
+        params = LoadParams(enabled=True, rate_tps=4_000_000.0)
+        process = make_arrivals(params, DeterministicRandom("x"), nodes=4)
+        assert process.rate == pytest.approx(0.001)  # 1M tps per node
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(DeterministicRandom("x"), 0.0)

@@ -1,0 +1,107 @@
+"""Retry budgets and the overload controller: pure state machines."""
+
+import pytest
+
+from repro.config import LoadParams
+from repro.load.admission import Job
+from repro.load.budget import RetryBudget
+from repro.load.controller import (
+    MODE_DEGRADED,
+    MODE_NORMAL,
+    OverloadController,
+)
+
+
+class TestRetryBudget:
+    def test_burst_then_dry(self):
+        budget = RetryBudget(refill_per_ns=0.0001, burst=2.0)
+        assert budget.allow(0.0, attempts=1)
+        assert budget.allow(0.0, attempts=1)
+        assert not budget.allow(0.0, attempts=1)  # bucket dry
+        assert budget.granted == 2
+        assert budget.denied == 1
+
+    def test_refill_over_sim_time(self):
+        budget = RetryBudget(refill_per_ns=0.001, burst=1.0)
+        assert budget.allow(0.0, attempts=1)
+        assert not budget.allow(0.0, attempts=1)
+        # 1000 ns at 0.001 tokens/ns refills one token.
+        assert budget.allow(1000.0, attempts=1)
+
+    def test_refill_caps_at_burst(self):
+        budget = RetryBudget(refill_per_ns=1.0, burst=2.0)
+        assert budget.allow(1_000_000.0, attempts=1)
+        assert budget.allow(1_000_000.0, attempts=1)
+        assert not budget.allow(1_000_000.0, attempts=1)
+
+    def test_max_attempts_cap(self):
+        budget = RetryBudget(refill_per_ns=0.0, burst=16.0, max_attempts=3)
+        assert budget.allow(0.0, attempts=1)  # retry would be attempt 2
+        assert not budget.allow(0.0, attempts=2)  # attempt 3 hits the cap
+
+    def test_zero_refill_never_limits(self):
+        budget = RetryBudget(refill_per_ns=0.0, burst=1.0)
+        for _ in range(100):
+            assert budget.allow(0.0, attempts=5)
+
+    def test_reset_keeps_bucket_level(self):
+        budget = RetryBudget(refill_per_ns=0.0001, burst=1.0)
+        assert budget.allow(0.0, attempts=1)
+        budget.reset_stats()
+        assert budget.granted == 0 and budget.denied == 0
+        assert not budget.allow(0.0, attempts=1)  # still dry
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(refill_per_ns=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            RetryBudget(refill_per_ns=0.0, burst=0.5)
+
+
+def _job(sheddable):
+    return Job(uid=1, seq=0, node=0, spec=[], workload="w", arrival_ns=0.0,
+               sheddable=sheddable, deadline_ns=None)
+
+
+class TestOverloadController:
+    def controller(self):
+        # capacity 8: degrade at depth 4, recover at depth 2.
+        return OverloadController(LoadParams(
+            enabled=True, queue_capacity=8,
+            degrade_high=0.5, degrade_low=0.25))
+
+    def test_hysteresis_transitions(self):
+        ctl = self.controller()
+        ctl.observe(0.0, 3)
+        assert ctl.mode == MODE_NORMAL
+        ctl.observe(10.0, 4)
+        assert ctl.mode == MODE_DEGRADED
+        ctl.observe(20.0, 3)  # above low: still degraded
+        assert ctl.mode == MODE_DEGRADED
+        ctl.observe(30.0, 2)
+        assert ctl.mode == MODE_NORMAL
+        assert ctl.transitions == 1
+        assert ctl.degraded_ns == pytest.approx(20.0)
+
+    def test_should_shed_only_degraded_and_sheddable(self):
+        ctl = self.controller()
+        assert not ctl.should_shed(_job(sheddable=True))
+        ctl.observe(0.0, 8)
+        assert ctl.should_shed(_job(sheddable=True))
+        assert not ctl.should_shed(_job(sheddable=False))
+
+    def test_finalize_closes_open_interval(self):
+        ctl = self.controller()
+        ctl.observe(0.0, 8)
+        ctl.finalize(50.0)
+        assert ctl.degraded_ns == pytest.approx(50.0)
+        assert ctl.mode == MODE_DEGRADED  # mode untouched
+
+    def test_reset_keeps_mode_drops_stats(self):
+        ctl = self.controller()
+        ctl.observe(0.0, 8)
+        ctl.reset_stats(100.0)
+        assert ctl.mode == MODE_DEGRADED
+        assert ctl.transitions == 0
+        ctl.observe(150.0, 2)  # degraded interval restarts at the reset
+        assert ctl.degraded_ns == pytest.approx(50.0)

@@ -1,0 +1,86 @@
+"""The loadtest search: stages, report schema, artifact byte-stability."""
+
+import pytest
+
+from repro.load import run_loadtest, write_loadtest
+from repro.analysis.load import format_load_summary, format_loadtest
+from repro.workloads import make_workload
+
+
+def tiny_loadtest(**kwargs):
+    settings = dict(
+        workload_factory=lambda: make_workload("HT-wB", scale=0.05),
+        duration_ns=60_000.0, warmup_ns=20_000.0, iters=2, seed=42)
+    settings.update(kwargs)
+    return run_loadtest("hades", "HT-wB", **settings)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return tiny_loadtest()
+
+
+class TestReport:
+    def test_stages_present(self, report):
+        assert report["kind"] == "loadtest"
+        assert report["capacity_tps"] > 0
+        assert len(report["probes"]) == report["iters"] == 2
+        assert 0 <= report["max_sustainable_tps"] \
+            <= 1.25 * report["capacity_tps"]
+        assert report["utilization_at_slo"] <= 1.25
+
+    def test_overload_probe_reports_degradation(self, report):
+        overload = report["overload"]
+        assert overload["rate_tps"] == pytest.approx(
+            2.0 * max(report["max_sustainable_tps"], report["capacity_tps"]))
+        assert overload["goodput_vs_capacity"] > 0
+        assert overload["shed_rate"] + overload["timeout_rate"] > 0
+        assert overload["max_queue_depth"] > 0
+
+    def test_probe_entries_carry_slo_verdicts(self, report):
+        for entry in report["probes"] + [report["overload"]]:
+            assert isinstance(entry["sustainable"], bool)
+            assert entry["slo"]["objectives"]
+            assert entry["sojourn_p99_ns"] >= 0
+
+    def test_formatter_renders(self, report):
+        text = format_loadtest(report)
+        assert "probe ladder" in text
+        assert "max sustainable" in text
+
+
+class TestArtifact:
+    def test_same_inputs_byte_identical(self, tmp_path, report):
+        again = tiny_loadtest()
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_loadtest(report, str(first))
+        write_loadtest(again, str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_trailing_newline_and_sorted_keys(self, tmp_path, report):
+        path = tmp_path / "lt.json"
+        write_loadtest(report, str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        import json
+
+        assert json.loads(text) == report
+
+
+class TestLoadSummaryFormatter:
+    def test_renders_overload_run(self, report):
+        # Rebuild a load dict from the overload probe's source run shape:
+        # format_load_summary consumes LoadStats.as_dict, exercised via
+        # the openloop tests; here just check it rejects nothing basic.
+        from repro.config import LoadParams, make_cluster_config
+        from repro.runner import run_experiment
+
+        config = make_cluster_config("default").replace(
+            load=LoadParams(enabled=True, rate_tps=8_000_000.0))
+        result = run_experiment(
+            "hades", make_workload("HT-wB", scale=0.05), config=config,
+            duration_ns=60_000.0, seed=42)
+        text = format_load_summary(result.load)
+        assert "open-loop load" in text
+        assert "sojourn p99" in text

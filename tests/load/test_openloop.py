@@ -1,0 +1,126 @@
+"""Open-loop runs end to end: wiring, determinism, warmup, spans, SLO."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import LoadParams, make_cluster_config
+from repro.obs.slo import SLOParams
+from repro.obs.spans import SpanRecorder, validate_spans
+from repro.runner import run_experiment
+from repro.workloads import make_workload
+
+
+def open_loop_run(rate_tps=2_000_000.0, duration_ns=100_000.0,
+                  warmup_ns=0.0, seed=42, spans=None, load=None, slo=None):
+    config = make_cluster_config("default")
+    params = load if load is not None else LoadParams(enabled=True,
+                                                     rate_tps=rate_tps)
+    config = config.replace(load=params)
+    if slo:
+        config = config.replace(slo=SLOParams.parse(slo))
+    return run_experiment("hades", make_workload("HT-wB", scale=0.05),
+                          config=config, duration_ns=duration_ns,
+                          warmup_ns=warmup_ns, seed=seed, spans=spans)
+
+
+class TestWiring:
+    def test_load_summary_populated(self):
+        result = open_loop_run()
+        load = result.load
+        assert load is not None
+        assert load["offered"] > 0
+        assert load["admitted"] <= load["offered"]
+        assert load["completed"] > 0
+        assert set(load["max_queue_depth"]) == {
+            str(node) for node in range(make_cluster_config("default").nodes)}
+        # Conservation: every offered job was admitted or shed.
+        assert load["admitted"] + load["shed_total"] == load["offered"]
+
+    def test_closed_loop_has_no_load_summary(self):
+        result = run_experiment("hades", make_workload("HT-wB", scale=0.05),
+                                duration_ns=100_000.0, seed=42)
+        assert result.load is None
+
+    def test_goodput_counts_only_committed(self):
+        result = open_loop_run()
+        assert result.metrics.meter.committed == result.load["completed"]
+
+    @pytest.mark.parametrize("arrival", ["poisson", "bursty", "diurnal"])
+    def test_every_arrival_process_runs(self, arrival):
+        load = LoadParams(enabled=True, rate_tps=2_000_000.0,
+                          arrival=arrival)
+        result = open_loop_run(load=load)
+        assert result.load["completed"] > 0
+
+    @pytest.mark.parametrize("policy", ["fifo", "lifo", "deadline"])
+    def test_every_shed_policy_runs(self, policy):
+        load = LoadParams(enabled=True, rate_tps=6_000_000.0,
+                          shed_policy=policy)
+        result = open_loop_run(load=load)
+        assert result.load["completed"] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_load_summary(self):
+        first = open_loop_run(rate_tps=4_000_000.0)
+        second = open_loop_run(rate_tps=4_000_000.0)
+        assert first.load == second.load
+        assert first.metrics.summary() == second.metrics.summary()
+
+    def test_different_seed_differs(self):
+        first = open_loop_run(seed=42)
+        second = open_loop_run(seed=43)
+        assert first.load != second.load
+
+
+class TestWarmup:
+    def test_warmup_trims_offered_window(self):
+        full = open_loop_run(duration_ns=100_000.0)
+        trimmed = open_loop_run(duration_ns=50_000.0, warmup_ns=50_000.0)
+        # Same total simulated time; the trimmed run only counts the
+        # measured half.
+        assert 0 < trimmed.load["offered"] < full.load["offered"]
+
+    def test_warmup_keeps_system_state(self):
+        # Jobs admitted during warmup may complete in the measured
+        # window: completed can legitimately exceed admitted.
+        result = open_loop_run(duration_ns=50_000.0, warmup_ns=50_000.0)
+        assert result.load["completed"] > 0
+
+
+class TestSpansAndSlo:
+    def test_sheds_enter_span_taxonomy(self):
+        recorder = SpanRecorder()
+        load = LoadParams(enabled=True, rate_tps=10_000_000.0,
+                          queue_capacity=8)
+        result = open_loop_run(load=load, spans=recorder)
+        assert result.load["shed_total"] > 0
+        validate_spans(recorder.as_dict())
+        assert recorder.abort_class_totals().get("shed", 0) \
+            == result.load["shed_total"]
+
+    def test_slo_evaluates_sojourn(self):
+        result = open_loop_run(rate_tps=500_000.0, slo="p99<1000us")
+        assert result.slo is not None
+        assert result.slo.passed
+        # The SLO consumed the sojourn histogram, not service latency.
+        assert result.slo.samples == result.load["completed"]
+
+
+class TestConfigParse:
+    def test_cli_spec_round_trip(self):
+        params = LoadParams.parse(
+            "rate=2e6,arrival=bursty,policy=deadline,capacity=128")
+        assert params.enabled
+        assert params.rate_tps == 2_000_000.0
+        assert params.arrival == "bursty"
+        assert params.shed_policy == "deadline"
+        assert params.queue_capacity == 128
+
+    def test_off_spec_disables(self):
+        assert not LoadParams.parse("off").enabled
+
+    def test_disabled_by_default(self):
+        assert not make_cluster_config("default").load.enabled
+        assert not dataclasses.replace(LoadParams()).enabled

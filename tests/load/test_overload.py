@@ -1,0 +1,88 @@
+"""Pinned-seed sustained-overload regression (the graceful-degradation
+contract): at 2x measured closed-loop capacity the system must keep
+queues bounded, shed nonzero traffic, and keep committing — no
+metastable livelock — with and without a NIC-stall fault plan."""
+
+import pytest
+
+from repro.config import FaultPlan, LoadParams, make_cluster_config
+from repro.runner import run_experiment
+from repro.workloads import make_workload
+
+SEED = 42
+DURATION_NS = 120_000.0
+WARMUP_NS = 30_000.0
+QUEUE_CAPACITY = 64
+
+
+def _run(config, fault_plan=None):
+    return run_experiment("hades", make_workload("HT-wB", scale=0.05),
+                          config=config, duration_ns=DURATION_NS,
+                          warmup_ns=WARMUP_NS, seed=SEED,
+                          fault_plan=fault_plan)
+
+
+@pytest.fixture(scope="module")
+def capacity_tps():
+    """Measured closed-loop capacity of the pinned scenario."""
+    result = _run(make_cluster_config("default"))
+    assert result.throughput > 0
+    return result.throughput
+
+
+def overload_config(capacity_tps):
+    return make_cluster_config("default").replace(load=LoadParams(
+        enabled=True, rate_tps=2.0 * capacity_tps,
+        queue_capacity=QUEUE_CAPACITY))
+
+
+class TestSustainedOverload:
+    def test_graceful_degradation_at_2x_capacity(self, capacity_tps):
+        result = _run(overload_config(capacity_tps))
+        load = result.load
+        # No livelock: the system keeps committing under 2x overload...
+        assert load["completed"] > 0
+        # ... at a goodput close to its measured capacity.
+        assert result.throughput >= 0.8 * capacity_tps
+        # The excess offered load is shed, not queued.
+        assert load["shed_total"] > 0
+        assert load["loss_rate"] > 0.2
+        for depth in load["max_queue_depth"].values():
+            assert depth <= QUEUE_CAPACITY
+        # Degradation engaged (that's where the sheds came from).
+        assert load["degraded_transitions"] > 0
+
+    def test_overload_run_is_deterministic(self, capacity_tps):
+        config = overload_config(capacity_tps)
+        first = _run(config)
+        second = _run(config)
+        assert first.load == second.load
+        assert first.metrics.summary() == second.metrics.summary()
+
+    def test_overload_survives_nic_stall(self, capacity_tps):
+        # A NIC stall on node 1 inside the measured window on top of 2x
+        # overload: queues must stay bounded and commits must continue.
+        plan = FaultPlan.parse("stall=1:60000:90000", seed=7)
+        result = _run(overload_config(capacity_tps), fault_plan=plan)
+        load = result.load
+        assert load["completed"] > 0
+        assert load["shed_total"] > 0
+        for depth in load["max_queue_depth"].values():
+            assert depth <= QUEUE_CAPACITY
+
+    def test_nic_stall_run_is_deterministic(self, capacity_tps):
+        config = overload_config(capacity_tps)
+        runs = [_run(config, fault_plan=FaultPlan.parse(
+            "stall=1:60000:90000", seed=7)) for _ in range(2)]
+        assert runs[0].load == runs[1].load
+
+    def test_retry_budget_bounds_attempts(self, capacity_tps):
+        # With a tiny budget the retry storm is cut off: abandons are
+        # reported and the run still makes progress.
+        config = make_cluster_config("default").replace(load=LoadParams(
+            enabled=True, rate_tps=2.0 * capacity_tps,
+            queue_capacity=QUEUE_CAPACITY, retry_budget_fraction=0.001,
+            retry_burst=1.0, max_attempts=2))
+        result = _run(config)
+        assert result.load["completed"] > 0
+        assert result.load["retry_denied"] > 0

@@ -199,3 +199,34 @@ class TestEndToEnd:
         assert "abort taxonomy:" in text
         assert "execute" in text
         assert "p999" in text
+
+
+class TestLoadTaxonomy:
+    """The open-loop load layer's phase and abort-class extensions."""
+
+    def test_queue_wait_is_a_phase(self):
+        from repro.obs.spans import SPAN_QUEUE_WAIT
+
+        assert SPAN_QUEUE_WAIT in SPAN_PHASES
+
+    def test_shed_and_overload_reasons_classify(self):
+        assert classify_abort("queue_full_shed") == "shed"
+        assert classify_abort("backpressure_shed") == "shed"
+        assert classify_abort("degraded_shed") == "shed"
+        assert classify_abort("queue_deadline") == "overload"
+        assert classify_abort("retry_budget_exhausted") == "overload"
+        assert {"shed", "overload"} <= set(ABORT_CLASSES)
+
+    def test_every_retry_cause_records_backoff_phase(self):
+        # Satellite contract: any aborted-then-retried attempt funnels
+        # its backoff wait into the retry_backoff phase.
+        rec, result = span_run(duration_ns=200_000.0)
+        aborted = rec.aborted
+        assert aborted > 0
+        backoffs = rec.phase_hists["retry_backoff"].count
+        assert backoffs > 0
+        # Every backoff is either a post-abort retry or a pessimistic
+        # directory-lock retry (hades); nothing else draws one.
+        lock_retries = result.metrics.counters.get(
+            "pessimistic_lock_retries")
+        assert backoffs <= aborted + lock_retries

@@ -119,3 +119,61 @@ class TestSweepSpec:
     def test_unknown_spec_keys_rejected(self):
         with pytest.raises(ValueError, match="unknown sweep spec keys"):
             SweepSpec.from_dict({"scenarios": ["a"], "worker_count": 4})
+
+
+class TestRateAxis:
+    """The open-loop ``rates`` axis (docs/LOAD.md)."""
+
+    def test_expand_crosses_rates(self):
+        spec = SweepSpec(scenarios=("HT-wA",), protocols=("hades",),
+                         seeds=(1,), rates=(1e6, 2e6))
+        cells = spec.expand()
+        assert len(cells) == 2
+        assert [cell.rate for cell in cells] == [1e6, 2e6]
+        assert cells[0].key == ("HT-wA", "hades", 1, 1e6)
+
+    def test_closed_loop_key_unchanged(self):
+        # No rates axis: the historical 3-tuple key and cell id survive,
+        # so existing artifacts and baselines stay comparable.
+        cell = GridCell("HT-wA", "hades", 1)
+        assert cell.key == ("HT-wA", "hades", 1)
+        assert cell.cell_id == "HT-wA.hades.s1"
+
+    def test_rate_cell_id_is_unique(self):
+        a = GridCell("HT-wA", "hades", 1, rate=1e6)
+        b = GridCell("HT-wA", "hades", 1, rate=2e6)
+        assert a.cell_id != b.cell_id
+        assert a.cell_id.endswith(".r1000000")  # plain digits, not %g
+
+    def test_config_enables_load_at_rate(self):
+        cell = GridCell("HT-wA", "hades", 1, rate=3e6)
+        config = cell.config()
+        assert config.load.enabled
+        assert config.load.rate_tps == 3e6
+        assert not GridCell("HT-wA", "hades", 1).config().load.enabled
+
+    def test_rate_composes_with_load_overrides(self):
+        cell = GridCell("HT-wA", "hades", 1, rate=3e6,
+                        overrides=(("load.shed_policy", "lifo"),
+                                   ("load.queue_capacity", "16")))
+        config = cell.config()
+        assert config.load.shed_policy == "lifo"
+        assert config.load.queue_capacity == 16
+        assert config.load.rate_tps == 3e6
+
+    def test_rates_round_trip_through_spec_dict(self):
+        spec = SweepSpec(scenarios=("HT-wA",), protocols=("hades",),
+                         rates=(1e6, 2e6))
+        data = spec.as_dict()
+        assert data["rates"] == [1e6, 2e6]
+        assert SweepSpec.from_dict(data) == spec
+
+    def test_rates_key_omitted_when_unused(self):
+        # Pre-axis artifacts embed as_dict(); no new key may appear.
+        assert "rates" not in SweepSpec(scenarios=("a",)).as_dict()
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SweepSpec(scenarios=("a",), rates=(0.0,))
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(scenarios=("a",), rates=(1e6, 1e6))

@@ -228,3 +228,38 @@ class TestWriteSweep:
         write_sweep(report, str(first))
         write_sweep({"a": {"y": 3, "z": 2}, "b": 1}, str(second))
         assert first.read_bytes() == second.read_bytes()
+
+
+class TestRateAxisSweep:
+    """A rates-axis sweep end to end (serial)."""
+
+    RATED = SweepSpec(scenarios=("HT-wA",), protocols=("hades",),
+                      seeds=(7,), scale=0.02, duration_ns=15_000.0,
+                      rates=(1e6, 4e6))
+
+    def test_cells_carry_rate_and_load_summary(self):
+        report = run_sweep(self.RATED, workers=1, log=_quiet)
+        assert [cell["rate"] for cell in report["cells"]] == [1e6, 4e6]
+        for cell in report["cells"]:
+            assert cell["load"]["offered"] > 0
+            assert cell["load"]["completed"] == cell["committed"]
+
+    def test_aggregates_split_per_rate(self):
+        report = run_sweep(self.RATED, workers=1, log=_quiet)
+        keys = sorted(report["aggregates"])
+        assert keys == ["HT-wA/hades/r1e+06", "HT-wA/hades/r4e+06"]
+        for key in keys:
+            assert "rate" in report["aggregates"][key]
+
+    def test_rated_sweep_is_deterministic(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        run_sweep(self.RATED, workers=1, out=str(first), log=_quiet)
+        run_sweep(self.RATED, workers=1, out=str(second), log=_quiet)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_closed_loop_cells_have_no_load_keys(self):
+        report = run_sweep(TINY, workers=1, log=_quiet)
+        for cell in report["cells"]:
+            assert "rate" not in cell
+            assert "load" not in cell

@@ -168,3 +168,47 @@ class TestSpansAndSlo:
     def test_report_rejects_unknown_protocol(self):
         with pytest.raises(SystemExit, match="unknown protocol"):
             main(["report", "--protocols", "spanner"])
+
+
+class TestLoadCli:
+    def test_loadtest_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.protocol == "hades"
+        assert args.workload == "HT-wB"
+        assert args.slo == "p99<20us"
+        assert args.scale == 0.05
+        assert not args.smoke
+
+    def test_run_accepts_warmup_and_load(self):
+        args = build_parser().parse_args(
+            ["run", "--warmup-ns", "50000", "--load", "rate=2e6"])
+        assert args.warmup_ns == 50000.0
+        assert args.load == "rate=2e6"
+
+    def test_sweep_accepts_rates(self):
+        args = build_parser().parse_args(["sweep", "--rates", "1e6,2e6"])
+        assert args.rates == "1e6,2e6"
+
+    def test_run_with_load_prints_summary(self, capsys):
+        code = main(["run", "--workload", "HT-wB", "--scale", "0.05",
+                     "--duration-us", "60", "--warmup-ns", "20000",
+                     "--load", "rate=2e6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop load" in out
+        assert "sojourn p99" in out
+
+    def test_loadtest_smoke_writes_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "LT.json"
+        code = main(["loadtest", "--duration-us", "60",
+                     "--warmup-ns", "20000", "--iters", "2",
+                     "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max sustainable" in out
+        assert "probe ladder" in out
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["kind"] == "loadtest"
+        assert report["max_sustainable_tps"] >= 0
