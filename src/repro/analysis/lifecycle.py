@@ -150,6 +150,31 @@ def format_lifecycle(recorders: Dict[str, SpanRecorder]) -> str:
     ):
         summary_rows.append([label] + [value_of(recorders[name])
                                        for name in names])
+    # Open-loop rows (PR 8 admission control) appear only when some run
+    # actually queued or shed work, so closed-loop reports are
+    # byte-identical to what they were before the traffic layer existed.
+    queue_hists = {name: recorders[name].phase_hists.get("queue_wait")
+                   for name in names}
+    open_loop = (
+        any(hist is not None and hist.count for hist in queue_hists.values())
+        or any(totals[name].get("shed") or totals[name].get("overload")
+               for name in names))
+    if open_loop:
+        for label, value_of in (
+            ("queue wait p50 (us)",
+             lambda name: (queue_hists[name].percentile(0.5) / 1e3
+                           if queue_hists[name] is not None
+                           and queue_hists[name].count else "-")),
+            ("queue wait p99 (us)",
+             lambda name: (queue_hists[name].p99() / 1e3
+                           if queue_hists[name] is not None
+                           and queue_hists[name].count else "-")),
+            ("shed aborts", lambda name: totals[name].get("shed", 0)),
+            ("overload aborts",
+             lambda name: totals[name].get("overload", 0)),
+        ):
+            summary_rows.append([label] + [value_of(name)
+                                           for name in names])
     sections.append(format_table(summary_headers, summary_rows,
                                  title="attempts and retries"))
     return "\n\n".join(sections)

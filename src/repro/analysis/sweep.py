@@ -39,6 +39,23 @@ def _slo_verdict(row: Dict[str, object]) -> str:
     return "PASS" if slo["passed"] else "FAIL"
 
 
+def _open_loop_cols(row: Dict[str, object]) -> List[object]:
+    """Admission columns for one rated cell: admitted share, shed
+    count, p95 queue delay (us)."""
+    load = row.get("load")
+    if not load:
+        return ["-", "-", "-"]
+    offered = load.get("offered", 0)
+    admitted = load.get("admitted", 0)
+    admit = f"{admitted / offered:.1%}" if offered else "-"
+    delay = load.get("queue_delay")
+    if delay and delay.get("count"):
+        p95 = LogHistogram.from_dict(delay).p95() / 1e3
+    else:
+        p95 = "-"
+    return [admit, load.get("shed_total", 0), p95]
+
+
 def format_sweep_table(report: Dict[str, object]) -> str:
     """The cross-grid comparison: per-cell rows, then aggregates."""
     cells: List[Dict[str, object]] = report.get("cells", [])
@@ -46,26 +63,29 @@ def format_sweep_table(report: Dict[str, object]) -> str:
         raise ValueError("sweep report has no cells")
     sections = []
 
-    # A rate-axis sweep (docs/LOAD.md) grows a rate column; closed-loop
-    # sweeps keep the historical table byte-for-byte.
+    # A rate-axis sweep (docs/LOAD.md) grows a rate column plus the
+    # admission-control columns (admit share, shed, queue-delay tail);
+    # closed-loop sweeps keep the historical table byte-for-byte.
     rated = any("rate" in row for row in cells)
+    open_headers = ["admit", "shed", "q-delay p95 us"] if rated else []
 
     cell_rows = []
     for row in cells:
         rate = [row.get("rate", "-")] if rated else []
+        open_cols = _open_loop_cols(row) if rated else []
         if "error" in row:
             cell_rows.append([row["scenario"], row["protocol"], row["seed"]]
                              + rate + ["-", "-", f"ERROR: {row['error']}",
-                                       "-"])
+                                       "-"] + (["-"] * len(open_headers)))
             continue
         cell_rows.append(
             [row["scenario"], row["protocol"], row["seed"]] + rate + [
                 row["throughput_tps"], row["abort_rate"],
                 _top_abort_class(row), _slo_verdict(row),
-            ])
+            ] + open_cols)
     sections.append(format_table(
         ["scenario", "protocol", "seed"] + (["rate"] if rated else []) + [
-            "txn/s", "abort rate", "top abort class", "slo"],
+            "txn/s", "abort rate", "top abort class", "slo"] + open_headers,
         cell_rows, title="sweep grid"))
 
     agg_rows = []

@@ -103,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="open-loop arrival layer, e.g. "
                             "'rate=2e6,arrival=bursty,policy=deadline' "
                             "(see docs/LOAD.md); omit for closed loop")
+    _add_telemetry_arguments(run_p)
     _add_recovery_arguments(run_p)
 
     prof_p = sub.add_parser("profile",
@@ -196,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     lt_p.add_argument("--out", metavar="PATH", default="LOADTEST.json",
                       help="report artifact path ('-' to skip writing); "
                            "byte-identical for the same inputs")
+    _add_telemetry_arguments(lt_p)
 
     cost_p = sub.add_parser("cost", help="Section VI storage calculator")
     cost_p.add_argument("--cores", type=int, default=5)
@@ -268,6 +270,55 @@ def build_parser() -> argparse.ArgumentParser:
                               "per-cell file derived from PATH (implies "
                               "--spans); merge with 'repro report PATH-"
                               "derived glob'")
+    sweep_p.add_argument("--telemetry", action="store_true",
+                         help="sample live telemetry per cell and log a "
+                              "per-cell progress heartbeat as cells run "
+                              "(see docs/SERVE.md)")
+    sweep_p.add_argument("--telemetry-interval-ns", type=float,
+                         default=10_000.0, metavar="NS",
+                         help="simulated-time snapshot cadence "
+                              "(default 10000)")
+    sweep_p.add_argument("--telemetry-out", metavar="PATH", default=None,
+                         help="dump each cell's snapshots to a unique "
+                              "per-cell JSONL derived from PATH (implies "
+                              "--telemetry); byte-identical for any "
+                              "--workers N")
+
+    serve_p = sub.add_parser("serve",
+                             help="long-lived HTTP front end: POST workload "
+                                  "specs, stream live telemetry "
+                                  "(see docs/SERVE.md)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="TCP port; 0 picks an ephemeral port "
+                              "(printed at startup)")
+    serve_p.add_argument("--retain", type=int, default=512,
+                         help="snapshots retained per run for stream "
+                              "replay and /metrics")
+    serve_p.add_argument("--telemetry-interval-ns", type=float,
+                         default=10_000.0, metavar="NS",
+                         help="default snapshot cadence for runs whose "
+                              "spec does not set one")
+    serve_p.add_argument("--max-workers", type=int, default=2,
+                         help="concurrent run subprocesses; further "
+                              "submissions queue (default 2)")
+    serve_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-request access log lines")
+
+    watch_p = sub.add_parser("watch",
+                             help="live-updating terminal view of a "
+                                  "'repro serve' run or server")
+    watch_p.add_argument("url",
+                         help="run URL (http://host:port/runs/<id>) for a "
+                              "streaming view, or a base server URL for "
+                              "the run table")
+    watch_p.add_argument("--interval", type=float, default=1.0,
+                         help="poll interval in seconds for the run-table "
+                              "view (default 1.0)")
+    watch_p.add_argument("--once", action="store_true",
+                         help="print one rendering and exit (no ANSI "
+                              "redraw; useful for scripts/tests)")
     return parser
 
 
@@ -294,6 +345,7 @@ def cmd_run(args) -> int:
         spans = SpanRecorder()
     sample_interval_ns = (args.sample_us * 1000.0 if args.metrics else None)
     fault_plan = _parse_fault_plan(args)
+    telemetry, telemetry_writer = _make_telemetry(args)
     result = run_experiment(args.protocol, workload, config=config,
                             duration_ns=args.duration_us * 1000.0,
                             warmup_ns=args.warmup_ns,
@@ -302,7 +354,8 @@ def cmd_run(args) -> int:
                             sample_interval_ns=sample_interval_ns,
                             bounded_latency=args.histogram_latency,
                             fault_plan=fault_plan,
-                            spans=spans)
+                            spans=spans,
+                            telemetry=telemetry)
     energy = energy_report(config, args.duration_us * 1000.0,
                            result.metrics.meter.committed,
                            read_ops=result.bloom_read_ops,
@@ -371,6 +424,12 @@ def cmd_run(args) -> int:
         samples = result.samples or []
         save_samples_csv(samples, args.metrics)
         print(f"metrics: {len(samples)} samples -> {args.metrics}")
+    if telemetry is not None:
+        line = f"telemetry: {telemetry.taken} snapshots"
+        if telemetry_writer is not None:
+            telemetry_writer.close()
+            line += f" -> {args.telemetry_out}"
+        print(line)
     return 2 if slo_failed else 0
 
 
@@ -427,6 +486,38 @@ def _parse_fault_plan(args):
     from repro.config import FaultPlan
 
     return FaultPlan.parse(args.faults, seed=args.fault_seed)
+
+
+def _add_telemetry_arguments(parser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="sample live telemetry snapshots on a "
+                             "simulated-time cadence (see docs/SERVE.md)")
+    parser.add_argument("--telemetry-interval-ns", type=float,
+                        default=10_000.0, metavar="NS",
+                        help="simulated-time snapshot cadence "
+                             "(default 10000)")
+    parser.add_argument("--telemetry-out", metavar="PATH", default=None,
+                        help="stream every snapshot to a JSONL file "
+                             "(implies --telemetry); byte-identical for "
+                             "the same seed")
+
+
+def _make_telemetry(args):
+    """``--telemetry*`` flags -> (sampler, writer); (None, None) off.
+
+    The writer (when ``--telemetry-out`` is set) is the sampler's sink,
+    so it sees every snapshot even after the ring buffer wraps; the
+    caller owns closing it.
+    """
+    if not (args.telemetry or args.telemetry_out):
+        return None, None
+    from repro.obs.telemetry import TelemetrySampler, TelemetryWriter
+
+    writer = (TelemetryWriter(args.telemetry_out)
+              if args.telemetry_out else None)
+    sampler = TelemetrySampler(interval_ns=args.telemetry_interval_ns,
+                               sink=writer)
+    return sampler, writer
 
 
 def _add_recovery_arguments(parser) -> None:
@@ -544,10 +635,21 @@ def cmd_sweep(args) -> int:
     if spec.rates:
         axes += f" x {len(spec.rates)} rates"
     print(f"sweep: {len(cells)} cells ({axes}), {args.workers} worker(s)")
+    telemetry = args.telemetry or bool(args.telemetry_out)
+    on_heartbeat = None
+    if telemetry:
+        def on_heartbeat(cell, snap):
+            print(f"  [{cell.cell_id}] t={snap['t_ns'] / 1e3:,.0f}us "
+                  f"committed={snap['committed']} "
+                  f"aborted={snap['aborted']} "
+                  f"tps={snap['throughput_tps']:,.0f}")
     report = run_sweep(spec, workers=args.workers,
                        out=(None if args.out == "-" else args.out),
                        spans=args.spans, spans_out=args.spans_out,
-                       log=print)
+                       log=print, telemetry=telemetry,
+                       telemetry_out=args.telemetry_out,
+                       telemetry_interval_ns=args.telemetry_interval_ns,
+                       on_heartbeat=on_heartbeat)
     print()
     print(format_sweep_table(report))
     return 1 if report["partial"] else 0
@@ -636,6 +738,11 @@ def cmd_loadtest(args) -> int:
         # exercise every stage and the artifact's byte-stability.
         duration_us, warmup_ns, iters = 120.0, 30_000.0, 4
     template = (LoadParams.parse(args.load) if args.load else LoadParams())
+    telemetry_writer = None
+    if args.telemetry_out:
+        from repro.obs.telemetry import TelemetryWriter
+
+        telemetry_writer = TelemetryWriter(args.telemetry_out)
     report = run_loadtest(
         args.protocol, args.workload,
         workload_factory=lambda: make_workload(args.workload,
@@ -645,12 +752,24 @@ def cmd_loadtest(args) -> int:
         slo=args.slo, load_template=template, iters=iters,
         max_loss=args.max_loss, overload_factor=args.overload_factor,
         rate_max=args.rate_max, fault_plan=_parse_fault_plan(args),
-        log=print)
+        log=print, telemetry_sink=telemetry_writer,
+        telemetry_interval_ns=args.telemetry_interval_ns)
     print()
     print(format_loadtest(report))
+    if telemetry_writer is not None:
+        telemetry_writer.close()
+        print(f"\ntelemetry: {telemetry_writer.lines} snapshots "
+              f"-> {args.telemetry_out}")
+    # The last line always states where the artifact went and the SLO
+    # verdict — scripts and humans both read the tail first.
+    sustainable = report["max_sustainable_tps"]
+    verdict = (f"max sustainable {sustainable:,.0f} tps meets SLO "
+               f"{report['slo']!r}" if sustainable > 0
+               else f"no probed rate met SLO {report['slo']!r}")
+    artifact = args.out if args.out != "-" else "not written (--out -)"
     if args.out != "-":
         write_loadtest(report, args.out)
-        print(f"\nreport -> {args.out}")
+    print(f"\nreport -> {artifact}: {verdict}")
     return 0
 
 
@@ -667,13 +786,29 @@ def cmd_cost(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.server import serve
+
+    return serve(host=args.host, port=args.port, retain=args.retain,
+                 max_workers=args.max_workers,
+                 default_interval_ns=args.telemetry_interval_ns,
+                 verbose=not args.quiet)
+
+
+def cmd_watch(args) -> int:
+    from repro.serve.client import watch
+
+    return watch(args.url, interval_s=args.interval, once=args.once)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "profile": cmd_profile,
                 "report": cmd_report, "compare": cmd_compare,
                 "figures": cmd_figures, "cost": cmd_cost,
                 "bench": cmd_bench, "sweep": cmd_sweep,
-                "loadtest": cmd_loadtest}
+                "loadtest": cmd_loadtest, "serve": cmd_serve,
+                "watch": cmd_watch}
     return handlers[args.command](args)
 
 

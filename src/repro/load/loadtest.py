@@ -61,6 +61,8 @@ def run_loadtest(
     rate_max: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
     log: Optional[Callable[[str], None]] = None,
+    telemetry_sink: Optional[Callable[[Dict[str, object]], None]] = None,
+    telemetry_interval_ns: float = 10_000.0,
 ) -> Dict[str, object]:
     """Binary-search the max sustainable arrival rate; returns the report.
 
@@ -69,6 +71,12 @@ def run_loadtest(
     share instances (same contract as ``compare_protocols``).
     ``load_template`` carries every load knob except ``rate_tps`` and
     ``enabled``, which the search sets per probe.
+
+    ``telemetry_sink`` receives every stage's live snapshots (stage
+    name in each snapshot's ``run`` field: ``calibrate``, ``probe1``…,
+    ``overload``) — one JSONL stream covers the whole pipeline.  The
+    report itself never contains telemetry, so the artifact's
+    byte-stability is unaffected.
     """
     slo_params = SLOParams.parse(slo)
     template = load_template if load_template is not None else LoadParams()
@@ -80,12 +88,21 @@ def run_loadtest(
         if log is not None:
             log(message)
 
-    def probe(rate_tps: float) -> Dict[str, object]:
+    def stage_telemetry(stage: str):
+        if telemetry_sink is None:
+            return None
+        from repro.obs.telemetry import TelemetrySampler
+
+        return TelemetrySampler(interval_ns=telemetry_interval_ns,
+                                sink=telemetry_sink, run_label=stage)
+
+    def probe(rate_tps: float, stage: str) -> Dict[str, object]:
         cfg = config.replace(load=dataclasses.replace(
             template, enabled=True, rate_tps=rate_tps))
         result = run_experiment(protocol, workload_factory(), config=cfg,
                                 duration_ns=duration_ns, warmup_ns=warmup_ns,
-                                seed=seed, fault_plan=fault_plan)
+                                seed=seed, fault_plan=fault_plan,
+                                telemetry=stage_telemetry(stage))
         load = result.load
         sojourn = LogHistogram.from_dict(load["sojourn"])
         queue_delay = LogHistogram.from_dict(load["queue_delay"])
@@ -129,7 +146,8 @@ def run_loadtest(
     calibration = run_experiment(protocol, workload_factory(), config=config,
                                  duration_ns=duration_ns,
                                  warmup_ns=warmup_ns, seed=seed,
-                                 fault_plan=fault_plan)
+                                 fault_plan=fault_plan,
+                                 telemetry=stage_telemetry("calibrate"))
     capacity = calibration.throughput
     say(f"  capacity {capacity:,.0f} tps "
         f"(committed {calibration.metrics.meter.committed}, abort rate "
@@ -144,9 +162,9 @@ def run_loadtest(
     probes: List[Dict[str, object]] = []
     say(f"searching [0, {hi:,.0f}] tps, {iters} probes, "
         f"SLO {slo!r}, max loss {max_loss:.1%}...")
-    for _ in range(iters):
+    for index in range(iters):
         mid = (lo + hi) / 2.0
-        entry = probe(mid)
+        entry = probe(mid, f"probe{index + 1}")
         probes.append(entry)
         if entry["sustainable"]:
             lo = mid
@@ -158,7 +176,7 @@ def run_loadtest(
     overload_rate = overload_factor * max(max_sustainable, capacity)
     say(f"overload probe at {overload_rate:,.0f} tps "
         f"({overload_factor:g}x {'capacity' if max_sustainable < capacity else 'sustainable'})...")
-    overload = probe(overload_rate)
+    overload = probe(overload_rate, "overload")
     overload["goodput_vs_capacity"] = (overload["goodput_tps"] / capacity
                                        if capacity else 0.0)
 

@@ -1,6 +1,6 @@
-"""Observability: tracing, metrics, histograms, spans, SLOs.
+"""Observability: tracing, metrics, histograms, spans, SLOs, telemetry.
 
-The package has seven modules:
+The package has eight modules:
 
 * :mod:`repro.obs.tracer` — structured event tracer (JSONL and Chrome
   ``trace_event`` output; open the latter in Perfetto).
@@ -14,6 +14,10 @@ The package has seven modules:
   ``repro report``.
 * :mod:`repro.obs.slo` — latency objectives (:class:`SLOParams`)
   declared on the cluster config and evaluated per run.
+* :mod:`repro.obs.telemetry` — live telemetry
+  (:class:`TelemetrySampler`): periodic closed-schema snapshots of
+  gauges/counters with ring-buffer retention and JSONL streaming;
+  drives ``repro run --telemetry`` and feeds ``repro serve``.
 * :mod:`repro.obs.artifacts` — per-worker/per-cell artifact paths
   (:func:`tagged_path`) and the glob expansion readers use to merge
   the family back (:func:`expand_artifact_globs`).
@@ -48,6 +52,14 @@ from repro.obs.spans import (
     format_spans,
     validate_spans,
 )
+from repro.obs.telemetry import (
+    SNAPSHOT_FIELDS,
+    TELEMETRY_SCHEMA,
+    TelemetrySampler,
+    TelemetryWriter,
+    load_telemetry_jsonl,
+    validate_snapshot,
+)
 from repro.obs.tracer import EventTracer, load_jsonl, validate_jsonl
 
 __all__ = [
@@ -57,9 +69,13 @@ __all__ = [
     "MessageStats",
     "SLOParams",
     "SLOReport",
+    "SNAPSHOT_FIELDS",
     "SPAN_PHASES",
     "Sample",
     "SpanRecorder",
+    "TELEMETRY_SCHEMA",
+    "TelemetrySampler",
+    "TelemetryWriter",
     "TimeSeriesSampler",
     "classify_abort",
     "expand_artifact_globs",
@@ -67,9 +83,11 @@ __all__ = [
     "format_spans",
     "is_glob",
     "load_jsonl",
+    "load_telemetry_jsonl",
     "sanitize_tag",
     "save_samples_csv",
     "tagged_path",
     "validate_jsonl",
+    "validate_snapshot",
     "validate_spans",
 ]

@@ -23,6 +23,7 @@ from repro.core import PROTOCOLS
 from repro.obs.metrics import MessageStats, Sample, TimeSeriesSampler
 from repro.obs.slo import SLOReport
 from repro.obs.spans import SpanRecorder
+from repro.obs.telemetry import TelemetrySampler
 from repro.obs.tracer import EventTracer
 from repro.sim.engine import Engine
 from repro.sim.random import DeterministicRandom
@@ -64,6 +65,9 @@ class ExperimentResult:
     #: Open-loop load-layer summary (``LoadStats.as_dict()``) when
     #: ``config.load.enabled``; else None.
     load: Optional[Dict[str, object]] = None
+    #: Live-telemetry sampler (ring buffer of snapshots) when one was
+    #: passed in or ``config.telemetry.enabled``; else None.
+    telemetry: Optional[TelemetrySampler] = None
     #: Engine callbacks executed during the run — the numerator of the
     #: benchmark harness's events/sec (see docs/PERFORMANCE.md).
     events_processed: int = 0
@@ -111,6 +115,7 @@ def run_experiment(
     bounded_latency: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     spans: Optional[SpanRecorder] = None,
+    telemetry: Optional[TelemetrySampler] = None,
 ) -> ExperimentResult:
     """Run one (protocol, workload[s], cluster) combination.
 
@@ -240,6 +245,18 @@ def run_experiment(
         sampler = TimeSeriesSampler(sample_interval_ns)
         engine.process(sampler.run(engine, proto, metrics, cluster),
                        name="sampler")
+    if telemetry is None and config.telemetry.enabled:
+        telemetry = TelemetrySampler(
+            interval_ns=config.telemetry.interval_ns,
+            retain=config.telemetry.retain)
+    if telemetry is not None:
+        # Installed after the warm-up like the time-series sampler; the
+        # sampler reads state, never mutates it, so the run's results
+        # stay bit-identical to a telemetry-off run.
+        telemetry.install(engine, proto, metrics, cluster,
+                          load_driver=load_driver,
+                          recovery_manager=recovery_manager,
+                          spans=spans)
     engine.run(until=warmup_ns + duration_ns)
 
     metrics.elapsed_ns = duration_ns
@@ -265,6 +282,7 @@ def run_experiment(
                             samples=sampler.samples if sampler else None,
                             message_stats=message_stats,
                             spans=spans, slo=slo_report, load=load_summary,
+                            telemetry=telemetry,
                             fault_summary=(injector.summary()
                                            if injector is not None else None),
                             recovery_summary=(recovery_manager.summary()

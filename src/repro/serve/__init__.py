@@ -1,0 +1,48 @@
+"""``repro serve``: a long-lived HTTP front end over the simulator.
+
+The service/worker decomposition (docs/SERVE.md): a stdlib-only
+threaded HTTP server accepts POSTed run specs, executes each one in a
+subprocess via the sweep's :func:`~repro.sweep.worker.run_cell`
+payload, and forwards the worker's live telemetry snapshots over a
+pipe into a per-run ring buffer.  Clients poll ``/runs``, stream
+NDJSON from ``/runs/<id>/stream``, or scrape Prometheus text from
+``/metrics``; ``repro watch`` renders either view as a live terminal
+table.
+
+Modules:
+
+* :mod:`repro.serve.state` — run lifecycle registry
+  (queued → running → done/failed) with snapshot ring buffers.
+* :mod:`repro.serve.worker` — the subprocess side: spec → grid cell →
+  ``run_cell`` with a pipe-forwarding telemetry sink.
+* :mod:`repro.serve.server` — the HTTP server and endpoints.
+* :mod:`repro.serve.prom` — Prometheus text exposition rendering.
+* :mod:`repro.serve.client` — urllib helpers and the ``repro watch``
+  renderers.
+* :mod:`repro.serve.smoke` — the CI end-to-end gate
+  (``python -m repro.serve.smoke``).
+"""
+
+from repro.serve.state import (
+    RUN_STATES,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    Run,
+    RunRegistry,
+)
+from repro.serve.worker import SPEC_FIELDS, cell_from_spec, validate_spec
+
+__all__ = [
+    "RUN_STATES",
+    "Run",
+    "RunRegistry",
+    "SPEC_FIELDS",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "cell_from_spec",
+    "validate_spec",
+]

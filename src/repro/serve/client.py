@@ -1,0 +1,215 @@
+"""Client helpers for ``repro serve``: HTTP plumbing + ``repro watch``.
+
+Everything here is stdlib ``urllib`` — the watch command talks to the
+server exactly the way any external client would, so it doubles as a
+living example of the wire protocol (docs/SERVE.md).
+
+``repro watch <url>`` renders two views:
+
+* a **run stream** (URL containing ``/runs/<id>``): follows the NDJSON
+  stream and redraws a per-snapshot table — simulated time, commit and
+  abort totals, throughput, queue depth, shed counts;
+* a **server overview** (base URL): polls ``GET /runs`` and redraws the
+  run listing.
+
+On a TTY the table redraws in place (ANSI home+clear); when piped, each
+update prints as a plain block so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+#: Seconds before an HTTP request is abandoned.
+DEFAULT_TIMEOUT_S = 10.0
+
+
+# -- HTTP plumbing -------------------------------------------------------
+
+def http_get_json(url: str,
+                  timeout: float = DEFAULT_TIMEOUT_S) -> Dict[str, object]:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+def http_post_json(url: str, doc: Dict[str, object],
+                   timeout: float = DEFAULT_TIMEOUT_S) -> Dict[str, object]:
+    body = json.dumps(doc).encode()
+    req = urllib.request.Request(
+        url, data=body, method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+def stream_ndjson(url: str,
+                  timeout: float = DEFAULT_TIMEOUT_S
+                  ) -> Iterator[Dict[str, object]]:
+    """Yield each NDJSON line of ``/runs/<id>/stream`` as a dict.
+
+    The iterator ends when the server sends its terminal ``end`` line
+    and closes the response.  ``timeout`` bounds the *gap between
+    lines*, not the whole stream — the server's long-poll emits the
+    terminal line well inside it.
+    """
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        for raw in resp:
+            line = raw.strip()
+            if line:
+                yield json.loads(line.decode())
+
+
+# -- rendering -----------------------------------------------------------
+
+_ANSI_HOME_CLEAR = "\x1b[H\x1b[J"
+
+
+def _use_ansi(stream) -> bool:
+    return bool(getattr(stream, "isatty", lambda: False)())
+
+
+def render_snapshot(snap: Dict[str, object],
+                    state: str = "") -> str:
+    """One telemetry snapshot as a small aligned table."""
+    queue_depth = snap.get("queue_depth") or {}
+    shed = snap.get("queue_shed") or {}
+    shed_total = sum(shed.values()) if shed else 0
+    rows = [
+        ("run", snap.get("run") or "-"),
+        ("state", state or "-"),
+        ("t", f"{snap['t_ns'] / 1000.0:,.1f} us"),
+        ("snapshot", f"#{snap['seq']}"),
+        ("committed", f"{snap['committed']:,}"
+                      f" (+{snap['committed_delta']:,})"),
+        ("aborted", f"{snap['aborted']:,} (+{snap['aborted_delta']:,})"),
+        ("throughput", f"{snap['throughput_tps']:,.0f} tps"),
+        ("abort rate", f"{snap['abort_rate'] * 100.0:.1f}%"),
+        ("inflight", f"{snap['inflight_txns']:,}"),
+        ("events/sec", f"{snap['events_per_sec']:,.0f}"),
+    ]
+    if queue_depth:
+        depth_total = sum(queue_depth.values())
+        rows.append(("queue depth", f"{depth_total:,} across "
+                                    f"{len(queue_depth)} nodes"))
+        rows.append(("shed", f"{shed_total:,}"))
+    if snap.get("degraded_nodes"):
+        rows.append(("degraded", ", ".join(
+            str(node) for node in snap["degraded_nodes"])))
+    if snap.get("recovery_epoch"):
+        rows.append(("epoch", str(snap["recovery_epoch"])))
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"  {label:<{width}}  {value}"
+                     for label, value in rows)
+
+
+def render_runs_table(runs: List[Dict[str, object]]) -> str:
+    """The ``/runs`` listing as an aligned table."""
+    if not runs:
+        return "  (no runs submitted yet)"
+    headers = ("id", "state", "scenario", "protocol", "seed",
+               "t_us", "committed", "aborted", "snapshots")
+    table = [headers]
+    for run in runs:
+        table.append((
+            str(run["id"]), str(run["state"]), str(run["scenario"]),
+            str(run["protocol"]), str(run["seed"]),
+            f"{run['t_ns'] / 1000.0:,.1f}",
+            f"{run['committed']:,}", f"{run['aborted']:,}",
+            f"{run['snapshots']:,}"))
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  " + "  ".join(
+            cell.ljust(widths[col]) for col, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  " + "  ".join("-" * width
+                                          for width in widths))
+    errors = [run for run in runs if run.get("error")]
+    for run in errors:
+        lines.append(f"  !{run['id']}: {run['error']}")
+    return "\n".join(lines)
+
+
+# -- the watch command ---------------------------------------------------
+
+def _redraw(block: str, stream, ansi: bool) -> None:
+    if ansi:
+        stream.write(_ANSI_HOME_CLEAR + block + "\n")
+    else:
+        stream.write(block + "\n\n")
+    stream.flush()
+
+
+def watch_run(url: str, once: bool = False, stream=None) -> int:
+    """Follow one run.  ``url`` points at ``/runs/<id>`` (with or
+    without the ``/stream`` suffix)."""
+    stream = stream or sys.stdout
+    ansi = _use_ansi(stream) and not once
+    detail_url = url[:-len("/stream")] if url.endswith("/stream") else url
+    if once:
+        doc = http_get_json(detail_url)
+        latest = doc.get("latest")
+        header = f"watch {detail_url} [{doc['state']}]"
+        body = (render_snapshot(latest, state=doc["state"])
+                if latest else "  (no snapshots yet)")
+        if doc.get("error"):
+            body += f"\n  error: {doc['error']}"
+        _redraw(f"{header}\n{body}", stream, ansi=False)
+        return 0
+    final_state = "running"
+    for message in stream_ndjson(detail_url.rstrip("/") + "/stream",
+                                 timeout=DEFAULT_TIMEOUT_S):
+        if message.get("type") == "snapshot":
+            block = (f"watch {detail_url}\n"
+                     + render_snapshot(message["data"]))
+            _redraw(block, stream, ansi)
+        elif message.get("type") == "end":
+            final_state = message.get("state", "?")
+            suffix = (f": {message['error']}"
+                      if message.get("error") else "")
+            _redraw(f"run finished [{final_state}]{suffix}",
+                    stream, ansi=False)
+    return 0 if final_state == "done" else 1
+
+
+def watch_server(url: str, interval_s: float = 1.0, once: bool = False,
+                 stream=None) -> int:
+    """Poll a server's ``/runs`` listing and redraw it."""
+    import time
+
+    stream = stream or sys.stdout
+    ansi = _use_ansi(stream) and not once
+    base = url.rstrip("/")
+    while True:
+        doc = http_get_json(base + "/runs")
+        runs = doc.get("runs", [])
+        block = f"watch {base} ({len(runs)} runs)\n"
+        block += render_runs_table(runs)
+        _redraw(block, stream, ansi)
+        if once:
+            return 0
+        if runs and all(run["state"] in ("done", "failed")
+                        for run in runs):
+            return 0
+        time.sleep(interval_s)
+
+
+def watch(url: str, interval_s: float = 1.0, once: bool = False) -> int:
+    """``repro watch`` entry: route by URL shape, map network errors to
+    a message + exit code instead of a traceback."""
+    try:
+        if "/runs/" in url:
+            return watch_run(url, once=once)
+        return watch_server(url, interval_s=interval_s, once=once)
+    except urllib.error.URLError as exc:
+        print(f"watch: cannot reach {url}: {exc.reason}",
+              file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print()
+        return 130

@@ -1,0 +1,93 @@
+"""Prometheus text exposition for ``GET /metrics``.
+
+Renders the registry's current state in the text-based exposition
+format (version 0.0.4): ``# HELP`` / ``# TYPE`` preambles, one
+``name{labels} value`` line per sample.  Metric names follow the
+Prometheus conventions — ``repro_`` namespace, ``_total`` suffix on
+counters — and are documented in docs/SERVE.md; keep the two in sync.
+
+Per-run gauges come from each run's newest telemetry snapshot, so a
+scrape is O(runs), never O(snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.serve.state import RUN_STATES, RunRegistry
+
+
+def _fmt(value: object) -> str:
+    """A sample value in exposition format (floats shortest-round-trip)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _line(name: str, labels: Dict[str, str], value: object) -> str:
+    if labels:
+        inner = ",".join(f'{key}="{val}"'
+                         for key, val in sorted(labels.items()))
+        return f"{name}{{{inner}}} {_fmt(value)}"
+    return f"{name} {_fmt(value)}"
+
+
+def render_prometheus(registry: RunRegistry) -> str:
+    """The full ``/metrics`` document for the registry's current state."""
+    out: List[str] = []
+
+    def metric(name: str, kind: str, help_text: str,
+               samples: List) -> None:
+        if not samples:
+            return
+        out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            out.append(_line(name, labels, value))
+
+    counts = registry.counts()
+    metric("repro_runs", "gauge", "Runs by lifecycle state.",
+           [({"state": state}, counts[state]) for state in RUN_STATES])
+
+    committed, aborted, snapshots = [], [], []
+    tsim, events_ps, inflight, epoch = [], [], [], []
+    queue_depth, shed = [], []
+    for run in registry.runs():
+        label = {"run": run.run_id}
+        snap = run.latest()
+        snapshots.append((label, run.total_snapshots))
+        if snap is None:
+            continue
+        committed.append((label, snap["committed"]))
+        aborted.append((label, snap["aborted"]))
+        tsim.append((label, snap["t_ns"]))
+        events_ps.append((label, snap["events_per_sec"]))
+        inflight.append((label, snap["inflight_txns"]))
+        epoch.append((label, snap["recovery_epoch"]))
+        for node, depth in snap["queue_depth"].items():
+            queue_depth.append(({"run": run.run_id, "node": node}, depth))
+        for reason, count in snap["queue_shed"].items():
+            shed.append(({"run": run.run_id, "reason": reason}, count))
+
+    metric("repro_run_snapshots_total", "counter",
+           "Telemetry snapshots taken per run.", snapshots)
+    metric("repro_run_committed_total", "counter",
+           "Committed transactions per run (latest snapshot).", committed)
+    metric("repro_run_aborted_total", "counter",
+           "Aborted attempts per run (latest snapshot).", aborted)
+    metric("repro_run_simulated_time_ns", "gauge",
+           "Simulated clock of the latest snapshot.", tsim)
+    metric("repro_run_events_per_sec", "gauge",
+           "Engine events per simulated second (latest window).",
+           events_ps)
+    metric("repro_run_inflight_txns", "gauge",
+           "In-flight transaction attempts (latest snapshot).", inflight)
+    metric("repro_run_queue_depth", "gauge",
+           "Open-loop admission-queue depth per node.", queue_depth)
+    metric("repro_run_shed_total", "counter",
+           "Open-loop jobs shed per reason.", shed)
+    metric("repro_run_recovery_epoch", "gauge",
+           "Newest cluster epoch any node adopted.", epoch)
+    return "\n".join(out) + "\n" if out else "\n"

@@ -1,0 +1,351 @@
+"""The ``repro serve`` HTTP server (stdlib only — docs/SERVE.md).
+
+Endpoints:
+
+* ``GET  /healthz``          — liveness + run counts.
+* ``GET  /runs``             — every accepted run, newest state.
+* ``POST /runs``             — submit a run spec (JSON body); 202 with
+  the new run id, 400 on a bad spec.
+* ``GET  /runs/<id>``        — one run's detail (spec, state, latest
+  snapshot, final payload).
+* ``GET  /runs/<id>/stream`` — NDJSON: retained snapshots replayed,
+  then live snapshots as the worker takes them, then one terminal
+  ``{"type": "end", ...}`` line.
+* ``GET  /metrics``          — Prometheus text exposition.
+* ``POST /shutdown``         — graceful stop (drain nothing, terminate
+  workers, exit); also triggered by SIGINT/SIGTERM from the CLI.
+
+Execution model: each accepted spec runs in its own subprocess
+(:func:`repro.serve.worker.worker_entry`); a manager thread per run
+drains the worker's pipe into the run's snapshot ring.  A small
+dispatcher caps concurrent workers; excess runs wait in ``queued``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.serve.prom import render_prometheus
+from repro.serve.state import Run, RunRegistry
+from repro.serve.worker import validate_spec, worker_entry
+
+#: Seconds a stream waits on the run's condition before re-checking
+#: (liveness heartbeat of the long-poll, not a data cadence).
+_STREAM_WAIT_S = 0.25
+
+
+class ReproServer:
+    """Owns the registry, the worker pool, and the HTTP listener."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 retain: int = 512, max_workers: int = 2,
+                 default_interval_ns: float = 10_000.0):
+        if max_workers < 1:
+            raise ValueError(f"need at least one worker: {max_workers}")
+        self.registry = RunRegistry(retain=retain)
+        self.default_interval_ns = default_interval_ns
+        self._max_workers = max_workers
+        self._pending: Deque[Run] = deque()
+        self._procs: Dict[str, object] = {}
+        self._managers: List[threading.Thread] = []
+        self._active = 0
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._serving = False
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.repro = self
+        self._dispatcher = threading.Thread(target=self._dispatch,
+                                            name="serve-dispatcher",
+                                            daemon=True)
+        self._dispatcher.start()
+
+    # -- addresses -------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- run submission --------------------------------------------------
+
+    def submit(self, spec: Dict[str, object]) -> Run:
+        """Validate and enqueue a spec; returns the queued Run.
+
+        Raises ValueError on a bad spec (no run is created)."""
+        if "telemetry_interval_ns" not in spec:
+            spec = dict(spec)
+            spec["telemetry_interval_ns"] = self.default_interval_ns
+        full = validate_spec(spec)
+        run = self.registry.create(full)
+        with self._cond:
+            if self._stopping:
+                run.fail("server shutting down")
+                return run
+            self._pending.append(run)
+            self._cond.notify_all()
+        return run
+
+    def _dispatch(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: self._stopping
+                    or (self._pending and self._active < self._max_workers))
+                if self._stopping:
+                    while self._pending:
+                        self._pending.popleft().fail("server shutting down")
+                    return
+                run = self._pending.popleft()
+                self._active += 1
+            self._spawn(run)
+
+    def _spawn(self, run: Run) -> None:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=worker_entry, args=(run.spec, child),
+                           name=f"serve-{run.run_id}", daemon=True)
+        proc.start()
+        child.close()  # the parent's copy; the child keeps its end
+        with self._cond:
+            self._procs[run.run_id] = proc
+        manager = threading.Thread(target=self._manage,
+                                   args=(run, proc, parent),
+                                   name=f"manage-{run.run_id}",
+                                   daemon=True)
+        self._managers.append(manager)
+        manager.start()
+
+    def _manage(self, run: Run, proc, conn) -> None:
+        """Drain one worker's pipe into the run until a terminal event."""
+        run.set_running()
+        try:
+            while True:
+                try:
+                    kind, payload = conn.recv()
+                except EOFError:
+                    if not run.finished:
+                        code = proc.exitcode
+                        run.fail("worker died without a result"
+                                 + (f" (exit {code})"
+                                    if code is not None else ""))
+                    break
+                if kind == "snapshot":
+                    run.add_snapshot(payload)
+                elif kind == "done":
+                    run.finish(payload)
+                elif kind == "failed":
+                    run.fail(str(payload))
+        finally:
+            conn.close()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+            with self._cond:
+                self._procs.pop(run.run_id, None)
+                self._active -= 1
+                self._cond.notify_all()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def active_workers(self) -> int:
+        with self._cond:
+            return self._active
+
+    def serve_forever(self) -> None:
+        self._serving = True
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self._serving = False
+
+    def shutdown(self) -> None:
+        """Graceful stop: refuse new work, kill live workers, close."""
+        with self._cond:
+            if self._stopping:
+                return
+            self._stopping = True
+            procs = list(self._procs.values())
+            self._cond.notify_all()
+        for proc in procs:
+            proc.terminate()
+        for manager in self._managers:
+            manager.join(timeout=5.0)
+        self._dispatcher.join(timeout=5.0)
+        # httpd.shutdown() deadlocks unless serve_forever is running in
+        # another thread; skip it when the loop was never entered.
+        if self._serving:
+            self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    #: Quiet by default; ``repro serve`` flips this on for the console.
+    verbose = False
+
+    @property
+    def repro(self) -> ReproServer:
+        return self.server.repro
+
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib name
+        if self.verbose:
+            super().log_message(fmt, *args)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send_json(self, doc: object, status: int = 200) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str]]:
+        """Path → (head, run_id, tail); e.g. /runs/r1/stream →
+        ("runs", "r1", "stream")."""
+        parts = [part for part in self.path.split("?")[0].split("/")
+                 if part]
+        head = parts[0] if parts else ""
+        run_id = parts[1] if len(parts) > 1 else None
+        tail = parts[2] if len(parts) > 2 else None
+        return head, run_id, tail
+
+    # -- GET -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        head, run_id, tail = self._route()
+        repro = self.repro
+        if head == "healthz" and run_id is None:
+            self._send_json({"status": "ok",
+                             "runs": repro.registry.counts()})
+        elif head == "metrics" and run_id is None:
+            self._send_text(render_prometheus(repro.registry))
+        elif head == "runs" and run_id is None:
+            self._send_json({"runs": [run.summary()
+                                      for run in repro.registry.runs()]})
+        elif head == "runs" and tail is None:
+            run = repro.registry.get(run_id)
+            if run is None:
+                self._error(404, f"no such run: {run_id}")
+            else:
+                self._send_json(run.detail())
+        elif head == "runs" and tail == "stream":
+            run = repro.registry.get(run_id)
+            if run is None:
+                self._error(404, f"no such run: {run_id}")
+            else:
+                self._stream(run)
+        else:
+            self._error(404, f"no such endpoint: {self.path}")
+
+    def _stream(self, run: Run) -> None:
+        """NDJSON replay-then-follow until the run reaches a terminal
+        state; one ``end`` line closes every stream."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        seq = run.first_seq
+        try:
+            while True:
+                for snap in run.snapshots_from(seq):
+                    line = json.dumps({"type": "snapshot", "data": snap},
+                                      sort_keys=True)
+                    self.wfile.write(line.encode() + b"\n")
+                    seq += 1
+                self.wfile.flush()
+                if run.finished and run.total_snapshots <= seq:
+                    break
+                run.wait_past(seq, timeout=_STREAM_WAIT_S)
+            end = {"type": "end", "state": run.state,
+                   "snapshots": run.total_snapshots, "error": run.error}
+            self.wfile.write(json.dumps(end, sort_keys=True).encode()
+                             + b"\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up mid-stream; nothing to clean up
+
+    # -- POST ------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        head, run_id, tail = self._route()
+        if head == "runs" and run_id is None:
+            try:
+                spec = json.loads(self._read_body() or b"{}")
+            except json.JSONDecodeError as exc:
+                self._error(400, f"bad JSON body: {exc}")
+                return
+            try:
+                run = self.repro.submit(spec)
+            except ValueError as exc:
+                self._error(400, str(exc))
+                return
+            self._send_json({"id": run.run_id, "state": run.state},
+                            status=202)
+        elif head == "shutdown" and run_id is None:
+            self._send_json({"status": "shutting down"})
+            # shutdown() blocks on serve_forever's own thread; hand it
+            # to a helper so this handler can finish its response.
+            threading.Thread(target=self.repro.shutdown,
+                             name="serve-shutdown", daemon=True).start()
+        else:
+            self._error(404, f"no such endpoint: {self.path}")
+
+
+def serve(host: str = "127.0.0.1", port: int = 8642, retain: int = 512,
+          max_workers: int = 2, default_interval_ns: float = 10_000.0,
+          verbose: bool = True) -> int:
+    """``repro serve``: run until SIGINT/SIGTERM or POST /shutdown."""
+    import signal
+
+    server = ReproServer(host=host, port=port, retain=retain,
+                         max_workers=max_workers,
+                         default_interval_ns=default_interval_ns)
+    _Handler.verbose = verbose
+    print(f"repro serve listening on {server.url} "
+          f"(POST /runs, GET /runs/<id>/stream, GET /metrics)")
+
+    def _stop(signum, frame):  # noqa: ARG001 - signal signature
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+    print("repro serve stopped")
+    return 0

@@ -1,0 +1,138 @@
+"""End-to-end CI gate for ``repro serve`` (``python -m repro.serve.smoke``).
+
+Starts a server on an ephemeral port, exercises the whole wire surface
+the way an external client would — real HTTP, no registry poking — and
+exits non-zero on the first broken invariant:
+
+1. ``GET /healthz`` answers before any run exists.
+2. A bad spec is rejected with 400 and creates no run.
+3. A POSTed micro spec is accepted (202 + id) and reaches ``done``.
+4. ``GET /runs/<id>/stream`` yields >= 3 snapshots, strictly ordered,
+   each passing the closed-schema validator, then a terminal ``end``.
+5. ``GET /runs/<id>`` shows the terminal state and the result payload.
+6. ``GET /metrics`` renders the documented metric families.
+7. ``repro watch --once`` renders both views without error.
+8. ``POST /shutdown`` stops the server with zero live workers — no
+   orphan subprocesses survive the gate.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+from repro.obs.telemetry import validate_snapshot
+from repro.serve.client import (
+    http_get_json,
+    http_post_json,
+    stream_ndjson,
+    watch,
+)
+from repro.serve.server import ReproServer
+
+#: Small enough to finish in seconds, long enough for many snapshots.
+MICRO_SPEC = {
+    "scenario": "quick-ht",
+    "protocol": "hades",
+    "seed": 7,
+    "scale": 0.02,
+    "duration_us": 150.0,
+    "telemetry_interval_ns": 5_000.0,
+}
+
+MIN_SNAPSHOTS = 3
+
+
+def check(ok: bool, label: str) -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {label}")
+    if not ok:
+        raise SystemExit(f"serve smoke failed: {label}")
+
+
+def main() -> int:
+    server = ReproServer(port=0, max_workers=1)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="smoke-server", daemon=True)
+    thread.start()
+    base = server.url
+    print(f"serve smoke against {base}")
+
+    health = http_get_json(base + "/healthz")
+    check(health.get("status") == "ok", "healthz answers")
+
+    try:
+        http_post_json(base + "/runs", {"scenario": "quick-ht",
+                                        "bogus_field": 1})
+        rejected = False
+    except urllib.error.HTTPError as exc:
+        rejected = exc.code == 400
+    check(rejected, "unknown spec field rejected with 400")
+    check(http_get_json(base + "/runs")["runs"] == [],
+          "rejected spec created no run")
+
+    accepted = http_post_json(base + "/runs", MICRO_SPEC)
+    run_id = accepted.get("id")
+    check(bool(run_id) and accepted.get("state") == "queued",
+          f"micro spec accepted as {run_id}")
+
+    snapshots = 0
+    last_seq = -1
+    end = None
+    for message in stream_ndjson(f"{base}/runs/{run_id}/stream",
+                                 timeout=60.0):
+        if message["type"] == "snapshot":
+            snap = message["data"]
+            validate_snapshot(snap)
+            if snap["seq"] <= last_seq:
+                check(False, f"snapshot order broken: "
+                             f"{last_seq} -> {snap['seq']}")
+            last_seq = snap["seq"]
+            snapshots += 1
+        elif message["type"] == "end":
+            end = message
+    check(snapshots >= MIN_SNAPSHOTS,
+          f"streamed {snapshots} snapshots (need >= {MIN_SNAPSHOTS})")
+    check(end is not None and end["state"] == "done",
+          f"stream ended in state {end and end['state']}")
+
+    detail = http_get_json(f"{base}/runs/{run_id}")
+    check(detail["state"] == "done", "run detail reports done")
+    check(isinstance(detail.get("result"), dict)
+          and "error" not in detail["result"],
+          "result payload present without error")
+    check(detail["snapshots"] == snapshots,
+          f"detail snapshot count matches stream ({snapshots})")
+
+    with urllib.request.urlopen(base + "/metrics", timeout=10.0) as resp:
+        metrics = resp.read().decode()
+    for family in ("repro_runs", "repro_run_committed_total",
+                   "repro_run_snapshots_total",
+                   "repro_run_simulated_time_ns"):
+        check(family in metrics, f"/metrics exposes {family}")
+
+    check(watch(f"{base}/runs/{run_id}", once=True) == 0,
+          "repro watch --once renders the run view")
+    check(watch(base, once=True) == 0,
+          "repro watch --once renders the server view")
+
+    http_post_json(base + "/shutdown", {})
+    thread.join(timeout=15.0)
+    check(not thread.is_alive(), "server thread exited after /shutdown")
+    check(server.active_workers() == 0, "no orphan workers remain")
+
+    try:
+        http_get_json(base + "/healthz", timeout=2.0)
+        still_up = True
+    except (urllib.error.URLError, ConnectionError, OSError):
+        still_up = False
+    check(not still_up, "listener closed")
+
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Run lifecycle state for ``repro serve``.
+
+A :class:`Run` tracks one submitted spec through
+``queued → running → done | failed``, buffering the newest telemetry
+snapshots in a bounded ring.  A :class:`RunRegistry` owns every run the
+server has accepted and hands out sequential ids (``r1``, ``r2``, …).
+
+Both are thread-safe: HTTP handler threads read while the per-run
+manager thread (draining the worker's pipe) writes.  Stream consumers
+block on the run's condition variable instead of polling — every
+appended snapshot and every state change notifies.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+
+#: Every state a run can be in, in lifecycle order.
+RUN_STATES = (STATE_QUEUED, STATE_RUNNING, STATE_DONE, STATE_FAILED)
+
+#: States a run never leaves.
+TERMINAL_STATES = (STATE_DONE, STATE_FAILED)
+
+
+class Run:
+    """One accepted run: spec, lifecycle state, snapshot ring."""
+
+    def __init__(self, run_id: str, spec: Dict[str, object],
+                 retain: int = 512):
+        self.run_id = run_id
+        self.spec = spec
+        self.retain = retain
+        self.state = STATE_QUEUED
+        self.error: Optional[str] = None
+        #: The worker's ``run_cell`` payload once the run is done.
+        self.result: Optional[Dict[str, object]] = None
+        #: Newest ``retain`` snapshots; ``first_seq`` is the ring's
+        #: oldest retained global index (for replay bookkeeping).
+        self.snapshots: Deque[Dict[str, object]] = deque(maxlen=retain)
+        self.total_snapshots = 0
+        self.cond = threading.Condition()
+
+    @property
+    def first_seq(self) -> int:
+        """Global index of the oldest retained snapshot."""
+        return self.total_snapshots - len(self.snapshots)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # -- writer side (manager thread) -----------------------------------
+
+    def add_snapshot(self, snap: Dict[str, object]) -> None:
+        with self.cond:
+            self.snapshots.append(snap)
+            self.total_snapshots += 1
+            self.cond.notify_all()
+
+    def set_running(self) -> None:
+        with self.cond:
+            self.state = STATE_RUNNING
+            self.cond.notify_all()
+
+    def finish(self, payload: Dict[str, object]) -> None:
+        with self.cond:
+            self.result = payload
+            self.state = (STATE_FAILED if "error" in payload
+                          else STATE_DONE)
+            self.error = payload.get("error")
+            self.cond.notify_all()
+
+    def fail(self, message: str) -> None:
+        with self.cond:
+            self.error = message
+            self.state = STATE_FAILED
+            self.cond.notify_all()
+
+    # -- reader side (handler threads) ----------------------------------
+
+    def wait_past(self, seq: int, timeout: float = 1.0) -> bool:
+        """Block until more than ``seq`` snapshots exist or the run
+        finishes; False on timeout with nothing new (caller re-loops —
+        the timeout is its liveness check, not an error)."""
+        with self.cond:
+            return self.cond.wait_for(
+                lambda: self.total_snapshots > seq or self.finished,
+                timeout=timeout)
+
+    def latest(self) -> Optional[Dict[str, object]]:
+        with self.cond:
+            return self.snapshots[-1] if self.snapshots else None
+
+    def snapshots_from(self, seq: int) -> List[Dict[str, object]]:
+        """Retained snapshots with global index >= ``seq``."""
+        with self.cond:
+            first = self.first_seq
+            skip = max(0, seq - first)
+            return list(self.snapshots)[skip:]
+
+    def summary(self) -> Dict[str, object]:
+        """The ``/runs`` listing row."""
+        with self.cond:
+            latest = self.snapshots[-1] if self.snapshots else None
+            return {
+                "id": self.run_id,
+                "state": self.state,
+                "scenario": self.spec.get("scenario"),
+                "protocol": self.spec.get("protocol"),
+                "seed": self.spec.get("seed"),
+                "snapshots": self.total_snapshots,
+                "t_ns": latest["t_ns"] if latest else 0.0,
+                "committed": latest["committed"] if latest else 0,
+                "aborted": latest["aborted"] if latest else 0,
+                "error": self.error,
+            }
+
+    def detail(self) -> Dict[str, object]:
+        """The ``/runs/<id>`` document."""
+        with self.cond:
+            return {
+                "id": self.run_id,
+                "state": self.state,
+                "spec": self.spec,
+                "snapshots": self.total_snapshots,
+                "retained": len(self.snapshots),
+                "latest": self.snapshots[-1] if self.snapshots else None,
+                "result": self.result,
+                "error": self.error,
+            }
+
+
+class RunRegistry:
+    """Every run the server accepted, in submission order."""
+
+    def __init__(self, retain: int = 512):
+        self.retain = retain
+        self._runs: Dict[str, Run] = {}
+        self._lock = threading.Lock()
+        self._next = 1
+
+    def create(self, spec: Dict[str, object]) -> Run:
+        with self._lock:
+            run = Run(f"r{self._next}", spec, retain=self.retain)
+            self._next += 1
+            self._runs[run.run_id] = run
+            return run
+
+    def get(self, run_id: str) -> Optional[Run]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def runs(self) -> List[Run]:
+        with self._lock:
+            return list(self._runs.values())
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in RUN_STATES}
+        for run in self.runs():
+            counts[run.state] += 1
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._runs)

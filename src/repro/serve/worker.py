@@ -1,0 +1,149 @@
+"""The subprocess side of ``repro serve``.
+
+A POSTed run spec is a flat JSON object naming one grid cell — the
+same coordinates ``repro sweep`` uses (scenario, protocol, seed, shape,
+scale, duration, SLO, overrides, optional open-loop rate) plus the
+telemetry cadence.  :func:`worker_entry` runs it through
+:func:`repro.sweep.worker.run_cell` in a child process, forwarding
+every live snapshot over the pipe as it is taken and the final payload
+(or failure) at the end:
+
+* ``("snapshot", snap)`` — one telemetry snapshot dict;
+* ``("done", payload)`` — the cell's result payload (an ``error`` key
+  inside it marks an in-cell failure);
+* ``("failed", message)`` — the spec never ran (bad spec, crash).
+
+Specs are validated against a **closed** field set before a process is
+spawned, so a typo fails the POST with a message instead of a worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Every key a run spec may carry.  ``scenario`` is required; the rest
+#: default.  Closed: unknown keys reject the spec (docs/SERVE.md).
+SPEC_FIELDS = (
+    "scenario",          # str   — sweep preset or workload label (required)
+    "protocol",          # str   — registry name (default "hades")
+    "seed",              # int   — default 42
+    "shape",             # str   — CLUSTER_SHAPES name (default "default")
+    "scale",             # float — population scale (default 0.05)
+    "duration_us",       # float — simulated run length (default 200.0)
+    "slo",               # str   — SLO grammar, "" for none
+    "overrides",         # list  — dotted "key=value" config overrides
+    "rate",              # float — open-loop arrival rate (txn/s); omit
+                         #         for closed loop
+    "spans",             # bool  — record lifecycle spans (default False)
+    "telemetry_interval_ns",  # float — snapshot cadence (default 10000)
+)
+
+_DEFAULTS = {
+    "protocol": "hades",
+    "seed": 42,
+    "shape": "default",
+    "scale": 0.05,
+    "duration_us": 200.0,
+    "slo": "",
+    "overrides": (),
+    "rate": None,
+    "spans": False,
+    "telemetry_interval_ns": 10_000.0,
+}
+
+
+def validate_spec(spec: Dict[str, object]) -> Dict[str, object]:
+    """Normalize and validate a POSTed spec; raises ValueError.
+
+    Returns the spec with defaults filled in — the dict the registry
+    stores and ``/runs/<id>`` echoes back.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"spec must be a JSON object, got "
+                         f"{type(spec).__name__}")
+    unknown = sorted(set(spec) - set(SPEC_FIELDS))
+    if unknown:
+        raise ValueError(f"unknown spec fields: {unknown}; "
+                         f"allowed: {sorted(SPEC_FIELDS)}")
+    if not spec.get("scenario"):
+        raise ValueError("spec needs a 'scenario' (sweep preset name or "
+                         "workload label, e.g. 'quick-ht' or 'HT-wB')")
+    full = dict(_DEFAULTS)
+    full.update(spec)
+    full["scenario"] = str(full["scenario"])
+    full["protocol"] = str(full["protocol"])
+    full["seed"] = int(full["seed"])
+    full["scale"] = float(full["scale"])
+    full["duration_us"] = float(full["duration_us"])
+    full["slo"] = str(full["slo"])
+    full["overrides"] = [str(item) for item in full["overrides"]]
+    if full["rate"] is not None:
+        full["rate"] = float(full["rate"])
+    full["spans"] = bool(full["spans"])
+    full["telemetry_interval_ns"] = float(full["telemetry_interval_ns"])
+    if full["duration_us"] <= 0:
+        raise ValueError(f"duration must be positive: {full['duration_us']}")
+    if full["telemetry_interval_ns"] <= 0:
+        raise ValueError(f"telemetry interval must be positive: "
+                         f"{full['telemetry_interval_ns']}")
+    from repro.core import PROTOCOLS
+
+    if full["protocol"] not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {full['protocol']!r}; "
+                         f"pick from {sorted(PROTOCOLS)}")
+    # Building the cell's config front-loads the remaining validation
+    # (cluster shape, override fields and values) into the POST.
+    cell_from_spec(full).config()
+    return full
+
+
+def cell_from_spec(spec: Dict[str, object]):
+    """A validated spec → the :class:`~repro.sweep.grid.GridCell` to run."""
+    from repro.sweep.grid import GridCell, parse_override
+
+    return GridCell(
+        scenario=spec["scenario"],
+        protocol=spec["protocol"],
+        seed=spec["seed"],
+        shape=spec["shape"],
+        scale=spec["scale"],
+        duration_ns=spec["duration_us"] * 1000.0,
+        slo=spec["slo"],
+        overrides=tuple(parse_override(item)
+                        for item in spec["overrides"]),
+        rate=spec["rate"],
+    )
+
+
+def worker_entry(spec: Dict[str, object], conn) -> None:
+    """Child-process main: run the spec, stream messages over ``conn``.
+
+    Never raises — every failure becomes a ``("failed", message)``
+    message so the server's manager thread always sees a terminal
+    event.  The pipe is closed on the way out; the parent treats EOF
+    without a terminal message as a worker death.
+    """
+    try:
+        from repro.sweep.worker import run_cell
+
+        cell = cell_from_spec(spec)
+
+        def sink(snap: Dict[str, object]) -> None:
+            conn.send(("snapshot", snap))
+
+        payload = run_cell(
+            cell, spans=bool(spec.get("spans")),
+            telemetry=True,
+            telemetry_interval_ns=spec["telemetry_interval_ns"],
+            telemetry_sink=sink)
+        conn.send(("done", payload))
+    except Exception as exc:  # noqa: BLE001 - report, never crash silently
+        try:
+            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):  # parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+Message = Tuple[str, object]

@@ -44,6 +44,10 @@ def run_sweep(
     spans_out: Optional[str] = None,
     on_result: Optional[Callable[[GridCell, str, Dict], None]] = None,
     log: Optional[Callable[[str], None]] = None,
+    telemetry: bool = False,
+    telemetry_out: Optional[str] = None,
+    telemetry_interval_ns: float = 10_000.0,
+    on_heartbeat: Optional[Callable[[GridCell, Dict], None]] = None,
 ) -> Dict[str, object]:
     """Run the full grid and return the merged report dict.
 
@@ -53,9 +57,16 @@ def run_sweep(
     seam (and the place an interactive interrupt lands in tests).  With
     ``out`` set the report is written even when the run is cut short, so
     an interrupted sweep flushes what it has (``partial: true``).
+
+    With telemetry on, ``on_heartbeat(cell, snapshot)`` fires for every
+    live snapshot a running cell takes (forwarded over the result queue
+    from pool workers) — progress instead of silence on long grids.
+    Heartbeats never enter the report, so the artifact stays
+    byte-identical with telemetry on or off.
     """
     if workers < 1:
         raise ValueError(f"need at least one worker: {workers}")
+    telemetry = telemetry or bool(telemetry_out)
     cells = spec.expand()
     outcomes: List[Optional[Tuple[str, Dict]]] = [None] * len(cells)
     timings: Dict[str, float] = {}
@@ -64,10 +75,12 @@ def run_sweep(
     try:
         if workers == 1:
             _run_serial(cells, outcomes, timings, spans, spans_out,
-                        on_result)
+                        on_result, telemetry, telemetry_out,
+                        telemetry_interval_ns, on_heartbeat)
         else:
             _run_pool(cells, outcomes, timings, workers, spans, spans_out,
-                      on_result, log)
+                      on_result, log, telemetry, telemetry_out,
+                      telemetry_interval_ns, on_heartbeat)
     except KeyboardInterrupt:
         interrupted = True
     report = build_report(spec, cells, outcomes, interrupted=interrupted)
@@ -83,12 +96,20 @@ def run_sweep(
 
 
 def _run_serial(cells, outcomes, timings, spans, spans_out,
-                on_result) -> None:
+                on_result, telemetry=False, telemetry_out=None,
+                telemetry_interval_ns=10_000.0, on_heartbeat=None) -> None:
     for index, cell in enumerate(cells):
+        sink = None
+        if telemetry and on_heartbeat is not None:
+            def sink(snap, _cell=cell):
+                on_heartbeat(_cell, snap)
         cell_started = time.perf_counter()
         try:
-            payload = worker_mod.run_cell(cell, spans=spans,
-                                          spans_out=spans_out)
+            payload = worker_mod.run_cell(
+                cell, spans=spans, spans_out=spans_out,
+                telemetry=telemetry, telemetry_out=telemetry_out,
+                telemetry_interval_ns=telemetry_interval_ns,
+                telemetry_sink=sink)
             kind = "ok"
         except KeyboardInterrupt:
             raise
@@ -111,7 +132,8 @@ def _pool_context():
 
 
 def _run_pool(cells, outcomes, timings, workers, spans, spans_out,
-              on_result, log) -> None:
+              on_result, log, telemetry=False, telemetry_out=None,
+              telemetry_interval_ns=10_000.0, on_heartbeat=None) -> None:
     ctx = _pool_context()
     tasks = ctx.Queue()
     results = ctx.Queue()
@@ -121,7 +143,9 @@ def _run_pool(cells, outcomes, timings, workers, spans, spans_out,
     for _ in range(pool_size):
         tasks.put(None)
     procs = [ctx.Process(target=worker_mod.worker_main,
-                         args=(tasks, results, spans, spans_out),
+                         args=(tasks, results, spans, spans_out,
+                               telemetry, telemetry_out,
+                               telemetry_interval_ns),
                          daemon=True)
              for _ in range(pool_size)]
     for proc in procs:
@@ -140,6 +164,12 @@ def _run_pool(cells, outcomes, timings, workers, spans, spans_out,
                         log("sweep workers died; marking remaining "
                             "cells failed")
                     break
+                continue
+            if kind == "heartbeat":
+                # Live progress from a still-running cell: surface it,
+                # but it is not a result — pending stays put.
+                if on_heartbeat is not None:
+                    on_heartbeat(cells[index], payload)
                 continue
             outcomes[index] = (kind, payload)
             timings[cells[index].cell_id] = wall_s

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.obs.artifacts import tagged_path
 
@@ -23,7 +23,13 @@ CELL_SCHEMA = 1
 
 
 def run_cell(cell, spans: bool = False,
-             spans_out: Optional[str] = None) -> Dict[str, object]:
+             spans_out: Optional[str] = None,
+             telemetry: bool = False,
+             telemetry_out: Optional[str] = None,
+             telemetry_interval_ns: float = 10_000.0,
+             telemetry_sink: Optional[Callable[[Dict[str, object]],
+                                               None]] = None,
+             ) -> Dict[str, object]:
     """Run one grid cell and fold its results into a plain dict.
 
     Every field is a pure function of the cell's grid coordinates
@@ -34,6 +40,14 @@ def run_cell(cell, spans: bool = False,
     exactly.  With ``spans_out`` set, the cell's span dump is also
     written to ``tagged_path(spans_out, cell_id)`` — a unique per-cell
     path, never a shared (clobbered) one.
+
+    Telemetry is the live side channel: with ``telemetry_out`` each
+    cell's snapshots stream to ``tagged_path(telemetry_out, cell_id)``
+    (byte-identical for any worker count), and ``telemetry_sink`` sees
+    every snapshot as it is taken (the pool's heartbeat seam; ``repro
+    serve`` forwards them over a pipe).  Snapshots are labelled with
+    the cell id and **never** enter the returned payload, so the merged
+    artifact stays byte-identical with telemetry on, off, or absent.
     """
     from repro.runner import run_experiment
 
@@ -42,11 +56,34 @@ def run_cell(cell, spans: bool = False,
         from repro.obs.spans import SpanRecorder
 
         recorder = SpanRecorder()
+    sampler = None
+    writer = None
+    if telemetry or telemetry_out or telemetry_sink is not None:
+        from repro.obs.telemetry import TelemetrySampler, TelemetryWriter
+
+        if telemetry_out:
+            writer = TelemetryWriter(tagged_path(telemetry_out,
+                                                 cell.cell_id))
+        if writer is not None and telemetry_sink is not None:
+            file_sink = writer
+
+            def sink(snap, _file=file_sink, _fwd=telemetry_sink):
+                _file(snap)
+                _fwd(snap)
+        else:
+            sink = writer if writer is not None else telemetry_sink
+        sampler = TelemetrySampler(interval_ns=telemetry_interval_ns,
+                                   sink=sink, run_label=cell.cell_id)
     config = cell.config()
-    result = run_experiment(cell.protocol, cell.workloads(), config=config,
-                            duration_ns=cell.duration_ns, seed=cell.seed,
-                            llc_sets=2048, bounded_latency=True,
-                            spans=recorder)
+    try:
+        result = run_experiment(cell.protocol, cell.workloads(),
+                                config=config,
+                                duration_ns=cell.duration_ns, seed=cell.seed,
+                                llc_sets=2048, bounded_latency=True,
+                                spans=recorder, telemetry=sampler)
+    finally:
+        if writer is not None:
+            writer.close()
     summary = result.metrics.summary()
     payload: Dict[str, object] = {
         "schema": CELL_SCHEMA,
@@ -108,20 +145,37 @@ def error_payload(cell, message: str) -> Dict[str, object]:
 
 
 def worker_main(tasks, results, spans: bool = False,
-                spans_out: Optional[str] = None) -> None:
+                spans_out: Optional[str] = None,
+                telemetry: bool = False,
+                telemetry_out: Optional[str] = None,
+                telemetry_interval_ns: float = 10_000.0) -> None:
     """Pool worker loop: pull ``(index, cell)`` tasks until the ``None``
     sentinel.  A failing cell produces an ``error`` result rather than
-    killing the worker — one bad cell must not sink the grid."""
+    killing the worker — one bad cell must not sink the grid.
+
+    With telemetry on, each snapshot is forwarded to the result queue
+    as a ``("heartbeat", index, snapshot, 0.0)`` message — the
+    orchestrator logs progress from them without counting them as cell
+    results.
+    """
     while True:
         task = tasks.get()
         if task is None:
             break
         index, cell = task
+        sink = None
+        if telemetry or telemetry_out:
+            def sink(snap, _index=index):
+                results.put(("heartbeat", _index, snap, 0.0))
         started = time.perf_counter()
         try:
             # Looked up through the module so tests can monkeypatch
             # run_cell before forking the pool.
-            payload = run_cell(cell, spans=spans, spans_out=spans_out)
+            payload = run_cell(cell, spans=spans, spans_out=spans_out,
+                               telemetry=telemetry,
+                               telemetry_out=telemetry_out,
+                               telemetry_interval_ns=telemetry_interval_ns,
+                               telemetry_sink=sink)
             kind = "ok"
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             raise

@@ -1,0 +1,222 @@
+"""End-to-end tests for the ``repro serve`` HTTP surface.
+
+One module-scoped server instance (real subprocess workers are slow to
+spawn; the lifecycle checks share it) plus per-test servers where the
+test kills or shuts the server down.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.client import (
+    http_get_json,
+    http_post_json,
+    render_runs_table,
+    render_snapshot,
+    stream_ndjson,
+    watch,
+)
+from repro.serve.server import ReproServer
+
+#: Fast micro run: ~1 second of wall clock, dozens of snapshots.
+SPEC = {"scenario": "quick-ht", "seed": 7, "duration_us": 120.0,
+        "telemetry_interval_ns": 5_000.0}
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = ReproServer(port=0, max_workers=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=10.0)
+
+
+def _wait_done(server, run_id, timeout=60.0):
+    run = server.registry.get(run_id)
+    with run.cond:
+        assert run.cond.wait_for(lambda: run.finished, timeout=timeout)
+    return run
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        doc = http_get_json(server.url + "/healthz")
+        assert doc["status"] == "ok"
+        assert set(doc["runs"]) == {"queued", "running", "done",
+                                    "failed"}
+
+    def test_post_run_and_full_lifecycle(self, server):
+        accepted = http_post_json(server.url + "/runs", SPEC)
+        assert accepted["state"] == "queued"
+        run = _wait_done(server, accepted["id"])
+        assert run.state == "done"
+        detail = http_get_json(f"{server.url}/runs/{accepted['id']}")
+        assert detail["state"] == "done"
+        assert detail["result"]["committed"] > 0
+        assert detail["snapshots"] > 0
+        assert detail["latest"]["seq"] == detail["snapshots"] - 1
+        listing = http_get_json(server.url + "/runs")["runs"]
+        assert any(row["id"] == accepted["id"] and row["state"] == "done"
+                   for row in listing)
+
+    def test_bad_spec_rejected_no_run_created(self, server):
+        before = len(http_get_json(server.url + "/runs")["runs"])
+        with pytest.raises(urllib.error.HTTPError) as err:
+            http_post_json(server.url + "/runs",
+                           {"scenario": "quick-ht", "oops": 1})
+        assert err.value.code == 400
+        assert "unknown spec fields" in json.loads(
+            err.value.read().decode())["error"]
+        after = len(http_get_json(server.url + "/runs")["runs"])
+        assert after == before
+
+    def test_bad_json_body_rejected(self, server):
+        req = urllib.request.Request(
+            server.url + "/runs", data=b"{not json", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=5.0)
+        assert err.value.code == 400
+
+    def test_unknown_routes_404(self, server):
+        for path in ("/nope", "/runs/r999", "/runs/r999/stream"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                http_get_json(server.url + path)
+            assert err.value.code == 404
+
+    def test_failing_worker_marks_run_failed(self, server):
+        # Valid spec shape, but the scenario resolves at POST time —
+        # use an override that only explodes inside the child instead.
+        accepted = http_post_json(
+            server.url + "/runs",
+            dict(SPEC, duration_us=1.0, slo="p99<0.000001us"))
+        run = _wait_done(server, accepted["id"])
+        # SLO failure is still a *completed* run; a worker crash is the
+        # failed path, covered by test_worker_death below.
+        assert run.finished
+
+    def test_metrics_exposition(self, server):
+        with urllib.request.urlopen(server.url + "/metrics",
+                                    timeout=5.0) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "# TYPE repro_runs gauge" in text
+        assert 'repro_runs{state="done"}' in text
+
+
+class TestStreaming:
+    def test_stream_replays_then_ends(self, server):
+        accepted = http_post_json(server.url + "/runs", SPEC)
+        run_id = accepted["id"]
+        messages = list(stream_ndjson(
+            f"{server.url}/runs/{run_id}/stream", timeout=60.0))
+        kinds = [message["type"] for message in messages]
+        assert kinds.count("end") == 1 and kinds[-1] == "end"
+        snaps = [m["data"] for m in messages if m["type"] == "snapshot"]
+        assert len(snaps) >= 3
+        seqs = [snap["seq"] for snap in snaps]
+        assert seqs == sorted(seqs)
+        end = messages[-1]
+        assert end["state"] == "done"
+        assert end["snapshots"] == len(snaps) + snaps[0]["seq"]
+
+    def test_stream_after_completion_replays_retained(self, server):
+        accepted = http_post_json(server.url + "/runs", SPEC)
+        run = _wait_done(server, accepted["id"])
+        messages = list(stream_ndjson(
+            f"{server.url}/runs/{accepted['id']}/stream", timeout=10.0))
+        snaps = [m for m in messages if m["type"] == "snapshot"]
+        assert len(snaps) == len(run.snapshots)
+        assert messages[-1]["type"] == "end"
+
+
+class TestWorkerFailure:
+    def test_worker_death_fails_run(self):
+        server = ReproServer(port=0, max_workers=1)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            run = server.submit(dict(SPEC))
+            # Kill the child as soon as it exists; EOF without a
+            # terminal message must fail the run, not hang it.
+            deadline = threading.Event()
+            for _ in range(200):
+                with server._cond:
+                    proc = server._procs.get(run.run_id)
+                if proc is not None:
+                    proc.terminate()
+                    break
+                deadline.wait(0.05)
+            with run.cond:
+                assert run.cond.wait_for(lambda: run.finished,
+                                         timeout=30.0)
+            assert run.state == "failed"
+            assert "worker died" in (run.error or "")
+            # The manager thread releases its slot after joining the
+            # dead child, slightly after run.finished flips.
+            with server._cond:
+                assert server._cond.wait_for(
+                    lambda: server._active == 0, timeout=10.0)
+        finally:
+            server.shutdown()
+            thread.join(timeout=10.0)
+
+
+class TestShutdown:
+    def test_post_shutdown_stops_server_and_workers(self):
+        server = ReproServer(port=0, max_workers=1)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        http_post_json(server.url + "/shutdown", {})
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert server.active_workers() == 0
+        with pytest.raises((urllib.error.URLError, ConnectionError,
+                            OSError)):
+            http_get_json(server.url + "/healthz", timeout=2.0)
+
+    def test_submit_after_shutdown_fails_fast(self):
+        server = ReproServer(port=0, max_workers=1)
+        server.shutdown()
+        run = server.submit(dict(SPEC))
+        assert run.state == "failed"
+        assert "shutting down" in run.error
+
+
+class TestWatch:
+    def test_watch_once_run_view(self, server, capsys):
+        accepted = http_post_json(server.url + "/runs", SPEC)
+        _wait_done(server, accepted["id"])
+        code = watch(f"{server.url}/runs/{accepted['id']}", once=True)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "committed" in out and "[done]" in out
+
+    def test_watch_once_server_view(self, server, capsys):
+        code = watch(server.url, once=True)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario" in out and "quick-ht" in out
+
+    def test_watch_unreachable_is_an_error_message(self, capsys):
+        code = watch("http://127.0.0.1:1/runs", once=True)
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_renderers_handle_empty_and_minimal_input(self):
+        assert "no runs" in render_runs_table([])
+        snap = {"run": "x", "seq": 0, "t_ns": 1000.0, "committed": 1,
+                "committed_delta": 1, "aborted": 0, "aborted_delta": 0,
+                "throughput_tps": 1e6, "abort_rate": 0.0,
+                "inflight_txns": 2, "events_per_sec": 1e8,
+                "queue_depth": {}, "queue_shed": {},
+                "degraded_nodes": [], "recovery_epoch": 0}
+        text = render_snapshot(snap)
+        assert "committed" in text and "1,000,000 tps" in text

@@ -1,0 +1,180 @@
+"""Unit tests for the serve layer's pure pieces: run lifecycle state,
+spec validation, and Prometheus rendering — no HTTP, no subprocesses."""
+
+import pytest
+
+from repro.serve.state import (
+    RUN_STATES,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    RunRegistry,
+)
+from repro.serve.prom import render_prometheus
+from repro.serve.worker import cell_from_spec, validate_spec
+
+
+def _snap(seq, committed=10, t_ns=10_000.0):
+    """A minimal snapshot carrying the fields state/prom read."""
+    return {"seq": seq, "t_ns": t_ns, "committed": committed,
+            "aborted": 2, "inflight_txns": 4, "events_per_sec": 1e6,
+            "recovery_epoch": 0, "queue_depth": {"0": 3},
+            "queue_shed": {"capacity:0": 1}}
+
+
+class TestRunLifecycle:
+    def test_states_progress(self):
+        registry = RunRegistry()
+        run = registry.create({"scenario": "quick-ht"})
+        assert run.state == STATE_QUEUED and not run.finished
+        run.set_running()
+        assert run.state == STATE_RUNNING
+        run.finish({"committed": 1})
+        assert run.state == STATE_DONE and run.finished
+        assert run.error is None
+
+    def test_error_payload_means_failed(self):
+        run = RunRegistry().create({"scenario": "quick-ht"})
+        run.finish({"error": "boom"})
+        assert run.state == STATE_FAILED
+        assert run.error == "boom"
+
+    def test_fail_directly(self):
+        run = RunRegistry().create({"scenario": "quick-ht"})
+        run.fail("worker died")
+        assert run.state == STATE_FAILED and run.finished
+
+    def test_ids_are_sequential(self):
+        registry = RunRegistry()
+        ids = [registry.create({"scenario": "s"}).run_id
+               for _ in range(3)]
+        assert ids == ["r1", "r2", "r3"]
+        assert registry.get("r2").run_id == "r2"
+        assert registry.get("r9") is None
+        assert len(registry) == 3
+
+    def test_counts_by_state(self):
+        registry = RunRegistry()
+        registry.create({"scenario": "s"})
+        running = registry.create({"scenario": "s"})
+        running.set_running()
+        counts = registry.counts()
+        assert counts[STATE_QUEUED] == 1 and counts[STATE_RUNNING] == 1
+        assert sum(counts.values()) == 2
+        assert set(counts) == set(RUN_STATES)
+
+
+class TestSnapshotRing:
+    def test_ring_retains_newest(self):
+        run = RunRegistry(retain=4).create({"scenario": "s"})
+        for seq in range(10):
+            run.add_snapshot(_snap(seq))
+        assert run.total_snapshots == 10
+        assert run.first_seq == 6
+        assert [snap["seq"] for snap in run.snapshots] == [6, 7, 8, 9]
+        assert run.latest()["seq"] == 9
+
+    def test_snapshots_from_clamps_to_ring(self):
+        run = RunRegistry(retain=4).create({"scenario": "s"})
+        for seq in range(6):
+            run.add_snapshot(_snap(seq))
+        # Asking for evicted history yields what is still retained.
+        assert [snap["seq"] for snap in run.snapshots_from(0)] \
+            == [2, 3, 4, 5]
+        assert [snap["seq"] for snap in run.snapshots_from(5)] == [5]
+        assert run.snapshots_from(6) == []
+
+    def test_wait_past_returns_on_data_and_on_finish(self):
+        run = RunRegistry().create({"scenario": "s"})
+        assert not run.wait_past(0, timeout=0.01)  # nothing yet
+        run.add_snapshot(_snap(0))
+        assert run.wait_past(0, timeout=0.01)
+        assert not run.wait_past(1, timeout=0.01)
+        run.finish({})
+        assert run.wait_past(99, timeout=0.01)  # finished unblocks
+
+    def test_summary_and_detail_reflect_latest(self):
+        run = RunRegistry().create(validate_spec({"scenario": "quick-ht",
+                                                  "seed": 3}))
+        run.add_snapshot(_snap(0, committed=42, t_ns=5_000.0))
+        summary = run.summary()
+        assert summary["committed"] == 42
+        assert summary["t_ns"] == 5_000.0
+        assert summary["seed"] == 3
+        detail = run.detail()
+        assert detail["latest"]["seq"] == 0
+        assert detail["retained"] == 1
+        assert detail["spec"]["scenario"] == "quick-ht"
+
+
+class TestValidateSpec:
+    def test_fills_defaults(self):
+        full = validate_spec({"scenario": "quick-ht"})
+        assert full["protocol"] == "hades"
+        assert full["seed"] == 42
+        assert full["duration_us"] == 200.0
+
+    def test_requires_scenario(self):
+        with pytest.raises(ValueError, match="scenario"):
+            validate_spec({})
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            validate_spec({"scenario": "quick-ht", "duration_ms": 1})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_spec(["quick-ht"])
+
+    def test_rejects_bad_protocol_at_post_time(self):
+        with pytest.raises(ValueError):
+            validate_spec({"scenario": "quick-ht",
+                           "protocol": "no-such-protocol"})
+
+    def test_rejects_bad_override_at_post_time(self):
+        with pytest.raises(ValueError):
+            validate_spec({"scenario": "quick-ht",
+                           "overrides": ["load.not_a_field=3"]})
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            validate_spec({"scenario": "quick-ht", "duration_us": 0})
+
+    def test_cell_round_trip(self):
+        full = validate_spec({"scenario": "quick-ht", "seed": 9,
+                              "duration_us": 50.0, "rate": 1e6,
+                              "overrides": ["load.queue_capacity=16"]})
+        cell = cell_from_spec(full)
+        assert cell.seed == 9
+        assert cell.duration_ns == 50_000.0
+        assert cell.rate == 1e6
+        assert cell.overrides == (("load.queue_capacity", "16"),)
+
+
+class TestPrometheus:
+    def test_empty_registry_renders_state_gauge(self):
+        text = render_prometheus(RunRegistry())
+        assert 'repro_runs{state="queued"} 0' in text
+        assert "repro_run_committed_total" not in text
+
+    def test_run_with_snapshot_renders_families(self):
+        registry = RunRegistry()
+        run = registry.create({"scenario": "quick-ht"})
+        run.set_running()
+        run.add_snapshot(_snap(0, committed=17))
+        text = render_prometheus(registry)
+        assert 'repro_runs{state="running"} 1' in text
+        assert 'repro_run_committed_total{run="r1"} 17' in text
+        assert 'repro_run_queue_depth{node="0",run="r1"} 3' in text
+        assert 'repro_run_shed_total{reason="capacity:0",run="r1"} 1' \
+            in text
+        assert text.endswith("\n")
+
+    def test_help_and_type_preambles(self):
+        registry = RunRegistry()
+        registry.create({"scenario": "s"}).add_snapshot(_snap(0))
+        text = render_prometheus(registry)
+        for family in ("repro_runs", "repro_run_snapshots_total"):
+            assert f"# HELP {family} " in text
+            assert f"# TYPE {family} " in text

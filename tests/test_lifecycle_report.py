@@ -1,0 +1,117 @@
+"""Pinning tests for open-loop surfacing in the report tables
+(:mod:`repro.analysis.lifecycle`, :mod:`repro.analysis.sweep`).
+
+The admission-control layer (docs/LOAD.md) added a ``queue_wait`` span
+phase and ``shed``/``overload`` abort classes; these tests pin that the
+report tables surface them for open-loop data AND that closed-loop
+reports are byte-for-byte what they were before the traffic layer
+existed (the gating contract)."""
+
+from repro.analysis.lifecycle import format_lifecycle
+from repro.analysis.sweep import format_sweep_table
+from repro.obs.spans import SpanRecorder
+
+
+def _closed_recorder():
+    recorder = SpanRecorder()
+    recorder.protocol = "hades"
+    recorder.record_attempt(node=0, slot=0, txid=1, attempt=0,
+                            committed=True,
+                            phases={"execute": 4_000.0,
+                                    "validate": 1_000.0},
+                            total_latency_ns=5_000.0)
+    recorder.record_attempt(node=0, slot=1, txid=2, attempt=0,
+                            committed=False,
+                            phases={"execute": 2_000.0},
+                            reason="remote conflict",
+                            abort_class="lr_conflict")
+    return recorder
+
+
+def _open_recorder():
+    recorder = _closed_recorder()
+    recorder.record_attempt(node=1, slot=0, txid=3, attempt=0,
+                            committed=True,
+                            phases={"queue_wait": 3_000.0,
+                                    "execute": 4_000.0},
+                            total_latency_ns=7_000.0)
+    recorder.record_attempt(node=1, slot=1, txid=4, attempt=0,
+                            committed=False, phases={},
+                            reason="queue full",
+                            abort_class="shed")
+    recorder.record_attempt(node=1, slot=2, txid=5, attempt=0,
+                            committed=False, phases={},
+                            reason="degraded mode",
+                            abort_class="overload")
+    return recorder
+
+
+def _cell(**extra):
+    row = {"scenario": "HT-wA", "protocol": "hades", "seed": 7,
+           "throughput_tps": 1_000_000.0, "abort_rate": 0.1,
+           "committed": 100, "aborted": 10}
+    row.update(extra)
+    return row
+
+
+class TestLifecycleOpenLoopRows:
+    def test_closed_loop_summary_has_no_open_loop_rows(self):
+        text = format_lifecycle({"hades": _closed_recorder()})
+        assert "queue wait" not in text
+        assert "shed aborts" not in text
+        assert "overload aborts" not in text
+
+    def test_open_loop_summary_grows_the_rows(self):
+        text = format_lifecycle({"hades": _open_recorder()})
+        assert "queue wait p50 (us)" in text
+        assert "queue wait p99 (us)" in text
+        assert "shed aborts" in text
+        assert "overload aborts" in text
+        # The phase table picks up queue_wait too.
+        assert "queue_wait" in text
+
+    def test_abort_taxonomy_lists_shed_and_overload(self):
+        text = format_lifecycle({"hades": _open_recorder()})
+        taxonomy = text.split("abort taxonomy")[1] \
+                       .split("attempts and retries")[0]
+        assert "shed" in taxonomy
+        assert "overload" in taxonomy
+
+    def test_mixed_protocols_fill_missing_with_dash(self):
+        text = format_lifecycle({"baseline": _closed_recorder(),
+                                 "hades": _open_recorder()})
+        lines = [line for line in text.splitlines()
+                 if line.startswith("queue wait p50")]
+        assert len(lines) == 1
+        # The closed-loop column renders "-", the open-loop one a value.
+        assert "-" in lines[0] and "3" in lines[0]
+
+
+class TestSweepOpenLoopColumns:
+    def test_closed_loop_grid_has_no_admission_columns(self):
+        text = format_sweep_table({"cells": [_cell()], "aggregates": {}})
+        assert "admit" not in text
+        assert "q-delay" not in text
+
+    def test_rated_grid_grows_admission_columns(self):
+        load = {"offered": 200, "admitted": 150, "shed_total": 50,
+                "queue_delay": {"buckets": {"100": 10}, "count": 10,
+                                "max": 1_000.0, "min": 100.0,
+                                "subbucket_bits": 7, "sum": 5_000.0}}
+        text = format_sweep_table(
+            {"cells": [_cell(rate=1e6, load=load)], "aggregates": {}})
+        assert "admit" in text and "shed" in text
+        assert "q-delay p95 us" in text
+        assert "75.0%" in text
+
+    def test_rated_cell_without_load_renders_dashes(self):
+        text = format_sweep_table(
+            {"cells": [_cell(rate=1e6)], "aggregates": {}})
+        assert "admit" in text  # headers present for a rated grid
+
+    def test_error_cell_in_rated_grid_keeps_row_width(self):
+        cells = [_cell(rate=1e6),
+                 {"scenario": "HT-wA", "protocol": "hades", "seed": 8,
+                  "rate": 1e6, "error": "boom"}]
+        text = format_sweep_table({"cells": cells, "aggregates": {}})
+        assert "ERROR: boom" in text
