@@ -68,12 +68,19 @@ class BenchScenario:
             llc_sets=self.llc_sets,
         )
         wall_s = time.perf_counter() - started
+        if wall_s <= 0:
+            # A zero/negative wall clock means a broken timer (or a run
+            # that executed nothing); silently reporting 0 events/s
+            # would sail under every regression gate, so fail loudly.
+            raise RuntimeError(
+                f"bench scenario {self.name!r} measured a non-positive "
+                f"wall clock ({wall_s!r}s over {result.events_processed} "
+                f"events) — events/sec would be meaningless")
         committed = result.metrics.meter.committed
         return {
             "wall_s": wall_s,
             "events": result.events_processed,
-            "events_per_sec": (result.events_processed / wall_s
-                               if wall_s > 0 else 0.0),
+            "events_per_sec": result.events_processed / wall_s,
             "committed": committed,
             "aborted": result.metrics.meter.aborted,
             # Behavioral fingerprints: pinned seeds make these exact, so

@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.address import lines_covering
 from repro.cluster.cluster import Cluster
 from repro.cluster.record import RecordDescriptor
 from repro.core.api import Owner, Request, SquashCause, SquashedError, TxStatus
@@ -95,6 +96,13 @@ class ProtocolBase:
         #: slots are deliberately absent (nothing of theirs to kill).
         self._executing: Dict[Tuple[int, int], object] = {}
         self._active: Dict[Owner, ActiveTx] = {}
+        #: (record_id, offset, size) -> covered-lines tuple / byte range.
+        #: Record placement is fixed for the life of a cluster, so both
+        #: are pure per request shape; cached to keep the descriptor
+        #: lookup and range arithmetic out of the per-request hot path.
+        self._lines_cache: Dict[Tuple[int, int, Optional[int]], tuple] = {}
+        self._range_cache: Dict[Tuple[int, int, Optional[int]],
+                                Tuple[int, int]] = {}
         self._token_counter = itertools.count(1)
         for node in cluster.nodes:
             cluster.fabric.register(node.node_id, self._make_handler(node.node_id))
@@ -480,22 +488,35 @@ class ProtocolBase:
     def descriptor(self, record_id: int) -> RecordDescriptor:
         return self.cluster.record(record_id)
 
-    def requested_lines(self, request: Request) -> List[int]:
-        """Cache lines the request's byte range covers."""
-        descriptor = self.descriptor(request.record_id)
-        size = request.size if request.size is not None else descriptor.data_bytes
-        if request.offset + size > descriptor.data_bytes:
-            raise ValueError(
-                f"request range [{request.offset}, {request.offset + size}) "
-                f"exceeds record {record_repr(descriptor)}")
-        from repro.cluster.address import lines_covering
-        return lines_covering(descriptor.address + request.offset, size)
+    def requested_lines(self, request: Request) -> Sequence[int]:
+        """Cache lines the request's byte range covers (shared tuple —
+        callers iterate, never mutate)."""
+        key = (request.record_id, request.offset, request.size)
+        lines = self._lines_cache.get(key)
+        if lines is None:
+            descriptor = self.descriptor(request.record_id)
+            size = (request.size if request.size is not None
+                    else descriptor.data_bytes)
+            if request.offset + size > descriptor.data_bytes:
+                raise ValueError(
+                    f"request range [{request.offset}, {request.offset + size}) "
+                    f"exceeds record {record_repr(descriptor)}")
+            lines = tuple(lines_covering(descriptor.address + request.offset,
+                                         size))
+            self._lines_cache[key] = lines
+        return lines
 
     def requested_range(self, request: Request) -> Tuple[int, int]:
         """(byte address, size) of the request within its record."""
-        descriptor = self.descriptor(request.record_id)
-        size = request.size if request.size is not None else descriptor.data_bytes
-        return descriptor.address + request.offset, size
+        key = (request.record_id, request.offset, request.size)
+        span = self._range_cache.get(key)
+        if span is None:
+            descriptor = self.descriptor(request.record_id)
+            size = (request.size if request.size is not None
+                    else descriptor.data_bytes)
+            span = (descriptor.address + request.offset, size)
+            self._range_cache[key] = span
+        return span
 
 
 def record_repr(descriptor: RecordDescriptor) -> str:

@@ -108,23 +108,41 @@ class BaselineProtocol(ProtocolBase):
         cost = self.config.cost
         yield ctx.charge_cpu(cost.txn_setup_cycles, CATEGORY_OTHER)
 
-        stream = self.request_stream(requests)
-        result = None
-        while True:
-            request = stream.next(result)
-            if request is None:
-                break
-            ctx.touched_records.add(request.record_id)
-            work = (request.work_cycles if request.work_cycles is not None
-                    else cost.request_work_cycles)
-            yield ctx.charge_cpu(work, CATEGORY_OTHER)
-            if request.is_write:
-                yield from self._execute_write(ctx, request, read_set, write_set)
-                result = None
-            else:
-                result = yield from self._execute_read(ctx, request, read_set,
-                                                       write_set)
-                ctx.read_results.append(result)
+        if not callable(requests):
+            # List spec: no stream object and no read-result threading.
+            touched = ctx.touched_records
+            default_work = cost.request_work_cycles
+            for request in requests:
+                touched.add(request.record_id)
+                work = request.work_cycles
+                yield ctx.charge_cpu(work if work is not None
+                                     else default_work, CATEGORY_OTHER)
+                if request.kind == "write":
+                    yield from self._execute_write(ctx, request, read_set,
+                                                   write_set)
+                else:
+                    result = yield from self._execute_read(ctx, request,
+                                                           read_set, write_set)
+                    ctx.read_results.append(result)
+        else:
+            stream = self.request_stream(requests)
+            result = None
+            while True:
+                request = stream.next(result)
+                if request is None:
+                    break
+                ctx.touched_records.add(request.record_id)
+                work = (request.work_cycles if request.work_cycles is not None
+                        else cost.request_work_cycles)
+                yield ctx.charge_cpu(work, CATEGORY_OTHER)
+                if request.is_write:
+                    yield from self._execute_write(ctx, request, read_set,
+                                                   write_set)
+                    result = None
+                else:
+                    result = yield from self._execute_read(ctx, request,
+                                                           read_set, write_set)
+                    ctx.read_results.append(result)
 
         ctx.begin_phase(PHASE_VALIDATION)
         yield from self._validate(ctx, read_set, write_set)

@@ -79,22 +79,40 @@ class HadesProtocol(ProtocolBase):
         self._init_attempt_state(ctx)
         cost = self.config.cost
         yield ctx.charge_cpu(cost.txn_setup_cycles)
-        stream = self.request_stream(requests)
-        result = None
-        while True:
-            request = stream.next(result)
-            if request is None:
-                break
-            ctx.touched_records.add(request.record_id)
-            work = (request.work_cycles if request.work_cycles is not None
-                    else cost.request_work_cycles)
-            yield ctx.charge_cpu(work)
-            if request.is_write:
-                yield from self._execute_write(ctx, request)
-                result = None
-            else:
-                result = yield from self._execute_read(ctx, request)
-                ctx.read_results.append(result)
+        if not callable(requests):
+            # List spec (every built-in workload tape): iterate the flat
+            # list directly — no stream object, no per-request dispatch.
+            # Reads in a list spec cannot feed later requests, so the
+            # result threading of the interactive path is dead weight.
+            touched = ctx.touched_records
+            default_work = cost.request_work_cycles
+            for request in requests:
+                touched.add(request.record_id)
+                work = request.work_cycles
+                yield ctx.charge_cpu(work if work is not None
+                                     else default_work)
+                if request.kind == "write":
+                    yield from self._execute_write(ctx, request)
+                else:
+                    result = yield from self._execute_read(ctx, request)
+                    ctx.read_results.append(result)
+        else:
+            stream = self.request_stream(requests)
+            result = None
+            while True:
+                request = stream.next(result)
+                if request is None:
+                    break
+                ctx.touched_records.add(request.record_id)
+                work = (request.work_cycles if request.work_cycles is not None
+                        else cost.request_work_cycles)
+                yield ctx.charge_cpu(work)
+                if request.is_write:
+                    yield from self._execute_write(ctx, request)
+                    result = None
+                else:
+                    result = yield from self._execute_read(ctx, request)
+                    ctx.read_results.append(result)
         ctx.begin_phase(PHASE_VALIDATION)
         yield from self._commit(ctx)
 

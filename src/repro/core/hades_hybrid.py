@@ -78,24 +78,42 @@ class HadesHybridProtocol(HadesProtocol):
         self._init_attempt_state(ctx)
         cost = self.config.cost
         yield ctx.charge_cpu(cost.txn_setup_cycles, CATEGORY_OTHER)
-        stream = self.request_stream(requests)
-        result = None
-        while True:
-            request = stream.next(result)
-            if request is None:
-                break
-            ctx.touched_records.add(request.record_id)
-            work = (request.work_cycles if request.work_cycles is not None
-                    else cost.request_work_cycles)
-            yield ctx.charge_cpu(work, CATEGORY_OTHER)
-            results_before = len(ctx.read_results)
-            descriptor = self.descriptor(request.record_id)
-            if descriptor.home_node == ctx.node_id:
-                yield from self._software_local_op(ctx, request, descriptor)
-            else:
-                yield from self._hardware_remote_op(ctx, request)
-            result = (ctx.read_results[-1]
-                      if len(ctx.read_results) > results_before else None)
+        if not callable(requests):
+            # List spec: no stream object and no read-result threading
+            # (a list's requests cannot depend on earlier reads).
+            touched = ctx.touched_records
+            default_work = cost.request_work_cycles
+            node_id = ctx.node_id
+            for request in requests:
+                touched.add(request.record_id)
+                work = request.work_cycles
+                yield ctx.charge_cpu(work if work is not None
+                                     else default_work, CATEGORY_OTHER)
+                descriptor = self.descriptor(request.record_id)
+                if descriptor.home_node == node_id:
+                    yield from self._software_local_op(ctx, request,
+                                                       descriptor)
+                else:
+                    yield from self._hardware_remote_op(ctx, request)
+        else:
+            stream = self.request_stream(requests)
+            result = None
+            while True:
+                request = stream.next(result)
+                if request is None:
+                    break
+                ctx.touched_records.add(request.record_id)
+                work = (request.work_cycles if request.work_cycles is not None
+                        else cost.request_work_cycles)
+                yield ctx.charge_cpu(work, CATEGORY_OTHER)
+                results_before = len(ctx.read_results)
+                descriptor = self.descriptor(request.record_id)
+                if descriptor.home_node == ctx.node_id:
+                    yield from self._software_local_op(ctx, request, descriptor)
+                else:
+                    yield from self._hardware_remote_op(ctx, request)
+                result = (ctx.read_results[-1]
+                          if len(ctx.read_results) > results_before else None)
         ctx.begin_phase(PHASE_VALIDATION)
         yield from self._commit(ctx)
 

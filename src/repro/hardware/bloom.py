@@ -37,7 +37,31 @@ __all__ = [
     "make_core_write_filter",
     "make_nic_filter_pair",
     "hash_family",
+    "split_index_stats",
+    "clear_split_index_caches",
 ]
+
+#: Process-wide ``key -> WrBF2 bit position`` memos, keyed by the split
+#: filter's shape ``(line_bytes, llc_sets, index_bits)``.  The position
+#: is a pure function of shape and key, so sharing (across the
+#: per-attempt filter instances *and* across runs) can change wall-clock
+#: time only — audited by :mod:`repro.isolation`.
+_INDEX_POSITION_CACHES: dict = {}
+
+#: Same safety valve as the CRC mask caches: far above any workload's
+#: line working set.
+_INDEX_CACHE_LIMIT = 1 << 20
+
+
+def split_index_stats() -> dict:
+    """Occupancy of the WrBF2 position memos, for the isolation audit."""
+    return {f"{lb}x{sets}x{bits}": len(cache)
+            for (lb, sets, bits), cache in sorted(_INDEX_POSITION_CACHES.items())}
+
+
+def clear_split_index_caches() -> None:
+    """Drop every WrBF2 position memo (filters re-memoize lazily)."""
+    _INDEX_POSITION_CACHES.clear()
 
 
 class BloomFilter:
@@ -63,6 +87,12 @@ class BloomFilter:
         self.bits = bits
         self.hashes = hashes
         self._family = shared_hash_family(hashes, bits)
+        #: Alias of the shared family's key->mask memo — the same dict
+        #: object for the family's whole life (``HashFamily.mask``
+        #: clears it in place at its safety valve), so the hot probe /
+        #: insert path is one dict hit with no method call; misses fall
+        #: back to ``self._family.mask`` which repopulates it.
+        self._mask_cache = self._family._masks
         self._bitmask = 0
         #: Raw insert count, duplicates included (each is a BF write).
         self.inserted_count = 0
@@ -83,7 +113,10 @@ class BloomFilter:
 
     def insert(self, key: int) -> None:
         """Insert a key; duplicates still count toward ``inserted_count``."""
-        self._bitmask |= self._family.mask(key)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            mask = self._family.mask(key)
+        self._bitmask |= mask
         self.inserted_count += 1
         self._keys.add(key)
         BloomFilter.total_write_ops += 1
@@ -95,7 +128,9 @@ class BloomFilter:
     def might_contain(self, key: int) -> bool:
         """Membership test — may return false positives, never negatives."""
         BloomFilter.total_read_ops += 1
-        mask = self._family.mask(key)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            mask = self._family.mask(key)
         return self._bitmask & mask == mask
 
     def clear(self) -> None:
@@ -149,6 +184,12 @@ class SplitWriteBloomFilter:
         self.index_bits = index_bits
         self.llc_sets = llc_sets
         self.line_bytes = line_bytes
+        shape = (line_bytes, llc_sets, index_bits)
+        positions = _INDEX_POSITION_CACHES.get(shape)
+        if positions is None:
+            positions = _INDEX_POSITION_CACHES[shape] = {}
+        #: Shared ``key -> WrBF2 bit position`` memo for this shape.
+        self._index_positions = positions
         self._index_bitmask = 0
         self.inserted_count = 0
         self._keys: Set[int] = set()
@@ -171,8 +212,14 @@ class SplitWriteBloomFilter:
 
     def insert(self, key: int) -> None:
         self.crc_section.insert(key)
-        self._index_bitmask |= (
-            1 << (key // self.line_bytes) % self.llc_sets % self.index_bits)
+        positions = self._index_positions
+        position = positions.get(key)
+        if position is None:
+            if len(positions) >= _INDEX_CACHE_LIMIT:
+                positions.clear()
+            position = positions[key] = (
+                (key // self.line_bytes) % self.llc_sets % self.index_bits)
+        self._index_bitmask |= 1 << position
         # The WrBF2 index-array update is a BF write access of its own
         # (WrBF1's was counted by crc_section.insert) — the Table III
         # energy model charges both sections.
@@ -192,8 +239,14 @@ class SplitWriteBloomFilter:
         miss does not save WrBF1's (already issued) access.
         """
         BloomFilter.total_read_ops += 1  # WrBF2 index-array probe
-        if not (self._index_bitmask
-                >> (key // self.line_bytes) % self.llc_sets % self.index_bits) & 1:
+        positions = self._index_positions
+        position = positions.get(key)
+        if position is None:
+            if len(positions) >= _INDEX_CACHE_LIMIT:
+                positions.clear()
+            position = positions[key] = (
+                (key // self.line_bytes) % self.llc_sets % self.index_bits)
+        if not (self._index_bitmask >> position) & 1:
             BloomFilter.total_read_ops += 1  # parallel WrBF1 probe
             return False
         return self.crc_section.might_contain(key)

@@ -17,6 +17,17 @@ the contract each entry must honor:
   :func:`~repro.runner.run_experiment` snapshots them and reports
   per-run deltas (``ExperimentResult.bloom_read_ops``/``bloom_write_ops``),
   which are what the energy report consumes.
+* ``repro.hardware.bloom`` — the process-wide WrBF2 position memos
+  (:data:`~repro.hardware.bloom._INDEX_POSITION_CACHES`): ``key ->
+  (key // line_bytes) % llc_sets % index_bits``, keyed by filter shape.
+  A pure value cache.  **Safe to share; kept warm across runs.**
+* ``repro.sim.random`` — the process-wide zipfian scramble memo
+  (:data:`~repro.sim.random._SCRAMBLE_CACHES`): ``rank ->
+  fnv1a_64(rank) % item_count``, keyed by ``item_count``.  A pure value
+  cache, so warmth changes wall-clock time only.  (The per-generator
+  rank *tapes* are instance state constructed fresh per run and feed
+  off the generator's own private RNG, so they never cross runs.)
+  **Safe to share; kept warm across runs.**
 * The CRC lookup table (``repro.hardware.crc._TABLE``) and similar
   computed constants — immutable after import, trivially safe.
 
@@ -38,13 +49,16 @@ from typing import Dict
 def process_state_report() -> Dict[str, object]:
     """Sizes of every known process-wide cache/counter, for the audit
     tests and for memory diagnostics of long-lived sweep workers."""
-    from repro.hardware.bloom import BloomFilter
+    from repro.hardware.bloom import BloomFilter, split_index_stats
     from repro.hardware.crc import shared_family_stats
+    from repro.sim.random import zipfian_scramble_stats
 
     return {
         "hash_family_masks": shared_family_stats(),
         "bloom_total_read_ops": BloomFilter.total_read_ops,
         "bloom_total_write_ops": BloomFilter.total_write_ops,
+        "split_index_positions": split_index_stats(),
+        "zipfian_scramble_keys": zipfian_scramble_stats(),
     }
 
 
@@ -56,8 +70,11 @@ def reset_process_caches() -> None:
     after ``reset_process_caches()`` must equal the same run on a warm
     process — and so a long-lived worker can bound mask-cache memory.
     """
-    from repro.hardware.bloom import BloomFilter
+    from repro.hardware.bloom import BloomFilter, clear_split_index_caches
     from repro.hardware.crc import clear_shared_families
+    from repro.sim.random import clear_zipfian_scramble_caches
 
     clear_shared_families()
     BloomFilter.reset_stats()
+    clear_split_index_caches()
+    clear_zipfian_scramble_caches()

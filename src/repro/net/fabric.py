@@ -71,6 +71,11 @@ class Fabric:
 
     def __init__(self, engine: Engine, params: NetworkParams):
         self.engine = engine
+        #: Bound engine entry points, hoisted for the per-send hot path
+        #: (every message arms one delivery timer and allocates one
+        #: delivery event; the engine never changes after construction).
+        self._schedule = engine.schedule
+        self._new_event = engine.event
         self.params = params
         # Per-send constants hoisted out of the hot path: ``params`` is a
         # frozen dataclass, so its derived properties never change after
@@ -149,7 +154,7 @@ class Fabric:
         )
         self.messages_sent += 1
         self.bytes_sent += size
-        delivered = self.engine.event()
+        delivered = self._new_event()
         if self.faults is not None:
             drop_reason, extra_ns = self.faults.message_fate(
                 src, dst, message, now)
@@ -195,8 +200,8 @@ class Fabric:
                                   delivery_delay)
             if self.spans is not None:
                 self.spans.record_message(msg_type, delivery_delay)
-        self.engine.schedule(delivery_delay, self._deliver, src, dst, message,
-                             delivered)
+        self._schedule(delivery_delay, self._deliver, src, dst, message,
+                       delivered)
         return delivered
 
     def _deliver(self, src: int, dst: int, message: Message,
@@ -245,6 +250,10 @@ class RequestReplyHelper:
     def __init__(self, engine: Engine,
                  default_timeout_ns: float = None):
         self.engine = engine
+        # Bound engine entry points: a retry storm arms/cancels timers
+        # far faster than deadlines pass, so both sit on the hot path.
+        self._schedule = engine.schedule
+        self._cancel = engine.cancel
         self._pending: Dict[Any, Event] = {}
         self._timers: Dict[Any, Any] = {}
         #: When set, every :meth:`expect` without an explicit timeout
@@ -265,14 +274,14 @@ class RequestReplyHelper:
         if timeout_ns is None:
             timeout_ns = self.default_timeout_ns
         if timeout_ns is not None:
-            self._timers[token] = self.engine.schedule(
+            self._timers[token] = self._schedule(
                 timeout_ns, self._expire, token, event)
         return event
 
     def _cancel_timer(self, token: Any) -> None:
         entry = self._timers.pop(token, None)
         if entry is not None:
-            self.engine.cancel(entry)
+            self._cancel(entry)
 
     def _expire(self, token: Any, event: Event) -> None:
         self._timers.pop(token, None)

@@ -49,8 +49,9 @@ class Event:
         self.triggered = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
+        post = self.engine.post
         for callback in callbacks:
-            self.engine.schedule(0.0, callback, self)
+            post(callback, self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -60,7 +61,7 @@ class Event:
         immediately (at the current simulation time).
         """
         if self.triggered:
-            self.engine.schedule(0.0, callback, self)
+            self.engine.post(callback, self)
         else:
             self._callbacks.append(callback)
 

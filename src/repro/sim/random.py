@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Sequence, TypeVar
+from typing import Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -55,6 +55,23 @@ class DeterministicRandom(random.Random):
         return self.sample(range(population), count)
 
 
+#: Process-wide rank -> scrambled-key memo, keyed by ``item_count``.
+#: ``fnv1a_64(rank) % item_count`` is a pure function, so warmth changes
+#: wall-clock time only, never a simulated result (audited by
+#: :mod:`repro.isolation`).
+_SCRAMBLE_CACHES: Dict[int, Dict[int, int]] = {}
+
+
+def zipfian_scramble_stats() -> Dict[int, int]:
+    """``item_count -> memoized rank count`` for the isolation audit."""
+    return {count: len(cache) for count, cache in _SCRAMBLE_CACHES.items()}
+
+
+def clear_zipfian_scramble_caches() -> None:
+    """Drop every memoized scramble (generators re-memoize lazily)."""
+    _SCRAMBLE_CACHES.clear()
+
+
 class ZipfianGenerator:
     """YCSB-style zipfian generator over ``[0, item_count)``.
 
@@ -62,7 +79,19 @@ class ZipfianGenerator:
     default and ours) the rank is hashed so popular keys are spread over
     the whole key space — and therefore over all home nodes, matching the
     paper's uniform record distribution.
+
+    Ranks are drawn in blocks onto a *tape* (``_tape``): the per-draw
+    inverse-CDF math runs in one tight loop with locals hoisted, and
+    :meth:`next_rank` / :meth:`next_key` just pop the next entry.  The
+    RNG is consumed in exactly the draw order of the unbatched code (one
+    ``random()`` per rank, same float expressions), and the RNG is owned
+    by this generator, so pre-drawing a block cannot perturb any other
+    randomness stream — the i-th value returned is bit-identical either
+    way.
     """
+
+    #: Ranks pre-drawn per tape refill.
+    TAPE_BLOCK = 1024
 
     def __init__(
         self,
@@ -88,32 +117,82 @@ class ZipfianGenerator:
             )
         else:
             # The YCSB closed form degenerates for tiny populations;
-            # next_rank() falls back to direct inverse-CDF sampling.
+            # the tape refill falls back to direct inverse-CDF sampling.
             self._eta = 0.0
+        self._tape: List[int] = []
+        self._tape_pos = 0
+        cache = _SCRAMBLE_CACHES.get(item_count)
+        if cache is None:
+            cache = _SCRAMBLE_CACHES[item_count] = {}
+        self._scramble_cache = cache
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
         return sum(1.0 / (i ** theta) for i in range(1, n + 1))
 
+    def _refill_tape(self) -> None:
+        """Append :data:`TAPE_BLOCK` ranks, trimming the consumed prefix.
+
+        The loop body is the exact float-op sequence of the historical
+        per-call ``next_rank`` (``0.5 ** theta`` is a pure constant,
+        hoisted; ``min`` became a compare) so every rank is bit-identical
+        to an unbatched draw.
+        """
+        tape = self._tape
+        if self._tape_pos:
+            del tape[: self._tape_pos]
+            self._tape_pos = 0
+        random01 = self._rng.random
+        append = tape.append
+        item_count = self.item_count
+        if item_count <= 2:
+            head_mass = self.probability_of_rank(0)
+            last = item_count - 1
+            for _ in range(self.TAPE_BLOCK):
+                append(0 if random01() < head_mass else last)
+            return
+        zeta_n = self._zeta_n
+        second_rank_bound = 1.0 + 0.5 ** self.theta
+        eta = self._eta
+        alpha = self._alpha
+        last = item_count - 1
+        for _ in range(self.TAPE_BLOCK):
+            u = random01()
+            uz = u * zeta_n
+            if uz < 1.0:
+                append(0)
+            elif uz < second_rank_bound:
+                append(1)
+            else:
+                rank = int(item_count * (eta * u - eta + 1.0) ** alpha)
+                append(rank if rank < last else last)
+
     def next_rank(self) -> int:
         """Draw the next zipfian rank (0 = most popular)."""
-        u = self._rng.random()
-        if self.item_count <= 2:
-            return 0 if u < self.probability_of_rank(0) else self.item_count - 1
-        uz = u * self._zeta_n
-        if uz < 1.0:
-            return 0
-        if uz < 1.0 + 0.5 ** self.theta:
-            return 1
-        rank = int(self.item_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
-        return min(rank, self.item_count - 1)
+        pos = self._tape_pos
+        tape = self._tape
+        if pos >= len(tape):
+            self._refill_tape()
+            pos = self._tape_pos
+        self._tape_pos = pos + 1
+        return tape[pos]
 
     def next_key(self) -> int:
         """Draw the next key in ``[0, item_count)``."""
-        rank = self.next_rank()
+        pos = self._tape_pos
+        tape = self._tape
+        if pos >= len(tape):
+            self._refill_tape()
+            pos = self._tape_pos
+        self._tape_pos = pos + 1
+        rank = tape[pos]
         if not self.scrambled:
             return rank
-        return fnv1a_64(rank) % self.item_count
+        cache = self._scramble_cache
+        key = cache.get(rank)
+        if key is None:
+            key = cache[rank] = fnv1a_64(rank) % self.item_count
+        return key
 
     def probability_of_rank(self, rank: int) -> float:
         """Analytic probability mass of the item at ``rank`` (0-based)."""

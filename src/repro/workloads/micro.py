@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.cluster.cluster import Cluster
-from repro.core.api import Request, read, write
+from repro.core.api import Request, read
 from repro.sim.random import DeterministicRandom, ZipfianGenerator
 from repro.workloads.base import Workload
 
@@ -57,6 +57,11 @@ class MicroWorkload(Workload):
         self._zipf = ZipfianGenerator(record_count, theta=theta,
                                       rng=DeterministicRandom(seed))
         self.name = self._derive_name()
+        #: key -> shared frozen whole-record read Request (record ids
+        #: are a pure function of key, so the instances never go stale).
+        self._read_tape: List[Optional[Request]] = [None] * record_count
+        #: Geometry of the 20% unaligned field update, precomputed.
+        self._unaligned_size = min(16, record_bytes - 8)
 
     def _derive_name(self) -> str:
         percent = int(round(self.write_fraction * 100))
@@ -68,24 +73,39 @@ class MicroWorkload(Workload):
 
     def next_transaction(self, rng: DeterministicRandom, node_id: int,
                          cluster: Cluster, client_id=None) -> List[Request]:
+        zipf_next = self._zipf.next_key
+        steered = self.locality is not None
+        read_tape = self._read_tape
+        base = self.record_id_base
+        write_fraction = self.write_fraction
+        unaligned_fraction = self.unaligned_fraction
+        aligned_size = self.field_bytes
+        unaligned_size = self._unaligned_size
+        random01 = rng.random
         requests: List[Request] = []
+        append = requests.append
         for index in range(self.requests_per_txn):
-            key = self.steer_locality(rng, node_id, cluster,
-                                      self._zipf.next_key)
-            record = self.record_id(key)
-            if rng.random() < self.write_fraction:
-                if rng.random() < self.unaligned_fraction:
+            if steered:
+                key = self.steer_locality(rng, node_id, cluster, zipf_next)
+            else:
+                key = zipf_next()
+            if random01() < write_fraction:
+                if random01() < unaligned_fraction:
                     # A small unaligned field update: exercises HADES'
                     # partially-written-line handling.
                     offset = 8
-                    size = min(16, self.record_bytes - offset)
+                    size = unaligned_size
                 else:
                     offset = 0
-                    size = self.field_bytes
-                requests.append(write(record, value=(node_id, index, rng.random()),
-                                      offset=offset, size=size))
+                    size = aligned_size
+                append(Request("write", base + key,
+                               value=(node_id, index, random01()),
+                               offset=offset, size=size))
             else:
-                requests.append(read(record))
+                request = read_tape[key]
+                if request is None:
+                    request = read_tape[key] = read(base + key)
+                append(request)
         return requests
 
 

@@ -68,6 +68,16 @@ class YcsbWorkload(Workload):
         else:
             self.index = store_cls()
         self.name = f"{self._store_label()}-w{variant.upper()}"
+        #: key -> (record_id, work_cycles, shared frozen read Request).
+        #: The index probe depth and record id are pure per key once the
+        #: index is loaded, so the per-request lookup + Request build
+        #: happen once per key; rebuilt by :meth:`populate`.
+        self._request_tape: List = [None] * record_count
+        #: field -> (offset, size), the write-geometry of each field.
+        self._field_geometry = [
+            (field * FIELD_BYTES,
+             min(FIELD_BYTES, record_bytes - field * FIELD_BYTES))
+            for field in range(FIELD_COUNT)]
 
     def _store_label(self) -> str:
         return {"ht": "HT", "map": "Map", "btree": "BTree",
@@ -77,26 +87,43 @@ class YcsbWorkload(Workload):
         super().populate(cluster)
         self.index.bulk_load(
             (key, self.record_id_base + key) for key in range(self.record_count))
+        # Probe depths may change when the index is (re)loaded.
+        self._request_tape = [None] * self.record_count
+
+    def _tape_entry(self, key: int):
+        """Resolve ``key`` through the index once; memoize on the tape."""
+        hit = self.index.lookup(key)
+        if hit is None:
+            raise RuntimeError(f"{self.name}: key {key} missing from index")
+        work = REQUEST_BASE_CYCLES + INDEX_LEVEL_CYCLES * hit.probe_depth
+        entry = (hit.record_id, work, read(hit.record_id, work_cycles=work))
+        self._request_tape[key] = entry
+        return entry
 
     def next_transaction(self, rng: DeterministicRandom, node_id: int,
                          cluster: Cluster, client_id=None) -> List[Request]:
+        zipf_next = self._zipf.next_key
+        steered = self.locality is not None
+        tape = self._request_tape
+        write_fraction = self.write_fraction
+        field_geometry = self._field_geometry
+        random01 = rng.random
         requests: List[Request] = []
+        append = requests.append
         for _ in range(self.requests_per_txn):
-            key = self.steer_locality(rng, node_id, cluster,
-                                      self._zipf.next_key)
-            hit = self.index.lookup(key)
-            if hit is None:
-                raise RuntimeError(f"{self.name}: key {key} missing from index")
-            work = REQUEST_BASE_CYCLES + INDEX_LEVEL_CYCLES * hit.probe_depth
-            if rng.random() < self.write_fraction:
-                field = rng.randrange(FIELD_COUNT)
-                offset = field * FIELD_BYTES
-                size = min(FIELD_BYTES, self.record_bytes - offset)
-                requests.append(write(hit.record_id, value=rng.random(),
-                                      offset=offset, size=size,
-                                      work_cycles=work))
+            if steered:
+                key = self.steer_locality(rng, node_id, cluster, zipf_next)
             else:
-                requests.append(read(hit.record_id, work_cycles=work))
+                key = zipf_next()
+            entry = tape[key]
+            if entry is None:
+                entry = self._tape_entry(key)
+            if random01() < write_fraction:
+                offset, size = field_geometry[rng.randrange(FIELD_COUNT)]
+                append(Request("write", entry[0], value=random01(),
+                               offset=offset, size=size, work_cycles=entry[1]))
+            else:
+                append(entry[2])
         return requests
 
 

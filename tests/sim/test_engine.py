@@ -4,7 +4,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import AllOf, Engine, Interrupt
+from repro.sim import AllOf, Engine, HeapEngine, Interrupt, create_engine
+
+#: Both engines must satisfy every dispatch-contract test below.
+ENGINES = [Engine, HeapEngine]
 
 
 def test_clock_starts_at_zero():
@@ -376,3 +379,193 @@ def test_nested_generators_compose_with_yield_from():
     engine.process(outer())
     engine.run()
     assert trace == [(10.0, "inner-done")]
+
+
+# -- lifecycle regressions (cancel-after-fire, negative sleeps) --------
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_cancel_after_fire_is_true_noop(engine_cls):
+    """Regression: a retry loop arms a timeout, the timeout fires, and
+    the loop's cleanup cancels the stale handle afterwards.  The cancel
+    must not count the already-fired entry as cancelled — doing so
+    underflows the cancellation counter the compaction trigger and the
+    run loop's skip accounting rely on."""
+    engine = engine_cls()
+    fired = []
+    for attempt in range(6):
+        entry = engine.schedule(1.0, fired.append, attempt)
+        engine.run()
+        engine.cancel(entry)  # stale: the timer already fired
+        engine.cancel(entry)  # idempotent on the husk too
+    assert fired == list(range(6))
+    assert engine.events_processed == 6
+    assert engine._cancelled == 0
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_cancel_after_fire_does_not_skew_compaction(engine_cls):
+    """Stale cancels of fired entries must not push the cancelled
+    counter past the live-entry count and trigger bogus compactions
+    (or, worse, leave the counter negative after the run loop skips
+    entries it believes are cancelled)."""
+    engine = engine_cls()
+    fired = []
+    handles = [engine.schedule(1.0, fired.append, n) for n in range(100)]
+    engine.run()
+    for entry in handles:
+        engine.cancel(entry)
+    assert engine._cancelled == 0
+    assert len(fired) == 100
+    # The queues are empty; a fresh schedule/run cycle still works.
+    engine.schedule(5.0, fired.append, "after")
+    engine.run()
+    assert fired[-1] == "after"
+
+
+class _RecordingTracer:
+    """Minimal tracer capturing process lifecycle hooks."""
+
+    capture_schedules = False
+
+    def __init__(self):
+        self.events = []
+
+    def engine_schedule(self, now, when, label):
+        pass
+
+    def process_start(self, now, name):
+        self.events.append(("start", name))
+
+    def process_end(self, now, name, outcome):
+        self.events.append(("end", name, outcome))
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_negative_sleep_dies_with_consistent_bookkeeping(engine_cls):
+    """A negative sleep must kill the process through the normal
+    ``_finish`` path: ``is_alive`` drops, the live-process count drops,
+    the tracer sees ``process_end``, and (with nobody waiting) the
+    ValueError still raises out of ``run``."""
+    engine = engine_cls()
+    tracer = _RecordingTracer()
+    engine.tracer = tracer
+
+    def bad_sleeper():
+        yield 5.0
+        yield -1.0
+
+    process = engine.process(bad_sleeper(), name="bad")
+    with pytest.raises(ValueError, match="negative delay"):
+        engine.run()
+    assert not process.is_alive
+    assert engine._active == 0
+    assert ("end", "bad", "ValueError") in tracer.events
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_negative_sleep_error_routes_to_waiter(engine_cls):
+    """With a waiter attached the negative-sleep death is an ordinary
+    process failure: delivered to the waiter, not raised out of run."""
+    engine = engine_cls()
+    caught = []
+
+    def bad():
+        yield -3.0
+
+    def parent():
+        try:
+            yield engine.process(bad())
+        except ValueError as error:
+            caught.append(str(error))
+
+    engine.process(parent())
+    engine.run()
+    assert caught == ["negative delay: -3.0"]
+    assert engine._active == 0
+
+
+def test_create_engine_honors_env_knob(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert type(create_engine()) is Engine
+    monkeypatch.setenv("REPRO_ENGINE", "heap")
+    assert type(create_engine()) is HeapEngine
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    assert type(create_engine()) is HeapEngine
+    monkeypatch.setenv("REPRO_ENGINE", "wheel")
+    assert type(create_engine()) is Engine
+
+
+# -- wheel/batch engine vs. reference heap equivalence -----------------
+
+#: Delays chosen to straddle the wheel's interesting boundaries: zero,
+#: within one slot (64 ns), exactly on slot edges, several slots out,
+#: just past the wheel horizon (1024 slots = 65,536 ns), and far beyond.
+_DELAYS = st.sampled_from([0.0, 1.0, 3.5, 63.0, 64.0, 65.0, 128.0,
+                           1000.0, 65_535.0, 65_600.0, 1e9])
+
+_OPS = st.one_of(
+    st.tuples(st.just("schedule"), _DELAYS),
+    st.tuples(st.just("storm"), _DELAYS, st.integers(2, 5)),
+    st.tuples(st.just("cancel"), st.integers(0, 40)),
+    st.tuples(st.just("late_cancel"), _DELAYS, st.integers(0, 40)),
+    st.tuples(st.just("process"), st.lists(_DELAYS, min_size=1,
+                                           max_size=4)),
+    st.tuples(st.just("interrupt"), st.integers(0, 10), _DELAYS),
+)
+
+
+def _run_script(engine_cls, ops):
+    """Interpret one generated scenario on ``engine_cls``; return the
+    observable dispatch record."""
+    engine = engine_cls()
+    log = []
+    handles = []
+    processes = []
+
+    def sleeper(pid, delays):
+        for delay in delays:
+            try:
+                yield delay
+                log.append(("woke", pid, engine.now))
+            except Interrupt:
+                log.append(("interrupted", pid, engine.now))
+        return pid
+
+    def late_cancel(which):
+        if handles:
+            engine.cancel(handles[which % len(handles)])
+
+    for index, op in enumerate(ops):
+        kind = op[0]
+        if kind == "schedule":
+            handles.append(engine.schedule(op[1], log.append,
+                                           ("cb", index)))
+        elif kind == "storm":
+            for burst in range(op[2]):
+                handles.append(engine.schedule(op[1], log.append,
+                                               ("storm", index, burst)))
+        elif kind == "cancel":
+            if handles:
+                engine.cancel(handles[op[1] % len(handles)])
+        elif kind == "late_cancel":
+            engine.schedule(op[1], late_cancel, op[2])
+        elif kind == "process":
+            processes.append(engine.process(sleeper(index, op[1])))
+        elif kind == "interrupt":
+            if processes:
+                target = processes[op[1] % len(processes)]
+                engine.schedule(op[2], target.interrupt)
+    final = engine.run()
+    return log, engine.events_processed, final
+
+
+@given(st.lists(_OPS, min_size=1, max_size=40))
+@settings(max_examples=120, deadline=None)
+def test_wheel_engine_matches_reference_heap(ops):
+    """The wheel+batch engine and the reference heap must produce the
+    identical dispatch order, event count, and final clock for any mix
+    of schedules, same-timestamp storms, cancels (including cancels
+    issued mid-run and cancels of already-fired entries), processes,
+    and interrupts."""
+    assert _run_script(Engine, ops) == _run_script(HeapEngine, ops)

@@ -116,6 +116,17 @@ class TestBaselineGate:
         assert failures and "determinism" in failures[0]
 
 
+class TestZeroWallClock:
+    def test_run_once_fails_loudly_on_zero_wall_clock(self, monkeypatch):
+        """A broken (frozen) timer must raise, not report 0 events/s:
+        a zero rate sails under every ratio-based regression gate."""
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness.time, "perf_counter", lambda: 1234.5)
+        with pytest.raises(RuntimeError, match="non-positive wall clock"):
+            TINY.run_once(smoke=True)
+
+
 class TestBehavioralDriftGate:
     """abort_rate / retry_rate are behavioral fingerprints: with pinned
     seeds they only move when protocol behavior changes, so the gate

@@ -111,3 +111,21 @@ def test_process_state_report_inventory():
     assert report["hash_family_masks"]
     reset_process_caches()
     assert process_state_report()["hash_family_masks"] == {}
+
+
+def test_tape_era_caches_are_audited_and_resettable():
+    """The request-tape era's pure value caches — zipfian scramble memos
+    and WrBF2 position memos — must appear in the audit inventory, fill
+    during a run, and reset to import-time state on demand."""
+    reset_process_caches()
+    report = process_state_report()
+    assert report["zipfian_scramble_keys"] == {}
+    assert report["split_index_positions"] == {}
+    _run_b()
+    report = process_state_report()
+    assert report["zipfian_scramble_keys"], "zipf scramble memo never filled"
+    assert report["split_index_positions"], "WrBF2 position memo never filled"
+    reset_process_caches()
+    report = process_state_report()
+    assert report["zipfian_scramble_keys"] == {}
+    assert report["split_index_positions"] == {}
